@@ -1,0 +1,130 @@
+// Ablation harness for the design choices called out in DESIGN.md:
+//
+//  1. View-break overlap budget (Def. 3.2 allows overlapping covers; we
+//     enumerate partitions + single-node overlaps by default) — measures
+//     the state-space size and best cost with overlap 0 vs 1.
+//  2. Join-cut orientation (Def. 3.4 cuts a specific occurrence; both
+//     orientations are distinct transitions) — single vs both.
+//  3. Evaluator atom ordering (greedy selectivity vs as-written) — the gap
+//     that separates the rdf3x-sim and PostgreSQL-sim baselines in Fig. 8.
+//
+// Flags: --budget-sec=5 --triples=20000 --seed=3
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "engine/evaluator.h"
+#include "rdf/saturation.h"
+#include "rdf/statistics.h"
+#include "vsel/cost_model.h"
+#include "vsel/search.h"
+#include "workload/barton.h"
+#include "workload/generator.h"
+
+namespace rdfviews {
+namespace {
+
+void RunSearchVariant(const char* label,
+                      const std::vector<cq::ConjunctiveQuery>& queries,
+                      const rdf::Statistics& stats,
+                      const vsel::HeuristicOptions& heur, double budget) {
+  Result<vsel::State> s0 = vsel::MakeInitialState(queries);
+  if (!s0.ok()) {
+    std::printf("%s: initial state failed\n", label);
+    return;
+  }
+  vsel::CostModel model(&stats, vsel::CostWeights{});
+  vsel::CostBreakdown b = model.Breakdown(*s0);
+  vsel::CostWeights w;
+  w.cm = vsel::CostModel::CalibrateCm(b, w);
+  model.set_weights(w);
+  vsel::SearchLimits limits;
+  limits.time_budget_sec = budget;
+  auto r = vsel::RunSearch(vsel::StrategyKind::kDfs, *s0, model, heur,
+                           limits);
+  if (!r.ok()) {
+    std::printf("%s: %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  bench::PrintRow({label, std::to_string(r->stats.created),
+                   std::to_string(r->stats.created - r->stats.duplicates -
+                                  r->stats.discarded),
+                   bench::FormatDouble(r->stats.RelativeCostReduction(), 4),
+                   r->stats.completed ? "yes" : "no"},
+                  18);
+}
+
+}  // namespace
+}  // namespace rdfviews
+
+int main(int argc, char** argv) {
+  using namespace rdfviews;
+  bench::Flags flags(argc, argv);
+  const double budget = flags.GetDouble("budget-sec", 5.0);
+  const size_t triples = static_cast<size_t>(flags.GetInt("triples", 20000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+
+  rdf::Dictionary dict;
+  workload::WorkloadSpec spec;
+  spec.num_queries = 3;
+  spec.atoms_per_query = 5;
+  spec.shape = workload::QueryShape::kMixed;
+  spec.commonality = workload::Commonality::kHigh;
+  spec.seed = seed;
+  std::vector<cq::ConjunctiveQuery> queries =
+      workload::GenerateWorkload(spec, &dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(queries, &dict, triples, seed);
+  rdf::Statistics stats(&store);
+
+  std::printf("Ablation 1+2: DFS-AVF-STV under transition-repertoire "
+              "variants (3 queries x 5 atoms, %.1fs budget)\n\n",
+              budget);
+  bench::PrintRow({"variant", "created", "live", "rcr", "complete"}, 18);
+  bench::PrintRule(5, 18);
+  {
+    vsel::HeuristicOptions heur;
+    heur.avf = true;
+    heur.stop_var = true;
+    heur.vb_overlap = 0;
+    RunSearchVariant("vb-partition-only", queries, stats, heur, budget);
+    heur.vb_overlap = 1;
+    RunSearchVariant("vb-overlap-1", queries, stats, heur, budget);
+  }
+
+  std::printf("\nAblation 3: BGP evaluation, greedy vs as-written atom "
+              "order (Barton-like data)\n\n");
+  rdf::Dictionary bdict;
+  workload::BartonSchema barton = workload::BuildBartonSchema(&bdict);
+  workload::BartonDataOptions dopts;
+  dopts.num_triples = triples;
+  rdf::TripleStore bstore =
+      workload::GenerateBartonData(barton, &bdict, dopts);
+  workload::WorkloadSpec bspec;
+  bspec.num_queries = 5;
+  bspec.atoms_per_query = 5;
+  bspec.shape = workload::QueryShape::kMixed;
+  std::vector<cq::ConjunctiveQuery> bqueries =
+      workload::GenerateSatisfiableWorkload(bspec, bstore, &bdict);
+  bench::PrintRow({"query", "greedy(ms)", "as-written(ms)", "speedup"}, 18);
+  bench::PrintRule(4, 18);
+  for (size_t i = 0; i < bqueries.size(); ++i) {
+    engine::EvalOptions greedy;
+    engine::EvalOptions naive;
+    naive.order = engine::EvalOptions::AtomOrder::kAsWritten;
+    Stopwatch w1;
+    engine::EvaluateQuery(bqueries[i], bstore, greedy);
+    double greedy_ms = w1.ElapsedMillis();
+    Stopwatch w2;
+    engine::EvaluateQuery(bqueries[i], bstore, naive);
+    double naive_ms = w2.ElapsedMillis();
+    bench::PrintRow({"q" + std::to_string(i + 1),
+                     bench::FormatDouble(greedy_ms, 3),
+                     bench::FormatDouble(naive_ms, 3),
+                     bench::FormatDouble(naive_ms / std::max(greedy_ms, 1e-9),
+                                         1) +
+                         "x"},
+                    18);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the paper-reproduction harnesses: a tiny --key=value
+// flag parser and fixed-width table printing.
+#ifndef RDFVIEWS_BENCH_BENCH_UTIL_H_
+#define RDFVIEWS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rdfviews::bench {
+
+/// Parses --key=value command-line flags (everything else is ignored).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Prints a row of fixed-width columns.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(size_t cells, int width = 14) {
+  std::printf("%s\n", std::string(cells * static_cast<size_t>(width), '-')
+                          .c_str());
+}
+
+inline std::string FormatDouble(double v, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string FormatSci(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", v);
+  return buffer;
+}
+
+}  // namespace rdfviews::bench
+
+#endif  // RDFVIEWS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,131 @@
+// Figure 4 — "Strategy comparison on small workloads".
+//
+// Two workloads of 5 queries each (5 and 10 atoms per query), star and
+// chain shapes, high and low commonality. Strategies: the [21] competitors
+// (Greedy, Heuristic, Pruning) and ours (DFS-AVF-STV, GSTR-AVF-STV).
+// Reported: relative cost reduction rcr = (c(S0) - c(Sb)) / c(S0).
+//
+// Paper result to reproduce: all strategies work at 5 atoms (ours best);
+// at 10 atoms the [21] strategies exhaust memory before producing any full
+// candidate set (rcr column shows OOM), while DFS/GSTR keep improving.
+//
+// Flags: --budget-sec=2.0 --competitor-budget-sec=10 --max-states=25000
+//        --triples=20000 --seed=1
+// The competitor budget is larger: the paper gave every strategy 30
+// minutes, and the [21] strategies are much slower per state.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rdf/statistics.h"
+#include "vsel/cost_model.h"
+#include "vsel/search.h"
+#include "workload/generator.h"
+
+namespace rdfviews {
+namespace {
+
+using bench::Flags;
+using bench::FormatDouble;
+using bench::PrintRow;
+using bench::PrintRule;
+
+struct Config {
+  workload::QueryShape shape;
+  workload::Commonality commonality;
+};
+
+void RunWorkloadSize(size_t atoms_per_query, const Flags& flags) {
+  const double budget = flags.GetDouble("budget-sec", 2.0);
+  const double competitor_budget =
+      flags.GetDouble("competitor-budget-sec", 10.0);
+  const size_t max_states =
+      static_cast<size_t>(flags.GetInt("max-states", 25000));
+  const size_t triples = static_cast<size_t>(flags.GetInt("triples", 20000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  const vsel::StrategyKind strategies[] = {
+      vsel::StrategyKind::kGreedy21, vsel::StrategyKind::kHeuristic21,
+      vsel::StrategyKind::kPruning21, vsel::StrategyKind::kDfs,
+      vsel::StrategyKind::kGstr};
+  const Config configs[] = {
+      {workload::QueryShape::kStar, workload::Commonality::kHigh},
+      {workload::QueryShape::kStar, workload::Commonality::kLow},
+      {workload::QueryShape::kChain, workload::Commonality::kHigh},
+      {workload::QueryShape::kChain, workload::Commonality::kLow},
+  };
+
+  std::printf("\n=== Figure 4: 5 queries, %zu atoms/query ===\n",
+              atoms_per_query);
+  PrintRow({"workload", "Greedy", "Heuristic", "Pruning", "DFS-AVF-STV",
+            "GSTR-AVF-STV"});
+  PrintRule(6);
+
+  for (const Config& config : configs) {
+    rdf::Dictionary dict;
+    workload::WorkloadSpec spec;
+    spec.num_queries = 5;
+    spec.atoms_per_query = atoms_per_query;
+    spec.shape = config.shape;
+    spec.commonality = config.commonality;
+    spec.seed = seed;
+    std::vector<cq::ConjunctiveQuery> queries =
+        workload::GenerateWorkload(spec, &dict);
+    rdf::TripleStore store =
+        workload::GenerateStoreForWorkload(queries, &dict, triples, seed);
+    rdf::Statistics stats(&store);
+
+    std::vector<std::string> row;
+    row.push_back(std::string(workload::QueryShapeName(config.shape)) + "/" +
+                  workload::CommonalityName(config.commonality));
+    for (vsel::StrategyKind strategy : strategies) {
+      Result<vsel::State> s0 = vsel::MakeInitialState(queries);
+      if (!s0.ok()) {
+        row.push_back("err");
+        continue;
+      }
+      vsel::CostModel model(&stats, vsel::CostWeights{});
+      vsel::CostBreakdown b = model.Breakdown(*s0);
+      vsel::CostWeights w;
+      w.cm = vsel::CostModel::CalibrateCm(b, w);
+      model.set_weights(w);
+      vsel::HeuristicOptions heur;
+      // The paper runs our strategies as DFS-AVF-STV / GSTR-AVF-STV.
+      if (strategy == vsel::StrategyKind::kDfs ||
+          strategy == vsel::StrategyKind::kGstr) {
+        heur.avf = true;
+        heur.stop_var = true;
+      }
+      const bool ours = strategy == vsel::StrategyKind::kDfs ||
+                        strategy == vsel::StrategyKind::kGstr;
+      vsel::SearchLimits limits;
+      limits.time_budget_sec = ours ? budget : competitor_budget;
+      limits.max_states = max_states;
+      auto result = vsel::RunSearch(strategy, *s0, model, heur, limits);
+      if (!result.ok()) {
+        // No full candidate set was produced: memory wall (the paper's
+        // observation for 10-atom workloads) or the time budget.
+        row.push_back(result.status().code() == StatusCode::kTimedOut
+                          ? "t/o"
+                          : "OOM");
+        continue;
+      }
+      row.push_back(FormatDouble(result->stats.RelativeCostReduction(), 3));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace rdfviews
+
+int main(int argc, char** argv) {
+  rdfviews::bench::Flags flags(argc, argv);
+  std::printf("Figure 4 reproduction: rcr of [21] strategies vs ours on "
+              "small workloads.\n"
+              "Expected shape: all strategies produce solutions at 5 atoms "
+              "(ours highest);\n[21] strategies hit the memory budget (OOM) "
+              "at 10 atoms.\n");
+  rdfviews::RunWorkloadSize(5, flags);
+  rdfviews::RunWorkloadSize(10, flags);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Google-benchmark micro suite for the building blocks: triple-store
+// lookups, canonicalization, containment, reformulation, transitions and
+// BGP evaluation. These are not paper figures; they guard the constants
+// that the search and the executor depend on.
+#include <benchmark/benchmark.h>
+
+#include "cq/canonical.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "rdf/saturation.h"
+#include "rdf/statistics.h"
+#include "reform/reformulate.h"
+#include "vsel/cost_model.h"
+#include "vsel/state.h"
+#include "vsel/transitions.h"
+#include "workload/barton.h"
+#include "workload/generator.h"
+
+namespace rdfviews {
+namespace {
+
+struct BartonFixture {
+  rdf::Dictionary dict;
+  workload::BartonSchema barton;
+  rdf::TripleStore store;
+  std::vector<cq::ConjunctiveQuery> queries;
+
+  explicit BartonFixture(size_t triples) {
+    barton = workload::BuildBartonSchema(&dict);
+    workload::BartonDataOptions opts;
+    opts.num_triples = triples;
+    store = workload::GenerateBartonData(barton, &dict, opts);
+    workload::WorkloadSpec spec;
+    spec.num_queries = 5;
+    spec.atoms_per_query = 5;
+    spec.shape = workload::QueryShape::kMixed;
+    queries = workload::GenerateSatisfiableWorkload(spec, store, &dict);
+  }
+
+  static BartonFixture& Get() {
+    static BartonFixture fixture(20000);
+    return fixture;
+  }
+};
+
+void BM_TripleStoreCount(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  rdf::TermId creator = *fx.dict.Find("bt:creator");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.store.Count(rdf::Pattern{rdf::kAnyTerm, creator, rdf::kAnyTerm}));
+  }
+}
+BENCHMARK(BM_TripleStoreCount);
+
+void BM_TripleStoreScan(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  rdf::TermId creator = *fx.dict.Find("bt:creator");
+  for (auto _ : state) {
+    size_t count = 0;
+    fx.store.Scan(rdf::Pattern{rdf::kAnyTerm, creator, rdf::kAnyTerm},
+                  [&](const rdf::Triple&) {
+                    ++count;
+                    return true;
+                  });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TripleStoreScan);
+
+void BM_Saturation(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  for (auto _ : state) {
+    rdf::TripleStore sat = rdf::Saturate(fx.store, fx.barton.schema);
+    benchmark::DoNotOptimize(sat.size());
+  }
+}
+BENCHMARK(BM_Saturation)->Unit(benchmark::kMillisecond);
+
+void BM_Canonicalize(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  const cq::ConjunctiveQuery& q = fx.queries[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cq::CanonicalString(q, true));
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_ContainmentMinimize(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  for (auto _ : state) {
+    for (const cq::ConjunctiveQuery& q : fx.queries) {
+      benchmark::DoNotOptimize(cq::Minimize(q).len());
+    }
+  }
+}
+BENCHMARK(BM_ContainmentMinimize);
+
+void BM_ReformulateQuery(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  for (auto _ : state) {
+    reform::ReformulationResult r =
+        reform::Reformulate(fx.queries[0], fx.barton.schema);
+    benchmark::DoNotOptimize(r.ucq.size());
+  }
+}
+BENCHMARK(BM_ReformulateQuery);
+
+void BM_EvaluateBgp(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::EvaluateQuery(fx.queries[0], fx.store).NumRows());
+  }
+}
+BENCHMARK(BM_EvaluateBgp);
+
+void BM_EnumerateTransitions(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  vsel::TransitionOptions topts;
+  for (auto _ : state) {
+    size_t total = 0;
+    for (vsel::TransitionKind kind :
+         {vsel::TransitionKind::kVB, vsel::TransitionKind::kSC,
+          vsel::TransitionKind::kJC, vsel::TransitionKind::kVF}) {
+      total += vsel::EnumerateTransitions(s0, kind, topts).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EnumerateTransitions);
+
+void BM_ApplyScTransition(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  vsel::TransitionOptions topts;
+  std::vector<vsel::Transition> scs =
+      vsel::EnumerateTransitions(s0, vsel::TransitionKind::kSC, topts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vsel::ApplyTransition(s0, scs[0]).views().size());
+  }
+}
+BENCHMARK(BM_ApplyScTransition);
+
+void BM_StateSignature(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  for (auto _ : state) {
+    s0.Touch();
+    benchmark::DoNotOptimize(s0.Signature().size());
+  }
+}
+BENCHMARK(BM_StateSignature);
+
+void BM_StateCost(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  rdf::Statistics stats(&fx.store);
+  vsel::CostModel model(&stats, vsel::CostWeights{});
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.StateCost(s0));
+  }
+}
+BENCHMARK(BM_StateCost);
+
+}  // namespace
+}  // namespace rdfviews
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Reformulation demo: Algorithm 1 on user-supplied queries.
+//
+// Loads (or defaults) an RDFS, then reformulates a few queries step by
+// step, printing the full union of conjunctive queries and checking
+// Theorem 4.2 against database saturation on a toy instance.
+#include <cstdio>
+
+#include "cq/parser.h"
+#include "engine/evaluator.h"
+#include "rdf/saturation.h"
+#include "reform/reformulate.h"
+
+using namespace rdfviews;
+
+int main() {
+  rdf::Dictionary dict;
+  rdf::Schema schema;
+  schema.AddSubClassOf(dict.Intern("painting"), dict.Intern("picture"));
+  schema.AddSubClassOf(dict.Intern("picture"), dict.Intern("work"));
+  schema.AddSubPropertyOf(dict.Intern("isExpIn"), dict.Intern("isLocatIn"));
+  schema.AddDomain(dict.Intern("hasPainted"), dict.Intern("painter"));
+  schema.AddRange(dict.Intern("hasPainted"), dict.Intern("painting"));
+
+  std::printf("RDF Schema (%zu statements):\n", schema.num_statements());
+  std::printf("  painting ⊑ picture ⊑ work\n");
+  std::printf("  isExpIn ⊑p isLocatIn\n");
+  std::printf("  hasPainted: domain painter, range painting\n\n");
+
+  const char* query_texts[] = {
+      // Rule 1 chains through the class hierarchy; rules 3/4 pull in
+      // hasPainted through its domain/range.
+      "q1(X) :- t(X, rdf:type, work)",
+      // Rule 2 on the property hierarchy.
+      "q2(X, L) :- t(X, isLocatIn, L)",
+      // Rule 6: the property position is a variable.
+      "q3(X, P) :- t(X, P, moma)",
+      // A join of two reformulable atoms: the unions multiply.
+      "q4(X) :- t(X, rdf:type, painter), t(X, isParentOf, Y), "
+      "t(Y, rdf:type, painter)",
+  };
+
+  // A toy instance where every implicit triple matters.
+  rdf::TripleStore store;
+  auto add = [&](const char* s, const char* p, const char* o) {
+    store.Add(dict.Intern(s), dict.Intern(p), dict.Intern(o));
+  };
+  add("vanGogh", "hasPainted", "starryNight");
+  add("vanGogh", "isParentOf", "theo");
+  add("theo", "hasPainted", "sunflowers");
+  add("guernica", "rdf:type", "painting");
+  add("starryNight", "isExpIn", "moma");
+  store.Build(&dict);
+  rdf::TripleStore saturated = rdf::Saturate(store, schema);
+
+  for (const char* text : query_texts) {
+    Result<cq::ConjunctiveQuery> q = cq::ParseDatalog(text, &dict);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    reform::ReformulationResult r = reform::Reformulate(*q, schema);
+    std::printf("%s\n  Reformulate -> %zu union terms "
+                "(Theorem 4.1 bound: %.0f), %zu rule applications\n",
+                q->ToString(&dict).c_str(), r.ucq.size(),
+                reform::TheoremBound(schema, q->len()),
+                r.rule_applications);
+    for (const cq::ConjunctiveQuery& d : r.ucq.disjuncts()) {
+      std::printf("    ∪ %s\n", d.ToString(&dict).c_str());
+    }
+    engine::Relation on_saturated = engine::EvaluateQuery(*q, saturated);
+    engine::Relation via_union = engine::EvaluateUnion(r.ucq, store);
+    std::printf("  Theorem 4.2 check: evaluate(q, saturate(D)) == "
+                "evaluate(ucq, D)? %s (%zu answers)\n\n",
+                on_saturated.SameRowsAs(via_union) ? "yes" : "NO (bug!)",
+                on_saturated.NumRows());
+  }
+  return 0;
+}

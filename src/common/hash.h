@@ -1,0 +1,29 @@
+// Hashing helpers for composite keys.
+#ifndef RDFVIEWS_COMMON_HASH_H_
+#define RDFVIEWS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdfviews {
+
+/// Combines a hash value into a seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash for small integer sequences (e.g., tuple of term ids).
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const T& x : v) HashCombine(&seed, std::hash<T>()(x));
+    return seed;
+  }
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_HASH_H_

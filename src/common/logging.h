@@ -1,0 +1,78 @@
+// Minimal logging and assertion macros.
+#ifndef RDFVIEWS_COMMON_LOGGING_H_
+#define RDFVIEWS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rdfviews {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Consumes a stream expression without evaluating it.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+
+}  // namespace internal
+
+#define RDFVIEWS_LOG(level)                                             \
+  if (::rdfviews::LogLevel::level < ::rdfviews::GetLogLevel()) {        \
+  } else                                                                \
+    ::rdfviews::internal::LogMessage(::rdfviews::LogLevel::level,       \
+                                     __FILE__, __LINE__)                \
+        .stream()
+
+// Always-on invariant check: database code fails fast on broken invariants.
+#define RDFVIEWS_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rdfviews::internal::FatalCheckFailure(__FILE__, __LINE__, #expr,  \
+                                              "");                        \
+    }                                                                     \
+  } while (0)
+
+#define RDFVIEWS_CHECK_MSG(expr, msg)                                    \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream _oss;                                            \
+      _oss << msg;                                                        \
+      ::rdfviews::internal::FatalCheckFailure(__FILE__, __LINE__, #expr,  \
+                                              _oss.str());                \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define RDFVIEWS_DCHECK(expr) RDFVIEWS_CHECK(expr)
+#else
+#define RDFVIEWS_DCHECK(expr) \
+  while (false) RDFVIEWS_CHECK(expr)
+#endif
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rdfviews {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  RDFVIEWS_DCHECK(lo <= hi);
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+ZipfTable::ZipfTable(size_t n, double exponent) {
+  RDFVIEWS_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+size_t ZipfTable::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace rdfviews

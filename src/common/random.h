@@ -1,0 +1,70 @@
+// Deterministic seeded random utilities used by generators and tests.
+#ifndef RDFVIEWS_COMMON_RANDOM_H_
+#define RDFVIEWS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rdfviews {
+
+/// Seedable pseudo-random generator; all data and workload generation in the
+/// repository goes through this class so results are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) { return Uniform(0, n - 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  /// Uses an inverse-CDF table owned by the caller via ZipfTable.
+  uint64_t raw() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Precomputed inverse-CDF table for Zipf sampling over [0, n).
+class ZipfTable {
+ public:
+  ZipfTable(size_t n, double exponent);
+
+  /// Samples a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_RANDOM_H_

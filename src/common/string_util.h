@@ -1,0 +1,28 @@
+// Small string helpers used across the library.
+#ifndef RDFVIEWS_COMMON_STRING_UTIL_H_
+#define RDFVIEWS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfviews {
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming nothing. Empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable quantity with thousands separators ("1,234,567").
+std::string WithThousands(uint64_t n);
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+// Wall-clock stopwatch and deadline helpers.
+#ifndef RDFVIEWS_COMMON_TIMER_H_
+#define RDFVIEWS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rdfviews {
+
+/// Monotonic stopwatch. Starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline that can be queried cheaply in hot loops.
+class Deadline {
+ public:
+  /// budget_sec <= 0 means "no deadline".
+  explicit Deadline(double budget_sec) : budget_sec_(budget_sec) {}
+
+  bool Expired() const {
+    return budget_sec_ > 0 && watch_.ElapsedSeconds() >= budget_sec_;
+  }
+
+  double RemainingSeconds() const {
+    if (budget_sec_ <= 0) return 1e18;
+    double rem = budget_sec_ - watch_.ElapsedSeconds();
+    return rem > 0 ? rem : 0;
+  }
+
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  double budget_sec_;
+  Stopwatch watch_;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_TIMER_H_

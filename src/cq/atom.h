@@ -1,0 +1,61 @@
+// A triple atom t(s, p, o) over the single triple table.
+#ifndef RDFVIEWS_CQ_ATOM_H_
+#define RDFVIEWS_CQ_ATOM_H_
+
+#include <compare>
+
+#include "cq/term.h"
+#include "rdf/triple.h"
+
+namespace rdfviews::cq {
+
+/// One atom of a conjunctive query over the triple table t(s, p, o).
+struct Atom {
+  Term s;
+  Term p;
+  Term o;
+
+  friend auto operator<=>(const Atom&, const Atom&) = default;
+
+  Term at(rdf::Column c) const {
+    switch (c) {
+      case rdf::Column::kS: return s;
+      case rdf::Column::kP: return p;
+      case rdf::Column::kO: return o;
+    }
+    return Term();
+  }
+
+  void set(rdf::Column c, Term t) {
+    switch (c) {
+      case rdf::Column::kS: s = t; break;
+      case rdf::Column::kP: p = t; break;
+      case rdf::Column::kO: o = t; break;
+    }
+  }
+
+  int NumConstants() const {
+    return s.is_const() + p.is_const() + o.is_const();
+  }
+
+  /// The constants-only access pattern of this atom (variables -> wildcard).
+  rdf::Pattern ToPattern() const {
+    rdf::Pattern pat;
+    if (s.is_const()) pat.s = s.constant();
+    if (p.is_const()) pat.p = p.constant();
+    if (o.is_const()) pat.o = o.constant();
+    return pat;
+  }
+};
+
+/// A (atom index, column) occurrence of a term inside a query body.
+struct Occurrence {
+  uint32_t atom = 0;
+  rdf::Column column = rdf::Column::kS;
+
+  friend auto operator<=>(const Occurrence&, const Occurrence&) = default;
+};
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_ATOM_H_

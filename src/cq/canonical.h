@@ -1,0 +1,40 @@
+// Canonical forms of conjunctive queries up to variable renaming.
+//
+// Two queries have the same canonical string iff they are identical up to a
+// bijective renaming of variables (and reordering of atoms). This is the
+// workhorse behind duplicate-state detection and View Fusion (Def. 3.5):
+// matching body-only canonical strings *proves* the bodies isomorphic, and
+// the accompanying variable mapping realizes the renaming <2->1>.
+#ifndef RDFVIEWS_CQ_CANONICAL_H_
+#define RDFVIEWS_CQ_CANONICAL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "cq/query.h"
+
+namespace rdfviews::cq {
+
+struct CanonicalForm {
+  /// Canonical rendering; equal strings <=> isomorphic queries.
+  std::string repr;
+  /// Maps each body variable to its canonical index.
+  std::unordered_map<VarId, uint32_t> var_map;
+  /// True if the bounded backtracking search completed; when false (huge
+  /// symmetric queries), the string is a deterministic refinement-based
+  /// approximation that may fail to equate some isomorphic pairs but never
+  /// equates non-isomorphic ones.
+  bool exact = true;
+};
+
+/// Computes the canonical form. With include_head = true the head (as a set
+/// of terms, plus the head/existential split of body variables) is part of
+/// the canonicalized structure; with false only the body shape matters.
+CanonicalForm Canonicalize(const ConjunctiveQuery& q, bool include_head);
+
+/// Shorthand for Canonicalize(q, include_head).repr.
+std::string CanonicalString(const ConjunctiveQuery& q, bool include_head);
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_CANONICAL_H_

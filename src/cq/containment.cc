@@ -1,0 +1,102 @@
+#include "cq/containment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rdfviews::cq {
+
+namespace {
+
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+
+/// Tries to extend `phi` so that phi(from_term) == to_term.
+bool Unify(Term from_term, Term to_term, ContainmentMapping* phi) {
+  if (from_term.is_const()) {
+    return to_term.is_const() && from_term.constant() == to_term.constant();
+  }
+  auto it = phi->find(from_term.var());
+  if (it != phi->end()) return it->second == to_term;
+  phi->emplace(from_term.var(), to_term);
+  return true;
+}
+
+bool SearchMapping(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
+                   size_t atom_idx, ContainmentMapping* phi) {
+  if (atom_idx == from.atoms().size()) return true;
+  const Atom& a = from.atoms()[atom_idx];
+  for (const Atom& b : to.atoms()) {
+    ContainmentMapping saved = *phi;
+    bool ok = true;
+    for (rdf::Column c : kColumns) {
+      if (!Unify(a.at(c), b.at(c), phi)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && SearchMapping(from, to, atom_idx + 1, phi)) return true;
+    *phi = std::move(saved);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ContainmentMapping> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  if (from.head().size() != to.head().size()) return std::nullopt;
+  ContainmentMapping phi;
+  // Pin head terms position-wise first.
+  for (size_t i = 0; i < from.head().size(); ++i) {
+    if (!Unify(from.head()[i], to.head()[i], &phi)) return std::nullopt;
+  }
+  if (!SearchMapping(from, to, 0, &phi)) return std::nullopt;
+  return phi;
+}
+
+bool Contains(const ConjunctiveQuery& sup, const ConjunctiveQuery& sub) {
+  return FindContainmentMapping(sup, sub).has_value();
+}
+
+bool AreEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed && current.atoms().size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.atoms().size(); ++i) {
+      ConjunctiveQuery candidate = current;
+      candidate.mutable_atoms()->erase(candidate.mutable_atoms()->begin() +
+                                       static_cast<ptrdiff_t>(i));
+      // Head variables must survive.
+      bool head_ok = true;
+      std::vector<VarId> body_vars = candidate.BodyVars();
+      for (VarId v : candidate.HeadVars()) {
+        if (std::find(body_vars.begin(), body_vars.end(), v) ==
+            body_vars.end()) {
+          head_ok = false;
+          break;
+        }
+      }
+      if (!head_ok) continue;
+      // candidate ⊑ current holds trivially (atom subset); the reverse
+      // containment makes them equivalent, so the atom is redundant.
+      if (FindContainmentMapping(current, candidate).has_value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+bool IsMinimal(const ConjunctiveQuery& q) {
+  return Minimize(q).atoms().size() == q.atoms().size();
+}
+
+}  // namespace rdfviews::cq

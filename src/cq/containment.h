@@ -1,0 +1,41 @@
+// Containment mappings, equivalence and minimization of conjunctive queries
+// (Chandra & Merlin [7] in the paper's reference list).
+#ifndef RDFVIEWS_CQ_CONTAINMENT_H_
+#define RDFVIEWS_CQ_CONTAINMENT_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "cq/query.h"
+
+namespace rdfviews::cq {
+
+/// A containment mapping: variables of the source query to terms of the
+/// target query.
+using ContainmentMapping = std::unordered_map<VarId, Term>;
+
+/// Searches for a containment mapping phi from `from` into `to`: every atom
+/// of `from` maps to some atom of `to`, constants map to themselves, and
+/// phi(head(from)[i]) == head(to)[i] position-wise. Its existence proves
+/// to ⊑ from (every answer of `to` is an answer of `from`).
+std::optional<ContainmentMapping> FindContainmentMapping(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// True iff sub ⊑ sup (there is a containment mapping sup -> sub).
+bool Contains(const ConjunctiveQuery& sup, const ConjunctiveQuery& sub);
+
+/// True iff the two queries are equivalent (mutual containment).
+bool AreEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// Returns the minimal (core) equivalent of `q`: no atom can be removed
+/// while preserving equivalence. Definition 2.1 assumes all queries and
+/// views are minimal.
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+
+/// True iff the only containment mapping from q to itself is the identity
+/// on head variables and no atom is redundant.
+bool IsMinimal(const ConjunctiveQuery& q);
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_CONTAINMENT_H_

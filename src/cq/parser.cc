@@ -1,0 +1,297 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::cq {
+
+namespace {
+
+struct Tokenizer {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text.size() - pos < word.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text[pos + i])) !=
+          std::tolower(static_cast<unsigned char>(word[i]))) {
+        return false;
+      }
+    }
+    size_t end = pos + word.size();
+    if (end < text.size() &&
+        (std::isalnum(static_cast<unsigned char>(text[end])) ||
+         text[end] == '_')) {
+      return false;
+    }
+    pos = end;
+    return true;
+  }
+
+  // Reads an identifier-ish token: [A-Za-z0-9_:.?-]+ or "<...>" or quoted.
+  Result<std::string> ReadToken() {
+    SkipSpace();
+    if (pos >= text.size()) return Status::ParseError("unexpected end");
+    char c = text[pos];
+    if (c == '<') {
+      size_t end = text.find('>', pos + 1);
+      if (end == std::string_view::npos)
+        return Status::ParseError("unterminated <uri>");
+      std::string uri(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+      return "<" + uri + ">";
+    }
+    if (c == '"') {
+      size_t end = pos + 1;
+      std::string value = "\"";
+      while (end < text.size() && text[end] != '"') {
+        if (text[end] == '\\' && end + 1 < text.size()) ++end;
+        value.push_back(text[end]);
+        ++end;
+      }
+      if (end >= text.size())
+        return Status::ParseError("unterminated string literal");
+      pos = end + 1;
+      value.push_back('"');
+      return value;
+    }
+    size_t end = pos;
+    auto is_token_char = [](char ch) {
+      return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+             ch == ':' || ch == '.' || ch == '-' || ch == '?';
+    };
+    // '.' is a statement separator in SPARQL; allow it inside tokens only
+    // when followed by an alphanumeric (e.g. version-ish names).
+    while (end < text.size() && is_token_char(text[end])) {
+      if (text[end] == '.' &&
+          (end + 1 >= text.size() ||
+           !std::isalnum(static_cast<unsigned char>(text[end + 1])))) {
+        break;
+      }
+      ++end;
+    }
+    if (end == pos) return Status::ParseError(
+        std::string("unexpected character '") + c + "'");
+    std::string token(text.substr(pos, end - pos));
+    pos = end;
+    return token;
+  }
+};
+
+bool LooksLikeVariable(const std::string& token) {
+  if (token.empty()) return false;
+  if (token[0] == '?') return true;
+  return std::isupper(static_cast<unsigned char>(token[0])) &&
+         token.find(':') == std::string::npos;
+}
+
+/// Shared variable/constant resolution for both parsers.
+class TermBuilder {
+ public:
+  TermBuilder(rdf::Dictionary* dict, ConjunctiveQuery* query)
+      : dict_(dict), query_(query) {}
+
+  Term Resolve(const std::string& token) {
+    if (LooksLikeVariable(token)) {
+      std::string key = token[0] == '?' ? token.substr(1) : token;
+      auto it = vars_.find(key);
+      if (it != vars_.end()) return Term::Var(it->second);
+      VarId id = next_var_++;
+      vars_.emplace(key, id);
+      query_->SetVarName(id, key);
+      return Term::Var(id);
+    }
+    if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+      return Term::Const(dict_->Intern(token.substr(1, token.size() - 2),
+                                       rdf::TermKind::kLiteral));
+    }
+    if (token.size() >= 2 && token.front() == '<' && token.back() == '>') {
+      std::string_view uri(token);
+      uri = uri.substr(1, uri.size() - 2);
+      return Term::Const(dict_->Intern(rdf::NormalizeWellKnownUri(uri)));
+    }
+    if (token == "a") return Term::Const(rdf::kRdfType);
+    return Term::Const(dict_->Intern(token));
+  }
+
+  bool HasVar(const std::string& name) const {
+    std::string key = !name.empty() && name[0] == '?' ? name.substr(1) : name;
+    return vars_.contains(key);
+  }
+
+ private:
+  rdf::Dictionary* dict_;
+  ConjunctiveQuery* query_;
+  std::map<std::string, VarId> vars_;
+  VarId next_var_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseDatalog(std::string_view text,
+                                      rdf::Dictionary* dict) {
+  Tokenizer tok{text};
+  ConjunctiveQuery query;
+  TermBuilder terms(dict, &query);
+
+  Result<std::string> name = tok.ReadToken();
+  if (!name.ok()) return name.status();
+  query.set_name(*name);
+
+  if (!tok.Consume('(')) return Status::ParseError("expected '(' after name");
+  std::vector<Term> head;
+  if (!tok.Consume(')')) {
+    while (true) {
+      Result<std::string> t = tok.ReadToken();
+      if (!t.ok()) return t.status();
+      head.push_back(terms.Resolve(*t));
+      if (tok.Consume(')')) break;
+      if (!tok.Consume(',')) return Status::ParseError("expected ',' in head");
+    }
+  }
+  *query.mutable_head() = std::move(head);
+
+  if (!tok.Consume(':') || !tok.Consume('-')) {
+    return Status::ParseError("expected ':-'");
+  }
+
+  while (true) {
+    Result<std::string> t_name = tok.ReadToken();
+    if (!t_name.ok()) return t_name.status();
+    if (*t_name != "t") return Status::ParseError("expected atom 't(...)'");
+    if (!tok.Consume('(')) return Status::ParseError("expected '('");
+    Atom atom;
+    for (int i = 0; i < 3; ++i) {
+      Result<std::string> t = tok.ReadToken();
+      if (!t.ok()) return t.status();
+      atom.set(static_cast<rdf::Column>(i), terms.Resolve(*t));
+      if (i < 2 && !tok.Consume(','))
+        return Status::ParseError("expected ',' in atom");
+    }
+    if (!tok.Consume(')')) return Status::ParseError("expected ')'");
+    query.mutable_atoms()->push_back(atom);
+    if (!tok.Consume(',')) break;
+  }
+  tok.Consume('.');
+  if (!tok.AtEnd()) return Status::ParseError("trailing input after query");
+
+  RDFVIEWS_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+Result<std::vector<ConjunctiveQuery>> ParseDatalogProgram(
+    std::string_view text, rdf::Dictionary* dict) {
+  std::vector<ConjunctiveQuery> out;
+  std::string current;
+  auto flush = [&]() -> Status {
+    std::string_view body = Trim(current);
+    if (body.empty()) return Status::OK();
+    Result<ConjunctiveQuery> q = ParseDatalog(body, dict);
+    if (!q.ok()) return q.status();
+    out.push_back(std::move(*q));
+    current.clear();
+    return Status::OK();
+  };
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    current += std::string(line) + " ";
+    // A rule is complete when parentheses balance, it has ':-', and it does
+    // not end in a continuation comma.
+    int depth = 0;
+    for (char c : current) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+    }
+    std::string_view so_far = Trim(current);
+    bool continues = !so_far.empty() && so_far.back() == ',';
+    if (depth == 0 && !continues &&
+        current.find(":-") != std::string::npos) {
+      RDFVIEWS_RETURN_IF_ERROR(flush());
+    }
+  }
+  RDFVIEWS_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+Result<ConjunctiveQuery> ParseSparql(std::string_view text,
+                                     rdf::Dictionary* dict) {
+  Tokenizer tok{text};
+  ConjunctiveQuery query;
+  query.set_name("q");
+  TermBuilder terms(dict, &query);
+
+  if (!tok.ConsumeWord("SELECT"))
+    return Status::ParseError("expected SELECT");
+  std::vector<std::string> head_names;
+  while (tok.Peek() == '?') {
+    Result<std::string> v = tok.ReadToken();
+    if (!v.ok()) return v.status();
+    head_names.push_back(*v);
+  }
+  if (head_names.empty())
+    return Status::ParseError("SELECT needs at least one variable");
+  if (!tok.ConsumeWord("WHERE")) return Status::ParseError("expected WHERE");
+  if (!tok.Consume('{')) return Status::ParseError("expected '{'");
+
+  while (true) {
+    if (tok.Consume('}')) break;
+    Atom atom;
+    for (int i = 0; i < 3; ++i) {
+      Result<std::string> t = tok.ReadToken();
+      if (!t.ok()) return t.status();
+      atom.set(static_cast<rdf::Column>(i), terms.Resolve(*t));
+    }
+    query.mutable_atoms()->push_back(atom);
+    if (!tok.Consume('.')) {
+      if (tok.Consume('}')) break;
+      return Status::ParseError("expected '.' or '}' after triple pattern");
+    }
+  }
+  if (!tok.AtEnd()) return Status::ParseError("trailing input after '}'");
+
+  for (const std::string& name : head_names) {
+    if (!terms.HasVar(name)) {
+      return Status::ParseError("SELECT variable " + name +
+                                " not used in pattern");
+    }
+    ConjunctiveQuery probe;
+    query.mutable_head()->push_back(terms.Resolve(name));
+    (void)probe;
+  }
+  RDFVIEWS_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+}  // namespace rdfviews::cq

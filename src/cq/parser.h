@@ -1,0 +1,43 @@
+// Parsers for conjunctive queries: a datalog-style syntax and a minimal
+// SPARQL basic-graph-pattern syntax.
+//
+// Datalog style (the paper's notation):
+//   q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y),
+//               t(Y, hasPainted, Z)
+// Identifiers starting with an upper-case letter (or '?') are variables;
+// everything else is a constant interned in the dictionary. Quoted strings
+// are literals, <...> are URIs.
+//
+// SPARQL BGP style:
+//   SELECT ?x ?z WHERE { ?x hasPainted starryNight . ?x isParentOf ?y .
+//                        ?y hasPainted ?z }
+// The keyword `a` abbreviates rdf:type.
+#ifndef RDFVIEWS_CQ_PARSER_H_
+#define RDFVIEWS_CQ_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "cq/query.h"
+#include "rdf/dictionary.h"
+
+namespace rdfviews::cq {
+
+/// Parses one datalog-style query. New constants are interned in `dict`.
+Result<ConjunctiveQuery> ParseDatalog(std::string_view text,
+                                      rdf::Dictionary* dict);
+
+/// Parses a program: one datalog query per (possibly wrapped) rule; rules
+/// are separated by newlines terminating a complete rule. Lines starting
+/// with '#' or '%' are comments.
+Result<std::vector<ConjunctiveQuery>> ParseDatalogProgram(
+    std::string_view text, rdf::Dictionary* dict);
+
+/// Parses a SPARQL SELECT over a basic graph pattern.
+Result<ConjunctiveQuery> ParseSparql(std::string_view text,
+                                     rdf::Dictionary* dict);
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_PARSER_H_

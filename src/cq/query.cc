@@ -1,0 +1,228 @@
+#include "cq/query.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+namespace rdfviews::cq {
+
+namespace {
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+}  // namespace
+
+size_t ConjunctiveQuery::NumConstants() const {
+  size_t n = 0;
+  for (const Atom& a : atoms_) n += a.NumConstants();
+  return n;
+}
+
+std::vector<VarId> ConjunctiveQuery::BodyVars() const {
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (const Atom& a : atoms_) {
+    for (rdf::Column c : kColumns) {
+      Term t = a.at(c);
+      if (t.is_var() && seen.insert(t.var()).second) out.push_back(t.var());
+    }
+  }
+  return out;
+}
+
+std::vector<VarId> ConjunctiveQuery::HeadVars() const {
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (const Term& t : head_) {
+    if (t.is_var() && seen.insert(t.var()).second) out.push_back(t.var());
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::IsHeadVar(VarId v) const {
+  for (const Term& t : head_) {
+    if (t.is_var() && t.var() == v) return true;
+  }
+  return false;
+}
+
+std::vector<VarId> ConjunctiveQuery::ExistentialVars() const {
+  std::vector<VarId> out;
+  for (VarId v : BodyVars()) {
+    if (!IsHeadVar(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::unordered_map<VarId, std::vector<Occurrence>>
+ConjunctiveQuery::VarOccurrences() const {
+  std::unordered_map<VarId, std::vector<Occurrence>> out;
+  for (uint32_t i = 0; i < atoms_.size(); ++i) {
+    for (rdf::Column c : kColumns) {
+      Term t = atoms_[i].at(c);
+      if (t.is_var()) out[t.var()].push_back(Occurrence{i, c});
+    }
+  }
+  return out;
+}
+
+VarId ConjunctiveQuery::MaxVarId() const {
+  VarId max_id = 0;
+  for (const Term& t : head_) {
+    if (t.is_var()) max_id = std::max(max_id, t.var());
+  }
+  for (const Atom& a : atoms_) {
+    for (rdf::Column c : kColumns) {
+      Term t = a.at(c);
+      if (t.is_var()) max_id = std::max(max_id, t.var());
+    }
+  }
+  return max_id;
+}
+
+void ConjunctiveQuery::Substitute(VarId var, Term replacement) {
+  for (Term& t : head_) {
+    if (t.is_var() && t.var() == var) t = replacement;
+  }
+  for (Atom& a : atoms_) {
+    for (rdf::Column c : kColumns) {
+      Term t = a.at(c);
+      if (t.is_var() && t.var() == var) a.set(c, replacement);
+    }
+  }
+}
+
+void ConjunctiveQuery::OffsetVars(VarId offset) {
+  for (Term& t : head_) {
+    if (t.is_var()) t = Term::Var(t.var() + offset);
+  }
+  for (Atom& a : atoms_) {
+    for (rdf::Column c : kColumns) {
+      Term t = a.at(c);
+      if (t.is_var()) a.set(c, Term::Var(t.var() + offset));
+    }
+  }
+  var_names_.clear();
+}
+
+void ConjunctiveQuery::RenameVars(
+    const std::unordered_map<VarId, VarId>& mapping) {
+  auto rename = [&](Term t) {
+    if (!t.is_var()) return t;
+    auto it = mapping.find(t.var());
+    return it == mapping.end() ? t : Term::Var(it->second);
+  };
+  for (Term& t : head_) t = rename(t);
+  for (Atom& a : atoms_) {
+    for (rdf::Column c : kColumns) a.set(c, rename(a.at(c)));
+  }
+  var_names_.clear();
+}
+
+std::vector<std::vector<uint32_t>> ConjunctiveQuery::ConnectedComponents()
+    const {
+  const size_t n = atoms_.size();
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) { parent[find(a)] = find(b); };
+
+  std::unordered_map<VarId, uint32_t> first_atom_of_var;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (rdf::Column c : kColumns) {
+      Term t = atoms_[i].at(c);
+      if (!t.is_var()) continue;
+      auto [it, inserted] = first_atom_of_var.emplace(t.var(), i);
+      if (!inserted) unite(i, it->second);
+    }
+  }
+  std::unordered_map<uint32_t, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < n; ++i) groups[find(i)].push_back(i);
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ConjunctiveQuery> ConjunctiveQuery::SplitIntoConnectedQueries()
+    const {
+  std::vector<std::vector<uint32_t>> components = ConnectedComponents();
+  std::vector<ConjunctiveQuery> out;
+  int index = 0;
+  for (const std::vector<uint32_t>& component : components) {
+    ConjunctiveQuery q;
+    q.set_name(name_ + "_" + std::to_string(index++));
+    std::unordered_set<VarId> vars;
+    for (uint32_t i : component) {
+      q.mutable_atoms()->push_back(atoms_[i]);
+      for (rdf::Column c : kColumns) {
+        Term t = atoms_[i].at(c);
+        if (t.is_var()) vars.insert(t.var());
+      }
+    }
+    for (const Term& t : head_) {
+      if (t.is_var() && vars.contains(t.var())) {
+        q.mutable_head()->push_back(t);
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (atoms_.empty()) return Status::InvalidArgument("empty body");
+  std::unordered_set<VarId> body_vars;
+  for (VarId v : BodyVars()) body_vars.insert(v);
+  for (const Term& t : head_) {
+    if (t.is_var() && !body_vars.contains(t.var())) {
+      return Status::InvalidArgument("head variable not in body");
+    }
+  }
+  for (const Atom& a : atoms_) {
+    if (a.NumConstants() == 3) {
+      return Status::InvalidArgument(
+          "atom with three constants is not allowed (Cartesian product)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveQuery::TermToString(const Term& t,
+                                           const rdf::Dictionary* dict) const {
+  if (t.is_var()) {
+    auto it = var_names_.find(t.var());
+    if (it != var_names_.end()) return it->second;
+    return "X" + std::to_string(t.var());
+  }
+  if (dict != nullptr && t.constant() < dict->size()) {
+    return dict->Lexical(t.constant());
+  }
+  return "#" + std::to_string(t.constant());
+}
+
+std::string ConjunctiveQuery::ToString(const rdf::Dictionary* dict) const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << TermToString(head_[i], dict);
+  }
+  out << ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "t(" << TermToString(atoms_[i].s, dict) << ", "
+        << TermToString(atoms_[i].p, dict) << ", "
+        << TermToString(atoms_[i].o, dict) << ")";
+  }
+  return out.str();
+}
+
+}  // namespace rdfviews::cq

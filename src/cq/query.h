@@ -1,0 +1,112 @@
+// Conjunctive queries (Definition 2.1 of the paper): conjunctions of triple
+// atoms whose terms are head variables, existential variables, or constants.
+#ifndef RDFVIEWS_CQ_QUERY_H_
+#define RDFVIEWS_CQ_QUERY_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cq/atom.h"
+#include "rdf/dictionary.h"
+
+namespace rdfviews::cq {
+
+/// A conjunctive query (or view) over the triple table. The head is an
+/// ordered tuple of terms; reformulation (rules 5/6) can bind head variables
+/// to constants, so head terms are not restricted to variables.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::string name, std::vector<Term> head,
+                   std::vector<Atom> atoms)
+      : name_(std::move(name)),
+        head_(std::move(head)),
+        atoms_(std::move(atoms)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Term>& head() const { return head_; }
+  std::vector<Term>* mutable_head() { return &head_; }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::vector<Atom>* mutable_atoms() { return &atoms_; }
+
+  /// Number of atoms, len(q) in the paper.
+  size_t len() const { return atoms_.size(); }
+
+  /// Total number of constant occurrences in the body, #c in Table 3.
+  size_t NumConstants() const;
+
+  /// All distinct variables of the body, in first-occurrence order.
+  std::vector<VarId> BodyVars() const;
+
+  /// Head variables (constants in the head are skipped).
+  std::vector<VarId> HeadVars() const;
+
+  bool IsHeadVar(VarId v) const;
+
+  /// Variables of the body that are not head variables.
+  std::vector<VarId> ExistentialVars() const;
+
+  /// Occurrences of each body variable.
+  std::unordered_map<VarId, std::vector<Occurrence>> VarOccurrences() const;
+
+  /// Largest variable id used (head or body); 0 if none.
+  VarId MaxVarId() const;
+
+  /// Applies the substitution var -> term to head and body.
+  void Substitute(VarId var, Term replacement);
+
+  /// Renames every variable v to v + offset.
+  void OffsetVars(VarId offset);
+
+  /// Renames variables according to `mapping`; unmapped vars are unchanged.
+  void RenameVars(const std::unordered_map<VarId, VarId>& mapping);
+
+  /// Connected components of the body under shared variables; each entry is
+  /// a list of atom indices. A query "has a Cartesian product" iff there is
+  /// more than one component.
+  std::vector<std::vector<uint32_t>> ConnectedComponents() const;
+
+  bool HasCartesianProduct() const { return ConnectedComponents().size() > 1; }
+
+  /// Splits into one query per connected component; head variables are
+  /// distributed to the component that contains them.
+  std::vector<ConjunctiveQuery> SplitIntoConnectedQueries() const;
+
+  /// Checks well-formedness: non-empty body, head variables appear in the
+  /// body, no atom with three constants (they introduce Cartesian products,
+  /// see Sec. 3.3).
+  Status Validate() const;
+
+  /// Human-readable rendering; constants are shown through `dict` when
+  /// provided, otherwise as #id.
+  std::string ToString(const rdf::Dictionary* dict = nullptr) const;
+  std::string TermToString(const Term& t,
+                           const rdf::Dictionary* dict = nullptr) const;
+
+  /// Optional variable display names (parsers fill these in).
+  const std::map<VarId, std::string>& var_names() const { return var_names_; }
+  void SetVarName(VarId v, std::string name) {
+    var_names_[v] = std::move(name);
+  }
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) {
+    return a.head_ == b.head_ && a.atoms_ == b.atoms_;
+  }
+
+ private:
+  std::string name_ = "q";
+  std::vector<Term> head_;
+  std::vector<Atom> atoms_;
+  std::map<VarId, std::string> var_names_;
+};
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_QUERY_H_

@@ -1,0 +1,59 @@
+// Query terms: variables or RDF constants.
+#ifndef RDFVIEWS_CQ_TERM_H_
+#define RDFVIEWS_CQ_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "rdf/term.h"
+
+namespace rdfviews::cq {
+
+/// Identifier of a query variable. Within a view-selection state, variable
+/// ids are globally unique across views so that rewritings can join on them
+/// by name, exactly as the paper's natural joins do.
+using VarId = uint32_t;
+
+/// A term of a conjunctive query: either a variable or a constant.
+class Term {
+ public:
+  Term() : is_var_(true), value_(0) {}
+
+  static Term Var(VarId v) { return Term(true, v); }
+  static Term Const(rdf::TermId c) { return Term(false, c); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  VarId var() const {
+    RDFVIEWS_DCHECK(is_var_);
+    return value_;
+  }
+  rdf::TermId constant() const {
+    RDFVIEWS_DCHECK(!is_var_);
+    return value_;
+  }
+
+  friend auto operator<=>(const Term&, const Term&) = default;
+
+ private:
+  Term(bool is_var, uint32_t value) : is_var_(is_var), value_(value) {}
+
+  bool is_var_;
+  uint32_t value_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t seed = t.is_var() ? 0x55aa : 0xaa55;
+    HashCombine(&seed, t.is_var() ? t.var() : t.constant());
+    return seed;
+  }
+};
+
+}  // namespace rdfviews::cq
+
+#endif  // RDFVIEWS_CQ_TERM_H_

@@ -1,0 +1,160 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace rdfviews::engine {
+
+namespace {
+
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+
+using Bindings = std::unordered_map<cq::VarId, rdf::TermId>;
+
+rdf::Pattern BoundPattern(const cq::Atom& atom, const Bindings& bindings) {
+  rdf::Pattern pat;
+  rdf::TermId* fields[3] = {&pat.s, &pat.p, &pat.o};
+  for (int i = 0; i < 3; ++i) {
+    cq::Term t = atom.at(kColumns[i]);
+    if (t.is_const()) {
+      *fields[i] = t.constant();
+    } else {
+      auto it = bindings.find(t.var());
+      if (it != bindings.end()) *fields[i] = it->second;
+    }
+  }
+  return pat;
+}
+
+/// Extends bindings with the triple's values; false on mismatch (repeated
+/// variables inside the atom).
+bool BindTriple(const cq::Atom& atom, const rdf::Triple& triple,
+                Bindings* bindings, std::vector<cq::VarId>* newly_bound) {
+  rdf::TermId values[3] = {triple.s, triple.p, triple.o};
+  for (int i = 0; i < 3; ++i) {
+    cq::Term t = atom.at(kColumns[i]);
+    if (t.is_const()) continue;
+    auto [it, inserted] = bindings->emplace(t.var(), values[i]);
+    if (inserted) {
+      newly_bound->push_back(t.var());
+    } else if (it->second != values[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Frame {
+  const cq::ConjunctiveQuery* q;
+  const rdf::TripleStore* store;
+  const EvalOptions* options;
+  Relation* out;
+  Bindings bindings;
+  std::vector<bool> done;
+
+  void Emit() {
+    std::vector<rdf::TermId> row;
+    row.reserve(q->head().size());
+    for (const cq::Term& t : q->head()) {
+      if (t.is_const()) {
+        row.push_back(t.constant());
+      } else {
+        auto it = bindings.find(t.var());
+        RDFVIEWS_DCHECK(it != bindings.end());
+        row.push_back(it->second);
+      }
+    }
+    out->AppendRow(row);
+  }
+
+  void Recurse(size_t depth) {
+    if (depth == q->atoms().size()) {
+      Emit();
+      return;
+    }
+    // Choose the next atom.
+    size_t chosen = q->atoms().size();
+    if (options->order == EvalOptions::AtomOrder::kAsWritten) {
+      for (size_t i = 0; i < q->atoms().size(); ++i) {
+        if (!done[i]) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      uint64_t best_count = 0;
+      for (size_t i = 0; i < q->atoms().size(); ++i) {
+        if (done[i]) continue;
+        uint64_t count = store->Count(BoundPattern(q->atoms()[i], bindings));
+        if (chosen == q->atoms().size() || count < best_count) {
+          chosen = i;
+          best_count = count;
+        }
+      }
+    }
+    RDFVIEWS_DCHECK(chosen < q->atoms().size());
+    done[chosen] = true;
+    const cq::Atom& atom = q->atoms()[chosen];
+    store->Scan(BoundPattern(atom, bindings), [&](const rdf::Triple& t) {
+      std::vector<cq::VarId> newly_bound;
+      if (BindTriple(atom, t, &bindings, &newly_bound)) {
+        Recurse(depth + 1);
+      }
+      for (cq::VarId v : newly_bound) bindings.erase(v);
+      return true;
+    });
+    done[chosen] = false;
+  }
+};
+
+std::vector<cq::VarId> HeadColumnNames(const cq::ConjunctiveQuery& q) {
+  std::vector<cq::VarId> cols;
+  cols.reserve(q.head().size());
+  cq::VarId synthetic = rdf::kAnyTerm - 1;
+  for (const cq::Term& t : q.head()) {
+    cols.push_back(t.is_var() ? t.var() : synthetic--);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Relation EvaluateQuery(const cq::ConjunctiveQuery& q,
+                       const rdf::TripleStore& store,
+                       const EvalOptions& options) {
+  Relation out(HeadColumnNames(q));
+  Frame frame{&q, &store, &options, &out, {}, std::vector<bool>(q.len(), false)};
+  frame.Recurse(0);
+  if (options.dedup) out.DedupRows();
+  return out;
+}
+
+Relation EvaluateUnion(const cq::UnionOfQueries& ucq,
+                       const rdf::TripleStore& store,
+                       const EvalOptions& options) {
+  Relation out;
+  bool first = true;
+  for (const cq::ConjunctiveQuery& q : ucq.disjuncts()) {
+    Relation part = EvaluateQuery(q, store, options);
+    if (first) {
+      out = std::move(part);
+      first = false;
+      continue;
+    }
+    RDFVIEWS_CHECK_MSG(part.width() == out.width(),
+                       "UCQ disjuncts with differing arity");
+    for (size_t i = 0; i < part.NumRows(); ++i) out.AppendRow(part.Row(i));
+  }
+  out.DedupRows();
+  return out;
+}
+
+uint64_t CountQueryAnswers(const cq::ConjunctiveQuery& q,
+                           const rdf::TripleStore& store) {
+  return EvaluateQuery(q, store).NumRows();
+}
+
+}  // namespace rdfviews::engine

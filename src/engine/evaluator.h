@@ -1,0 +1,46 @@
+// Conjunctive-query evaluation over the triple store.
+//
+// The evaluator runs index nested loops with (optionally) greedy
+// most-selective-first atom ordering, binding variables left to right —
+// the standard BGP evaluation strategy of native RDF engines.
+#ifndef RDFVIEWS_ENGINE_EVALUATOR_H_
+#define RDFVIEWS_ENGINE_EVALUATOR_H_
+
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "engine/relation.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::engine {
+
+struct EvalOptions {
+  /// Greedy ordering picks, at every step, the atom with the smallest
+  /// matching count under the current bindings (RDF-3X-style); as-written
+  /// ordering evaluates atoms in syntactic order (a pessimistic optimizer,
+  /// used for the "plain triple table" baselines).
+  enum class AtomOrder { kGreedy, kAsWritten };
+  AtomOrder order = AtomOrder::kGreedy;
+  /// Apply set semantics to the output.
+  bool dedup = true;
+};
+
+/// Evaluates `q` over `store`. Output columns are the head terms in order;
+/// constant head terms yield constant columns. Column names are the head
+/// variable ids (constant positions get the name kAnyTerm-1 downward).
+Relation EvaluateQuery(const cq::ConjunctiveQuery& q,
+                       const rdf::TripleStore& store,
+                       const EvalOptions& options = {});
+
+/// Evaluates a union of queries; all disjuncts must share the head arity.
+/// The result is de-duplicated (set semantics).
+Relation EvaluateUnion(const cq::UnionOfQueries& ucq,
+                       const rdf::TripleStore& store,
+                       const EvalOptions& options = {});
+
+/// Number of distinct answers of `q` on `store`.
+uint64_t CountQueryAnswers(const cq::ConjunctiveQuery& q,
+                           const rdf::TripleStore& store);
+
+}  // namespace rdfviews::engine
+
+#endif  // RDFVIEWS_ENGINE_EVALUATOR_H_

@@ -1,0 +1,208 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rdfviews::engine {
+
+namespace {
+
+Relation ExecuteScan(const Expr& expr, const ViewResolver& views) {
+  Relation rel = views(expr.view_id());
+  RDFVIEWS_CHECK_MSG(rel.width() == expr.scan_columns().size(),
+                     "scan width mismatch for view " << expr.view_id());
+  rel.SetColumns(expr.scan_columns());
+  return rel;
+}
+
+Relation ExecuteSelect(const Expr& expr, const ViewResolver& views) {
+  Relation in = Execute(*expr.child(), views);
+  Relation out(in.columns());
+  // Pre-resolve column indexes.
+  struct ResolvedCondition {
+    int lhs;
+    bool is_const;
+    rdf::TermId value;
+    int rhs;
+  };
+  std::vector<ResolvedCondition> conds;
+  for (const Condition& c : expr.conditions()) {
+    ResolvedCondition rc;
+    rc.lhs = in.ColumnIndex(c.lhs);
+    RDFVIEWS_CHECK_MSG(rc.lhs >= 0, "selection on missing column X" << c.lhs);
+    rc.is_const = c.rhs_is_const;
+    rc.value = c.const_rhs;
+    rc.rhs = c.rhs_is_const ? -1 : in.ColumnIndex(c.var_rhs);
+    if (!c.rhs_is_const) {
+      RDFVIEWS_CHECK_MSG(rc.rhs >= 0,
+                         "selection on missing column X" << c.var_rhs);
+    }
+    conds.push_back(rc);
+  }
+  for (size_t r = 0; r < in.NumRows(); ++r) {
+    bool keep = true;
+    for (const ResolvedCondition& c : conds) {
+      rdf::TermId lhs = in.At(r, static_cast<size_t>(c.lhs));
+      rdf::TermId rhs =
+          c.is_const ? c.value : in.At(r, static_cast<size_t>(c.rhs));
+      if (lhs != rhs) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.AppendRow(in.Row(r));
+  }
+  return out;
+}
+
+Relation ExecuteProject(const Expr& expr, const ViewResolver& views) {
+  Relation in = Execute(*expr.child(), views);
+  Relation out(expr.project_columns());
+  std::vector<int> idx;
+  for (cq::VarId v : expr.project_columns()) {
+    int i = in.ColumnIndex(v);
+    RDFVIEWS_CHECK_MSG(i >= 0, "projection on missing column X" << v);
+    idx.push_back(i);
+  }
+  std::vector<rdf::TermId> row(idx.size());
+  for (size_t r = 0; r < in.NumRows(); ++r) {
+    for (size_t c = 0; c < idx.size(); ++c) {
+      row[c] = in.At(r, static_cast<size_t>(idx[c]));
+    }
+    out.AppendRow(row);
+  }
+  out.DedupRows();
+  return out;
+}
+
+Relation ExecuteJoin(const Expr& expr, const ViewResolver& views) {
+  Relation l = Execute(*expr.left(), views);
+  Relation r = Execute(*expr.right(), views);
+
+  // Join keys: natural (shared names) plus explicit pairs.
+  std::vector<std::pair<int, int>> keys;
+  for (size_t i = 0; i < l.columns().size(); ++i) {
+    int j = r.ColumnIndex(l.columns()[i]);
+    if (j >= 0) keys.emplace_back(static_cast<int>(i), j);
+  }
+  for (const auto& [lv, rv] : expr.join_pairs()) {
+    int i = l.ColumnIndex(lv);
+    int j = r.ColumnIndex(rv);
+    RDFVIEWS_CHECK_MSG(i >= 0 && j >= 0, "join pair on missing columns");
+    keys.emplace_back(i, j);
+  }
+
+  // Output schema: left columns then right columns that are not natural
+  // duplicates of a left column.
+  std::vector<cq::VarId> out_cols = l.columns();
+  std::vector<int> right_keep;
+  for (size_t j = 0; j < r.columns().size(); ++j) {
+    if (l.ColumnIndex(r.columns()[j]) < 0) {
+      right_keep.push_back(static_cast<int>(j));
+      out_cols.push_back(r.columns()[j]);
+    }
+  }
+  Relation out(out_cols);
+
+  // Hash the right side on its key columns.
+  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>, VectorHash>
+      hash;
+  std::vector<rdf::TermId> key(keys.size());
+  for (size_t rr = 0; rr < r.NumRows(); ++rr) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      key[k] = r.At(rr, static_cast<size_t>(keys[k].second));
+    }
+    hash[key].push_back(rr);
+  }
+
+  std::vector<rdf::TermId> row(out_cols.size());
+  for (size_t lr = 0; lr < l.NumRows(); ++lr) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      key[k] = l.At(lr, static_cast<size_t>(keys[k].first));
+    }
+    auto it = hash.find(key);
+    if (it == hash.end()) continue;
+    for (size_t rr : it->second) {
+      size_t c = 0;
+      for (size_t i = 0; i < l.width(); ++i) row[c++] = l.At(lr, i);
+      for (int j : right_keep) row[c++] = r.At(rr, static_cast<size_t>(j));
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+Relation ExecuteRename(const Expr& expr, const ViewResolver& views) {
+  Relation in = Execute(*expr.child(), views);
+  std::vector<cq::VarId> cols = in.columns();
+  for (cq::VarId& c : cols) {
+    auto it = expr.rename_map().find(c);
+    if (it != expr.rename_map().end()) c = it->second;
+  }
+  in.SetColumns(cols);
+  return in;
+}
+
+Relation ExecuteUnion(const Expr& expr, const ViewResolver& views) {
+  Relation out;
+  bool first = true;
+  for (const ExprPtr& c : expr.children()) {
+    Relation part = Execute(*c, views);
+    if (first) {
+      out = std::move(part);
+      first = false;
+      continue;
+    }
+    RDFVIEWS_CHECK_MSG(part.width() == out.width(),
+                       "union children with differing widths");
+    for (size_t i = 0; i < part.NumRows(); ++i) out.AppendRow(part.Row(i));
+  }
+  out.DedupRows();
+  return out;
+}
+
+Relation ExecuteArrange(const Expr& expr, const ViewResolver& views) {
+  Relation in = Execute(*expr.child(), views);
+  std::vector<cq::VarId> cols;
+  std::vector<int> src(expr.arrange_spec().size(), -1);
+  for (size_t i = 0; i < expr.arrange_spec().size(); ++i) {
+    const ArrangeCol& a = expr.arrange_spec()[i];
+    cols.push_back(a.output_name);
+    if (!a.is_const) {
+      src[i] = in.ColumnIndex(a.source);
+      RDFVIEWS_CHECK_MSG(src[i] >= 0, "arrange on missing column X"
+                                          << a.source);
+    }
+  }
+  Relation out(cols);
+  std::vector<rdf::TermId> row(cols.size());
+  for (size_t r = 0; r < in.NumRows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const ArrangeCol& a = expr.arrange_spec()[i];
+      row[i] = a.is_const ? a.value : in.At(r, static_cast<size_t>(src[i]));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+Relation Execute(const Expr& expr, const ViewResolver& views) {
+  switch (expr.kind()) {
+    case Expr::Kind::kScan: return ExecuteScan(expr, views);
+    case Expr::Kind::kSelect: return ExecuteSelect(expr, views);
+    case Expr::Kind::kProject: return ExecuteProject(expr, views);
+    case Expr::Kind::kJoin: return ExecuteJoin(expr, views);
+    case Expr::Kind::kRename: return ExecuteRename(expr, views);
+    case Expr::Kind::kUnion: return ExecuteUnion(expr, views);
+    case Expr::Kind::kArrange: return ExecuteArrange(expr, views);
+  }
+  RDFVIEWS_CHECK_MSG(false, "unreachable");
+  return Relation();
+}
+
+}  // namespace rdfviews::engine

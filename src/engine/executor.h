@@ -1,0 +1,21 @@
+// Executes rewriting expressions over materialized view relations.
+#ifndef RDFVIEWS_ENGINE_EXECUTOR_H_
+#define RDFVIEWS_ENGINE_EXECUTOR_H_
+
+#include <functional>
+
+#include "engine/expr.h"
+#include "engine/relation.h"
+
+namespace rdfviews::engine {
+
+/// Resolves a view id to its materialized relation.
+using ViewResolver = std::function<const Relation&(uint32_t view_id)>;
+
+/// Evaluates the expression bottom-up: hash joins for kJoin, filters for
+/// kSelect, set-semantics de-duplication at kProject / kUnion roots.
+Relation Execute(const Expr& expr, const ViewResolver& views);
+
+}  // namespace rdfviews::engine
+
+#endif  // RDFVIEWS_ENGINE_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#include "engine/materializer.h"
+
+#include "common/logging.h"
+
+namespace rdfviews::engine {
+
+Relation MaterializeView(const cq::ConjunctiveQuery& view,
+                         const std::vector<cq::VarId>& columns,
+                         const rdf::TripleStore& store,
+                         const EvalOptions& options) {
+  Relation rel = EvaluateQuery(view, store, options);
+  RDFVIEWS_CHECK_MSG(rel.width() == columns.size(),
+                     "view column count mismatch for " << view.name());
+  rel.SetColumns(columns);
+  return rel;
+}
+
+Relation MaterializeUnionView(const cq::UnionOfQueries& view,
+                              const std::vector<cq::VarId>& columns,
+                              const rdf::TripleStore& store,
+                              const EvalOptions& options) {
+  Relation rel = EvaluateUnion(view, store, options);
+  RDFVIEWS_CHECK_MSG(rel.width() == columns.size(),
+                     "union view column count mismatch for " << view.name());
+  rel.SetColumns(columns);
+  return rel;
+}
+
+}  // namespace rdfviews::engine

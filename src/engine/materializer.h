@@ -1,0 +1,28 @@
+// Materializes view definitions (CQs or UCQs) over the triple store.
+#ifndef RDFVIEWS_ENGINE_MATERIALIZER_H_
+#define RDFVIEWS_ENGINE_MATERIALIZER_H_
+
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "engine/evaluator.h"
+#include "engine/relation.h"
+
+namespace rdfviews::engine {
+
+/// Materializes a conjunctive view: evaluates its body and returns the
+/// relation with the given column names (must match head arity).
+Relation MaterializeView(const cq::ConjunctiveQuery& view,
+                         const std::vector<cq::VarId>& columns,
+                         const rdf::TripleStore& store,
+                         const EvalOptions& options = {});
+
+/// Materializes a union view (post-reformulation): the de-duplicated union
+/// of its disjuncts' extents.
+Relation MaterializeUnionView(const cq::UnionOfQueries& view,
+                              const std::vector<cq::VarId>& columns,
+                              const rdf::TripleStore& store,
+                              const EvalOptions& options = {});
+
+}  // namespace rdfviews::engine
+
+#endif  // RDFVIEWS_ENGINE_MATERIALIZER_H_

@@ -1,0 +1,88 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rdfviews::engine {
+
+namespace {
+
+/// Sorts row indices lexicographically by row content.
+std::vector<size_t> SortedRowIndices(const Relation& r) {
+  std::vector<size_t> idx(r.NumRows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    auto ra = r.Row(a);
+    auto rb = r.Row(b);
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(),
+                                        rb.end());
+  });
+  return idx;
+}
+
+}  // namespace
+
+void Relation::DedupRows() {
+  if (width() == 0) {
+    // 0-ary relation: at most one (empty) row; nothing to do.
+    return;
+  }
+  SortRows();
+  size_t n = NumRows();
+  size_t w = width();
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && std::equal(data_.begin() + static_cast<long>(i * w),
+                            data_.begin() + static_cast<long>((i + 1) * w),
+                            data_.begin() + static_cast<long>((out - 1) * w))) {
+      continue;
+    }
+    if (out != i) {
+      std::copy(data_.begin() + static_cast<long>(i * w),
+                data_.begin() + static_cast<long>((i + 1) * w),
+                data_.begin() + static_cast<long>(out * w));
+    }
+    ++out;
+  }
+  data_.resize(out * w);
+}
+
+void Relation::SortRows() {
+  if (width() == 0 || NumRows() <= 1) return;
+  std::vector<size_t> idx = SortedRowIndices(*this);
+  std::vector<rdf::TermId> sorted;
+  sorted.reserve(data_.size());
+  for (size_t i : idx) {
+    auto row = Row(i);
+    sorted.insert(sorted.end(), row.begin(), row.end());
+  }
+  data_ = std::move(sorted);
+}
+
+bool Relation::SameRowsAs(const Relation& other) const {
+  if (width() != other.width()) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.DedupRows();
+  b.DedupRows();
+  if (a.NumRows() != b.NumRows()) return false;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    auto ra = a.Row(i);
+    auto rb = b.Row(i);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "X" << columns_[i];
+  }
+  out << "] " << NumRows() << " rows";
+  return out.str();
+}
+
+}  // namespace rdfviews::engine

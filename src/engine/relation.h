@@ -1,0 +1,79 @@
+// Materialized relations: named columns of dictionary-encoded terms.
+#ifndef RDFVIEWS_ENGINE_RELATION_H_
+#define RDFVIEWS_ENGINE_RELATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "cq/term.h"
+#include "rdf/term.h"
+
+namespace rdfviews::engine {
+
+/// A relation with columns named by query variable ids and rows of term
+/// ids, stored row-major. Set semantics is enforced by DedupRows().
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<cq::VarId> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<cq::VarId>& columns() const { return columns_; }
+  size_t width() const { return columns_.size(); }
+  size_t NumRows() const {
+    return columns_.empty() ? (data_.empty() ? 0 : 1)
+                            : data_.size() / columns_.size();
+  }
+
+  /// Index of a column name, or -1.
+  int ColumnIndex(cq::VarId v) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void AppendRow(std::span<const rdf::TermId> row) {
+    RDFVIEWS_DCHECK(row.size() == width());
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+  rdf::TermId At(size_t row, size_t col) const {
+    return data_[row * width() + col];
+  }
+
+  std::span<const rdf::TermId> Row(size_t row) const {
+    return std::span<const rdf::TermId>(data_.data() + row * width(),
+                                        width());
+  }
+
+  void RenameColumn(size_t idx, cq::VarId name) { columns_[idx] = name; }
+  void SetColumns(std::vector<cq::VarId> columns) {
+    RDFVIEWS_CHECK(columns.size() == columns_.size() || data_.empty());
+    columns_ = std::move(columns);
+  }
+
+  /// Removes duplicate rows (set semantics); row order is not preserved.
+  void DedupRows();
+
+  /// Sorts rows lexicographically; useful for order-insensitive comparison.
+  void SortRows();
+
+  /// True if both relations have the same width and the same set of rows
+  /// (column names are ignored; comparison is positional).
+  bool SameRowsAs(const Relation& other) const;
+
+  size_t ByteSize() const { return data_.size() * sizeof(rdf::TermId); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<cq::VarId> columns_;
+  std::vector<rdf::TermId> data_;
+};
+
+}  // namespace rdfviews::engine
+
+#endif  // RDFVIEWS_ENGINE_RELATION_H_

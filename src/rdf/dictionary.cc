@@ -1,0 +1,56 @@
+#include "rdf/dictionary.h"
+
+#include "common/logging.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::rdf {
+
+Dictionary::Dictionary() {
+  // Order must match the constants in vocabulary.h.
+  Intern(kRdfTypeName);
+  Intern(kRdfsSubClassOfName);
+  Intern(kRdfsSubPropertyOfName);
+  Intern(kRdfsDomainName);
+  Intern(kRdfsRangeName);
+  Intern(kRdfsClassName);
+  Intern(kRdfPropertyName);
+  Intern(kRdfsResourceName);
+  RDFVIEWS_CHECK(size() == kFirstUserTerm);
+}
+
+TermId Dictionary::Intern(std::string_view lexical, TermKind kind) {
+  auto it = index_.find(std::string(lexical));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(lexicals_.size());
+  lexicals_.emplace_back(lexical);
+  kinds_.push_back(kind);
+  index_.emplace(lexicals_.back(), id);
+  return id;
+}
+
+Result<TermId> Dictionary::Find(std::string_view lexical) const {
+  auto it = index_.find(std::string(lexical));
+  if (it == index_.end()) {
+    return Status::NotFound("term not in dictionary: " + std::string(lexical));
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Lexical(TermId id) const {
+  RDFVIEWS_CHECK_MSG(id < lexicals_.size(), "bad term id " << id);
+  return lexicals_[id];
+}
+
+TermKind Dictionary::Kind(TermId id) const {
+  RDFVIEWS_CHECK(id < kinds_.size());
+  return kinds_[id];
+}
+
+double Dictionary::AverageWidth() const {
+  if (lexicals_.empty()) return 8.0;
+  size_t total = 0;
+  for (const std::string& s : lexicals_) total += s.size();
+  return static_cast<double>(total) / static_cast<double>(lexicals_.size());
+}
+
+}  // namespace rdfviews::rdf

@@ -1,0 +1,54 @@
+// Bidirectional string <-> TermId dictionary.
+//
+// Every RDF constant (URI, literal, blank node label) is interned once and
+// referred to by a dense TermId afterwards, as in dictionary-encoded triple
+// stores (RDF-3X, Hexastore, and the paper's PostgreSQL layout).
+#ifndef RDFVIEWS_RDF_DICTIONARY_H_
+#define RDFVIEWS_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfviews::rdf {
+
+/// Interns terms and serves both directions of the encoding. Not
+/// thread-safe; build phases are single-threaded by design.
+class Dictionary {
+ public:
+  /// Pre-interns the RDF/RDFS vocabulary at the ids fixed in vocabulary.h.
+  Dictionary();
+
+  /// Returns the id for `lexical`, interning it if new. The kind of an
+  /// already-interned term is not changed.
+  TermId Intern(std::string_view lexical, TermKind kind = TermKind::kIri);
+
+  /// Returns the id for `lexical` or NotFound.
+  Result<TermId> Find(std::string_view lexical) const;
+
+  /// Lexical form of an id. Requires id < size().
+  const std::string& Lexical(TermId id) const;
+
+  TermKind Kind(TermId id) const;
+
+  size_t size() const { return lexicals_.size(); }
+
+  /// Average lexical width (bytes) over all interned terms of each kind;
+  /// used by the cost model's space estimation.
+  double AverageWidth() const;
+
+ private:
+  std::vector<std::string> lexicals_;
+  std::vector<TermKind> kinds_;
+  // Keys are owned copies: views into lexicals_ would dangle when the
+  // vector reallocates (short strings live inside the string object).
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_DICTIONARY_H_

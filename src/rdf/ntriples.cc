@@ -1,0 +1,161 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::rdf {
+
+namespace {
+
+struct ParsedTerm {
+  std::string lexical;
+  TermKind kind;
+};
+
+// Parses one term starting at s[pos]; advances pos past the term.
+Status ParseTerm(std::string_view s, size_t* pos, ParsedTerm* out) {
+  while (*pos < s.size() && std::isspace(static_cast<unsigned char>(s[*pos])))
+    ++(*pos);
+  if (*pos >= s.size()) return Status::ParseError("unexpected end of line");
+  char c = s[*pos];
+  if (c == '<') {
+    size_t end = s.find('>', *pos + 1);
+    if (end == std::string_view::npos)
+      return Status::ParseError("unterminated URI");
+    std::string_view uri = s.substr(*pos + 1, end - *pos - 1);
+    out->lexical = std::string(NormalizeWellKnownUri(uri));
+    out->kind = TermKind::kIri;
+    *pos = end + 1;
+    return Status::OK();
+  }
+  if (c == '"') {
+    std::string value;
+    size_t i = *pos + 1;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': value.push_back('\n'); break;
+          case 't': value.push_back('\t'); break;
+          default: value.push_back(s[i]);
+        }
+      } else {
+        value.push_back(s[i]);
+      }
+      ++i;
+    }
+    if (i >= s.size()) return Status::ParseError("unterminated literal");
+    out->lexical = std::move(value);
+    out->kind = TermKind::kLiteral;
+    *pos = i + 1;
+    return Status::OK();
+  }
+  if (c == '_' && *pos + 1 < s.size() && s[*pos + 1] == ':') {
+    size_t end = *pos;
+    while (end < s.size() &&
+           !std::isspace(static_cast<unsigned char>(s[end])) && s[end] != '.')
+      ++end;
+    out->lexical = std::string(s.substr(*pos, end - *pos));
+    out->kind = TermKind::kBlank;
+    *pos = end;
+    return Status::OK();
+  }
+  // Compact URI or bare token up to whitespace.
+  size_t end = *pos;
+  while (end < s.size() && !std::isspace(static_cast<unsigned char>(s[end])))
+    ++end;
+  std::string_view token = s.substr(*pos, end - *pos);
+  if (token.empty() || token == ".")
+    return Status::ParseError("expected a term");
+  out->lexical = std::string(token);
+  out->kind = TermKind::kIri;
+  *pos = end;
+  return Status::OK();
+}
+
+std::string FormatTerm(const Dictionary& dict, TermId id) {
+  const std::string& lex = dict.Lexical(id);
+  switch (dict.Kind(id)) {
+    case TermKind::kIri: {
+      if (lex.find(':') != std::string::npos &&
+          !StartsWith(lex, "http")) {
+        return lex;  // compact URI
+      }
+      return "<" + lex + ">";
+    }
+    case TermKind::kLiteral: {
+      std::string out = "\"";
+      for (char c : lex) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') { out += "\\n"; continue; }
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    case TermKind::kBlank:
+      return lex;
+  }
+  return lex;
+}
+
+}  // namespace
+
+Result<size_t> ParseNTriples(std::string_view text, Dictionary* dict,
+                             TripleStore* store) {
+  size_t count = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t pos = 0;
+    ParsedTerm s, p, o;
+    Status st = ParseTerm(line, &pos, &s);
+    if (st.ok()) st = ParseTerm(line, &pos, &p);
+    if (st.ok()) st = ParseTerm(line, &pos, &o);
+    if (!st.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+    std::string_view rest = Trim(line.substr(pos));
+    if (!rest.empty() && rest != ".") {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": trailing garbage '" + std::string(rest) +
+                                "'");
+    }
+    store->Add(dict->Intern(s.lexical, s.kind), dict->Intern(p.lexical, p.kind),
+               dict->Intern(o.lexical, o.kind));
+    ++count;
+  }
+  return count;
+}
+
+Result<size_t> LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                                TripleStore* store) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNTriples(buffer.str(), dict, store);
+}
+
+std::string WriteNTriples(const TripleStore& store, const Dictionary& dict) {
+  std::ostringstream out;
+  for (const Triple& t : store.triples()) {
+    out << FormatTerm(dict, t.s) << " " << FormatTerm(dict, t.p) << " "
+        << FormatTerm(dict, t.o) << " .\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdfviews::rdf

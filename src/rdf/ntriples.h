@@ -1,0 +1,36 @@
+// Line-oriented N-Triples-style reader and writer.
+//
+// Accepted term syntax per position:
+//   <uri>         URI (well-known rdf:/rdfs: URIs are normalized)
+//   prefix:name   compact URI, kept verbatim
+//   _:label       blank node
+//   "literal"     literal (no datatype/lang handling; escapes \" \\ \n \t)
+// Each statement ends with '.', '#' starts a comment line.
+#ifndef RDFVIEWS_RDF_NTRIPLES_H_
+#define RDFVIEWS_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::rdf {
+
+/// Parses N-Triples text into `store` (does not Build() it), interning terms
+/// in `dict`. Returns the number of triples read.
+Result<size_t> ParseNTriples(std::string_view text, Dictionary* dict,
+                             TripleStore* store);
+
+/// Loads an N-Triples file.
+Result<size_t> LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                                TripleStore* store);
+
+/// Serializes the store back to N-Triples-style text.
+std::string WriteNTriples(const TripleStore& store, const Dictionary& dict);
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_NTRIPLES_H_

@@ -1,0 +1,89 @@
+#include "rdf/saturation.h"
+
+#include <unordered_map>
+
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::rdf {
+
+namespace {
+
+/// Memoized per-property derived facts: the super-properties, domain and
+/// range closures, computed once per distinct property.
+struct PropertyInfo {
+  std::vector<TermId> supers;
+  std::vector<TermId> domains;
+  std::vector<TermId> ranges;
+};
+
+}  // namespace
+
+TripleStore Saturate(const TripleStore& data, const Schema& schema,
+                     const SaturationOptions& options,
+                     const Dictionary* dict) {
+  TripleStore out;
+  std::unordered_map<TermId, PropertyInfo> prop_cache;
+  std::unordered_map<TermId, std::vector<TermId>> class_cache;
+
+  auto property_info = [&](TermId p) -> const PropertyInfo& {
+    auto it = prop_cache.find(p);
+    if (it != prop_cache.end()) return it->second;
+    PropertyInfo info;
+    info.supers = schema.SuperPropertiesOf(p);
+    info.domains = schema.DomainClosure(p);
+    info.ranges = schema.RangeClosure(p);
+    return prop_cache.emplace(p, std::move(info)).first->second;
+  };
+  auto super_classes = [&](TermId c) -> const std::vector<TermId>& {
+    auto it = class_cache.find(c);
+    if (it != class_cache.end()) return it->second;
+    return class_cache.emplace(c, schema.SuperClassesOf(c)).first->second;
+  };
+
+  for (const Triple& t : data.triples()) {
+    out.Add(t);
+    if (t.p == kRdfType) {
+      for (TermId super : super_classes(t.o)) {
+        out.Add(t.s, kRdfType, super);
+      }
+      continue;
+    }
+    // Skip schema-statement triples if any are stored among the data; their
+    // semantics is handled through `schema`.
+    if (t.p == kRdfsSubClassOf || t.p == kRdfsSubPropertyOf ||
+        t.p == kRdfsDomain || t.p == kRdfsRange) {
+      continue;
+    }
+    const PropertyInfo& info = property_info(t.p);
+    for (TermId super : info.supers) out.Add(t.s, super, t.o);
+    for (TermId c : info.domains) out.Add(t.s, kRdfType, c);
+    for (TermId c : info.ranges) out.Add(t.o, kRdfType, c);
+  }
+
+  if (options.include_schema_triples) {
+    for (const Triple& t : schema.ToTriples()) out.Add(t);
+    // Transitive closure of the class / property hierarchies.
+    for (TermId c : schema.classes()) {
+      for (TermId super : schema.SuperClassesOf(c)) {
+        out.Add(c, kRdfsSubClassOf, super);
+      }
+    }
+    for (TermId p : schema.properties()) {
+      for (TermId super : schema.SuperPropertiesOf(p)) {
+        out.Add(p, kRdfsSubPropertyOf, super);
+      }
+      for (TermId c : schema.DomainClosure(p)) out.Add(p, kRdfsDomain, c);
+      for (TermId c : schema.RangeClosure(p)) out.Add(p, kRdfsRange, c);
+    }
+  }
+
+  out.Build(dict);
+  return out;
+}
+
+uint64_t CountImplicitTriples(const TripleStore& data, const Schema& schema) {
+  TripleStore saturated = Saturate(data, schema);
+  return saturated.size() - data.size();
+}
+
+}  // namespace rdfviews::rdf

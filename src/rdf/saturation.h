@@ -1,0 +1,36 @@
+// Database saturation with respect to the RDFS entailment rules of
+// Section 4.1 / Table 1 of the paper.
+#ifndef RDFVIEWS_RDF_SATURATION_H_
+#define RDFVIEWS_RDF_SATURATION_H_
+
+#include "rdf/schema.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::rdf {
+
+/// Options controlling saturation.
+struct SaturationOptions {
+  /// Also add the (transitively closed) schema statements themselves as
+  /// triples to the saturated store. The view-selection pipeline works on
+  /// instance triples, so this defaults to off.
+  bool include_schema_triples = false;
+};
+
+/// Returns a new store containing `data` plus all implicit triples entailed
+/// by `schema` under the RDFS rules:
+///   (s, p, o), p ⊑p p'            ⊢ (s, p', o)
+///   (s, p, o), p has domain c     ⊢ (s, rdf:type, c)
+///   (s, p, o), p has range  c     ⊢ (o, rdf:type, c)
+///   (s, rdf:type, c), c ⊑ c'      ⊢ (s, rdf:type, c')
+/// using the inheritance-closed schema so a single derivation pass reaches
+/// the fixpoint.
+TripleStore Saturate(const TripleStore& data, const Schema& schema,
+                     const SaturationOptions& options = {},
+                     const Dictionary* dict = nullptr);
+
+/// Number of implicit triples saturation would add (|saturate(D,S)| - |D|).
+uint64_t CountImplicitTriples(const TripleStore& data, const Schema& schema);
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_SATURATION_H_

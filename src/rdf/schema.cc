@@ -1,0 +1,209 @@
+#include "rdf/schema.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::rdf {
+
+namespace {
+const std::vector<TermId> kEmpty;
+}  // namespace
+
+void Schema::AddStatement(SchemaStatementKind kind, TermId subject,
+                          TermId object) {
+  SchemaStatement st{kind, subject, object};
+  if (!statement_set_.insert(st).second) return;
+  statements_.push_back(st);
+  switch (kind) {
+    case SchemaStatementKind::kSubClassOf:
+      super_classes_[subject].push_back(object);
+      sub_classes_[object].push_back(subject);
+      NoteClass(subject);
+      NoteClass(object);
+      break;
+    case SchemaStatementKind::kSubPropertyOf:
+      super_properties_[subject].push_back(object);
+      sub_properties_[object].push_back(subject);
+      NoteProperty(subject);
+      NoteProperty(object);
+      break;
+    case SchemaStatementKind::kDomain:
+      domains_[subject].push_back(object);
+      NoteProperty(subject);
+      NoteClass(object);
+      break;
+    case SchemaStatementKind::kRange:
+      ranges_[subject].push_back(object);
+      NoteProperty(subject);
+      NoteClass(object);
+      break;
+  }
+}
+
+void Schema::AddSubClassOf(TermId sub, TermId super) {
+  if (sub == super) return;
+  AddStatement(SchemaStatementKind::kSubClassOf, sub, super);
+}
+
+void Schema::AddSubPropertyOf(TermId sub, TermId super) {
+  if (sub == super) return;
+  AddStatement(SchemaStatementKind::kSubPropertyOf, sub, super);
+}
+
+void Schema::AddDomain(TermId property, TermId clazz) {
+  AddStatement(SchemaStatementKind::kDomain, property, clazz);
+}
+
+void Schema::AddRange(TermId property, TermId clazz) {
+  AddStatement(SchemaStatementKind::kRange, property, clazz);
+}
+
+Schema Schema::FromTriples(const TripleStore& store) {
+  Schema schema;
+  store.Scan(Pattern{kAnyTerm, kRdfsSubClassOf, kAnyTerm},
+             [&](const Triple& t) {
+               schema.AddSubClassOf(t.s, t.o);
+               return true;
+             });
+  store.Scan(Pattern{kAnyTerm, kRdfsSubPropertyOf, kAnyTerm},
+             [&](const Triple& t) {
+               schema.AddSubPropertyOf(t.s, t.o);
+               return true;
+             });
+  store.Scan(Pattern{kAnyTerm, kRdfsDomain, kAnyTerm}, [&](const Triple& t) {
+    schema.AddDomain(t.s, t.o);
+    return true;
+  });
+  store.Scan(Pattern{kAnyTerm, kRdfsRange, kAnyTerm}, [&](const Triple& t) {
+    schema.AddRange(t.s, t.o);
+    return true;
+  });
+  return schema;
+}
+
+std::vector<Triple> Schema::ToTriples() const {
+  std::vector<Triple> out;
+  out.reserve(statements_.size());
+  for (const SchemaStatement& st : statements_) {
+    TermId p = kRdfsSubClassOf;
+    switch (st.kind) {
+      case SchemaStatementKind::kSubClassOf: p = kRdfsSubClassOf; break;
+      case SchemaStatementKind::kSubPropertyOf: p = kRdfsSubPropertyOf; break;
+      case SchemaStatementKind::kDomain: p = kRdfsDomain; break;
+      case SchemaStatementKind::kRange: p = kRdfsRange; break;
+    }
+    out.push_back(Triple{st.subject, p, st.object});
+  }
+  return out;
+}
+
+void Schema::NoteClass(TermId c) {
+  if (class_set_.insert(c).second) {
+    classes_.push_back(c);
+    std::sort(classes_.begin(), classes_.end());
+  }
+}
+
+void Schema::NoteProperty(TermId p) {
+  if (property_set_.insert(p).second) {
+    properties_.push_back(p);
+    std::sort(properties_.begin(), properties_.end());
+  }
+}
+
+const std::vector<TermId>& Schema::Lookup(const AdjacencyMap& map, TermId k) {
+  auto it = map.find(k);
+  if (it == map.end()) return kEmpty;
+  return it->second;
+}
+
+const std::vector<TermId>& Schema::DirectSubClasses(TermId c) const {
+  return Lookup(sub_classes_, c);
+}
+const std::vector<TermId>& Schema::DirectSubProperties(TermId p) const {
+  return Lookup(sub_properties_, p);
+}
+const std::vector<TermId>& Schema::DirectDomains(TermId p) const {
+  return Lookup(domains_, p);
+}
+const std::vector<TermId>& Schema::DirectRanges(TermId p) const {
+  return Lookup(ranges_, p);
+}
+
+std::vector<TermId> Schema::Reachable(const AdjacencyMap& edges, TermId from) {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  std::deque<TermId> frontier(Lookup(edges, from).begin(),
+                              Lookup(edges, from).end());
+  while (!frontier.empty()) {
+    TermId cur = frontier.front();
+    frontier.pop_front();
+    if (!seen.insert(cur).second) continue;
+    if (cur != from) out.push_back(cur);
+    for (TermId next : Lookup(edges, cur)) {
+      if (!seen.contains(next)) frontier.push_back(next);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TermId> Schema::SuperClassesOf(TermId c) const {
+  return Reachable(super_classes_, c);
+}
+std::vector<TermId> Schema::SubClassesOf(TermId c) const {
+  return Reachable(sub_classes_, c);
+}
+std::vector<TermId> Schema::SuperPropertiesOf(TermId p) const {
+  return Reachable(super_properties_, p);
+}
+std::vector<TermId> Schema::SubPropertiesOf(TermId p) const {
+  return Reachable(sub_properties_, p);
+}
+
+std::vector<TermId> Schema::DomainClosure(TermId p) const {
+  std::unordered_set<TermId> acc;
+  std::vector<TermId> props = SuperPropertiesOf(p);
+  props.push_back(p);
+  for (TermId prop : props) {
+    for (TermId c : Lookup(domains_, prop)) {
+      if (acc.insert(c).second) {
+        for (TermId super : SuperClassesOf(c)) acc.insert(super);
+      }
+    }
+  }
+  std::vector<TermId> out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TermId> Schema::RangeClosure(TermId p) const {
+  std::unordered_set<TermId> acc;
+  std::vector<TermId> props = SuperPropertiesOf(p);
+  props.push_back(p);
+  for (TermId prop : props) {
+    for (TermId c : Lookup(ranges_, prop)) {
+      if (acc.insert(c).second) {
+        for (TermId super : SuperClassesOf(c)) acc.insert(super);
+      }
+    }
+  }
+  std::vector<TermId> out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Schema::IsSubClassOf(TermId sub, TermId super) const {
+  std::vector<TermId> supers = SuperClassesOf(sub);
+  return std::binary_search(supers.begin(), supers.end(), super);
+}
+
+bool Schema::IsSubPropertyOf(TermId sub, TermId super) const {
+  std::vector<TermId> supers = SuperPropertiesOf(sub);
+  return std::binary_search(supers.begin(), supers.end(), super);
+}
+
+}  // namespace rdfviews::rdf

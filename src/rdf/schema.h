@@ -1,0 +1,117 @@
+// RDF Schema model: the four semantic relationships of Table 1 of the paper
+// (class inclusion, property inclusion, domain typing, range typing).
+#ifndef RDFVIEWS_RDF_SCHEMA_H_
+#define RDFVIEWS_RDF_SCHEMA_H_
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::rdf {
+
+/// Kind of an RDFS statement.
+enum class SchemaStatementKind : uint8_t {
+  kSubClassOf,
+  kSubPropertyOf,
+  kDomain,
+  kRange,
+};
+
+/// One RDFS statement, e.g. (painting, rdfs:subClassOf, picture).
+struct SchemaStatement {
+  SchemaStatementKind kind;
+  TermId subject;  // class or property
+  TermId object;   // class or property
+
+  friend auto operator<=>(const SchemaStatement&,
+                          const SchemaStatement&) = default;
+};
+
+/// An RDF Schema: a set of statements plus derived lookup structures.
+///
+/// "Direct" accessors return the asserted statements only; the *Closure*
+/// accessors return the transitively / inheritance-closed relationships used
+/// by saturation. Reflexive pairs are never stored.
+class Schema {
+ public:
+  Schema() = default;
+
+  void AddSubClassOf(TermId sub, TermId super);
+  void AddSubPropertyOf(TermId sub, TermId super);
+  void AddDomain(TermId property, TermId clazz);
+  void AddRange(TermId property, TermId clazz);
+
+  /// Extracts the RDFS statements present in `store` (triples whose property
+  /// is one of the four RDFS properties).
+  static Schema FromTriples(const TripleStore& store);
+
+  /// The schema statements as RDF triples.
+  std::vector<Triple> ToTriples() const;
+
+  const std::vector<SchemaStatement>& statements() const {
+    return statements_;
+  }
+  size_t num_statements() const { return statements_.size(); }
+
+  /// All classes mentioned in the schema, sorted (used by rule 5).
+  const std::vector<TermId>& classes() const { return classes_; }
+  /// All properties mentioned in the schema, sorted (used by rule 6).
+  const std::vector<TermId>& properties() const { return properties_; }
+
+  /// Direct (asserted) relationships.
+  const std::vector<TermId>& DirectSubClasses(TermId c) const;
+  const std::vector<TermId>& DirectSubProperties(TermId p) const;
+  const std::vector<TermId>& DirectDomains(TermId p) const;
+  const std::vector<TermId>& DirectRanges(TermId p) const;
+
+  /// Strict transitive closures (do not include the argument itself).
+  std::vector<TermId> SuperClassesOf(TermId c) const;
+  std::vector<TermId> SubClassesOf(TermId c) const;
+  std::vector<TermId> SuperPropertiesOf(TermId p) const;
+  std::vector<TermId> SubPropertiesOf(TermId p) const;
+
+  /// Inheritance-closed domain/range typing: every class c such that some
+  /// super-property of p (or p itself) has a domain (range) class whose
+  /// super-closure contains c.
+  std::vector<TermId> DomainClosure(TermId p) const;
+  std::vector<TermId> RangeClosure(TermId p) const;
+
+  bool IsSubClassOf(TermId sub, TermId super) const;      // strict
+  bool IsSubPropertyOf(TermId sub, TermId super) const;   // strict
+
+  bool empty() const { return statements_.empty(); }
+
+ private:
+  using AdjacencyMap = std::unordered_map<TermId, std::vector<TermId>>;
+
+  void AddStatement(SchemaStatementKind kind, TermId subject, TermId object);
+  static std::vector<TermId> Reachable(const AdjacencyMap& edges, TermId from);
+  static const std::vector<TermId>& Lookup(const AdjacencyMap& map, TermId k);
+  void NoteClass(TermId c);
+  void NoteProperty(TermId p);
+
+  std::vector<SchemaStatement> statements_;
+  std::set<SchemaStatement> statement_set_;  // de-duplication
+
+  AdjacencyMap super_classes_;    // sub -> direct supers
+  AdjacencyMap sub_classes_;      // super -> direct subs
+  AdjacencyMap super_properties_;
+  AdjacencyMap sub_properties_;
+  AdjacencyMap domains_;          // property -> direct domain classes
+  AdjacencyMap ranges_;           // property -> direct range classes
+
+  std::vector<TermId> classes_;
+  std::vector<TermId> properties_;
+  std::unordered_set<TermId> class_set_;
+  std::unordered_set<TermId> property_set_;
+};
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_SCHEMA_H_

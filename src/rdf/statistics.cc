@@ -1,0 +1,35 @@
+#include "rdf/statistics.h"
+
+namespace rdfviews::rdf {
+
+uint64_t Statistics::CountPattern(const Pattern& pattern) const {
+  auto it = cache_.find(pattern);
+  if (it != cache_.end()) return it->second;
+  uint64_t count = CountPatternUncached(pattern);
+  cache_.emplace(pattern, count);
+  return count;
+}
+
+uint64_t Statistics::CountPatternUncached(const Pattern& pattern) const {
+  return store_->Count(pattern);
+}
+
+void Statistics::CollectWithRelaxations(const Pattern& pattern) const {
+  // Enumerate all subsets of the bound positions.
+  TermId values[3] = {pattern.s, pattern.p, pattern.o};
+  int bound[3];
+  int num_bound = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (values[i] != kAnyTerm) bound[num_bound++] = i;
+  }
+  for (int mask = 0; mask < (1 << num_bound); ++mask) {
+    Pattern relaxed;
+    TermId* fields[3] = {&relaxed.s, &relaxed.p, &relaxed.o};
+    for (int j = 0; j < num_bound; ++j) {
+      if (mask & (1 << j)) *fields[bound[j]] = values[bound[j]];
+    }
+    CountPattern(relaxed);
+  }
+}
+
+}  // namespace rdfviews::rdf

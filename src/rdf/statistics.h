@@ -1,0 +1,59 @@
+// Workload-driven cardinality statistics (Section 3.3 of the paper).
+//
+// The paper counts, exactly, the triples matching each query atom and each
+// relaxation of it obtained by dropping constants; 1-atom views with 1 or 2
+// constants therefore have exact cardinalities. We additionally expose
+// store-wide per-column distinct counts, min/max and average widths, which
+// the cost model combines with the textbook uniformity/independence
+// assumptions.
+#ifndef RDFVIEWS_RDF_STATISTICS_H_
+#define RDFVIEWS_RDF_STATISTICS_H_
+
+#include <unordered_map>
+
+#include "rdf/triple_store.h"
+
+namespace rdfviews::rdf {
+
+/// Base statistics provider, measuring the store it is given. Subclasses
+/// may override CountPatternUncached to reflect implicit triples without
+/// saturating the database (see reform::ReformulatedStatistics).
+class Statistics {
+ public:
+  explicit Statistics(const TripleStore* store) : store_(store) {}
+  virtual ~Statistics() = default;
+
+  /// Exact count of triples matching the pattern, cached.
+  uint64_t CountPattern(const Pattern& pattern) const;
+
+  /// Total triples in the (virtual) measured database.
+  virtual uint64_t TotalTriples() const { return store_->size(); }
+
+  virtual uint64_t DistinctValues(Column col) const {
+    return store_->column_stats(col).distinct;
+  }
+
+  double AvgWidth(Column col) const {
+    return store_->column_stats(col).avg_width;
+  }
+
+  const TripleStore& store() const { return *store_; }
+
+  /// Pre-populates the cache with the counts for `pattern` and all its
+  /// relaxations (constants dropped in every combination), as the paper's
+  /// statistics-gathering phase does for every workload atom.
+  void CollectWithRelaxations(const Pattern& pattern) const;
+
+  size_t cache_size() const { return cache_.size(); }
+
+ protected:
+  virtual uint64_t CountPatternUncached(const Pattern& pattern) const;
+
+ private:
+  const TripleStore* store_;
+  mutable std::unordered_map<Pattern, uint64_t, PatternHash> cache_;
+};
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_STATISTICS_H_

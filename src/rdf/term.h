@@ -1,0 +1,39 @@
+// Dictionary-encoded RDF terms.
+#ifndef RDFVIEWS_RDF_TERM_H_
+#define RDFVIEWS_RDF_TERM_H_
+
+#include <cstdint>
+
+namespace rdfviews::rdf {
+
+/// Dictionary-encoded identifier of an RDF term (URI, literal or blank node).
+using TermId = uint32_t;
+
+/// Wildcard / "no term" sentinel used in patterns.
+inline constexpr TermId kAnyTerm = 0xFFFFFFFFu;
+
+/// Lexical category of a term. Blank nodes act as existential constants:
+/// unlike relational NULLs they join with each other (Sec. 2 of the paper).
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// Triple-table column, in subject/property/object order.
+enum class Column : uint8_t { kS = 0, kP = 1, kO = 2 };
+
+inline constexpr int kNumColumns = 3;
+
+inline const char* ColumnName(Column c) {
+  switch (c) {
+    case Column::kS: return "s";
+    case Column::kP: return "p";
+    case Column::kO: return "o";
+  }
+  return "?";
+}
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_TERM_H_

@@ -1,0 +1,72 @@
+// The RDF triple and triple patterns over dictionary-encoded terms.
+#ifndef RDFVIEWS_RDF_TRIPLE_H_
+#define RDFVIEWS_RDF_TRIPLE_H_
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+#include "common/hash.h"
+#include "rdf/term.h"
+
+namespace rdfviews::rdf {
+
+/// A well-formed RDF triple (subject, property, object).
+struct Triple {
+  TermId s = 0;
+  TermId p = 0;
+  TermId o = 0;
+
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+
+  TermId at(Column c) const {
+    switch (c) {
+      case Column::kS: return s;
+      case Column::kP: return p;
+      case Column::kO: return o;
+    }
+    return kAnyTerm;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t seed = 0;
+    HashCombine(&seed, t.s);
+    HashCombine(&seed, t.p);
+    HashCombine(&seed, t.o);
+    return seed;
+  }
+};
+
+/// A constants-only access pattern; kAnyTerm marks a wildcard position.
+struct Pattern {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  friend auto operator<=>(const Pattern&, const Pattern&) = default;
+
+  bool Matches(const Triple& t) const {
+    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
+           (o == kAnyTerm || o == t.o);
+  }
+
+  int NumConstants() const {
+    return (s != kAnyTerm) + (p != kAnyTerm) + (o != kAnyTerm);
+  }
+};
+
+struct PatternHash {
+  size_t operator()(const Pattern& p) const {
+    size_t seed = 1;
+    HashCombine(&seed, p.s);
+    HashCombine(&seed, p.p);
+    HashCombine(&seed, p.o);
+    return seed;
+  }
+};
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_TRIPLE_H_

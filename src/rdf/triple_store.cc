@@ -1,0 +1,159 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace rdfviews::rdf {
+
+namespace {
+
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+
+struct OspLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+ColumnStats ComputeColumnStats(const std::vector<Triple>& triples, Column col,
+                               const Dictionary* dict) {
+  ColumnStats cs;
+  if (triples.empty()) return cs;
+  std::vector<TermId> values;
+  values.reserve(triples.size());
+  for (const Triple& t : triples) values.push_back(t.at(col));
+  std::sort(values.begin(), values.end());
+  cs.min = values.front();
+  cs.max = values.back();
+  uint64_t distinct = 0;
+  size_t width_total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == 0 || values[i] != values[i - 1]) ++distinct;
+    if (dict != nullptr) width_total += dict->Lexical(values[i]).size();
+  }
+  cs.distinct = distinct;
+  cs.avg_width = dict != nullptr
+                     ? static_cast<double>(width_total) /
+                           static_cast<double>(values.size())
+                     : 8.0;
+  return cs;
+}
+
+}  // namespace
+
+void TripleStore::Build(const Dictionary* dict) {
+  std::sort(spo_.begin(), spo_.end());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+  stats_[0] = ComputeColumnStats(spo_, Column::kS, dict);
+  stats_[1] = ComputeColumnStats(spo_, Column::kP, dict);
+  stats_[2] = ComputeColumnStats(spo_, Column::kO, dict);
+  built_ = true;
+}
+
+std::span<const Triple> TripleStore::Range(const Pattern& q) const {
+  RDFVIEWS_CHECK_MSG(built_, "TripleStore::Build() must be called first");
+  const bool bs = q.s != kAnyTerm;
+  const bool bp = q.p != kAnyTerm;
+  const bool bo = q.o != kAnyTerm;
+
+  auto make_span = [](auto first, auto last) {
+    return std::span<const Triple>(&*first, static_cast<size_t>(last - first));
+  };
+
+  if (!bs && !bp && !bo) return std::span<const Triple>(spo_);
+
+  if (bs && !bo) {
+    // (s,?,?) and (s,p,?) and (s,p,o) via SPO.
+    Triple lo{q.s, bp ? q.p : 0, bo ? q.o : 0};
+    Triple hi{q.s, bp ? q.p : kAnyTerm, bo ? q.o : kAnyTerm};
+    auto first = std::lower_bound(spo_.begin(), spo_.end(), lo);
+    auto last = std::upper_bound(spo_.begin(), spo_.end(), hi);
+    if (first == last) return {};
+    return make_span(first, last);
+  }
+  if (bp && !bs) {
+    // (?,p,?) and (?,p,o) via POS.
+    Triple lo{0, q.p, bo ? q.o : 0};
+    Triple hi{kAnyTerm, q.p, bo ? q.o : kAnyTerm};
+    auto first = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
+    auto last = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
+    if (first == last) return {};
+    return make_span(first, last);
+  }
+  if (bo) {
+    // (?,?,o), (s,?,o) and (s,p,o) via OSP.
+    Triple lo{bs ? q.s : 0, bp ? q.p : 0, q.o};
+    Triple hi{bs ? q.s : kAnyTerm, bp ? q.p : kAnyTerm, q.o};
+    auto first = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
+    auto last = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
+    if (first == last) return {};
+    return make_span(first, last);
+  }
+  return std::span<const Triple>(spo_);
+}
+
+uint64_t TripleStore::Count(const Pattern& q) const {
+  // Range() is exact for every mask except (s,?,o) handled via OSP where the
+  // middle position bound makes the range exact as well; all masks are exact.
+  std::span<const Triple> range = Range(q);
+  const bool exact = [&] {
+    const bool bs = q.s != kAnyTerm;
+    const bool bp = q.p != kAnyTerm;
+    const bool bo = q.o != kAnyTerm;
+    // Ranges are computed on a prefix of the sort order; masks that bind a
+    // non-prefix subset (e.g. (s,?,o) in SPO) were routed to an order where
+    // they *are* a prefix, except the fully-bound case which is exact too.
+    if (bs && bp && !bo) return true;   // SPO prefix (s,p)
+    if (bs && !bp && !bo) return true;  // SPO prefix (s)
+    if (!bs && bp) return true;         // POS prefix (p) or (p,o)
+    if (bo && !bp) return true;         // OSP prefix (o) or (o,s)
+    if (bs && bp && bo) return true;    // point lookup
+    if (!bs && !bp && !bo) return true;
+    return false;
+  }();
+  if (exact) return range.size();
+  uint64_t n = 0;
+  for (const Triple& t : range) {
+    if (q.Matches(t)) ++n;
+  }
+  return n;
+}
+
+void TripleStore::Scan(const Pattern& q,
+                       const std::function<bool(const Triple&)>& fn) const {
+  std::span<const Triple> range = Range(q);
+  for (const Triple& t : range) {
+    if (!q.Matches(t)) continue;
+    if (!fn(t)) return;
+  }
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  RDFVIEWS_CHECK(built_);
+  return std::binary_search(spo_.begin(), spo_.end(), t);
+}
+
+TripleStore TripleStore::UnionWith(const std::vector<Triple>& extra,
+                                   const Dictionary* dict) const {
+  TripleStore out;
+  for (const Triple& t : spo_) out.Add(t);
+  for (const Triple& t : extra) out.Add(t);
+  out.Build(dict);
+  return out;
+}
+
+}  // namespace rdfviews::rdf

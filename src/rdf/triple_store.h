@@ -1,0 +1,81 @@
+// In-memory dictionary-encoded triple store with multi-order indexes.
+//
+// The store keeps the triple set sorted in the SPO, POS and OSP orders,
+// which together answer every access pattern (any subset of {s,p,o} bound)
+// with a binary-searched contiguous range — the same service the paper gets
+// from PostgreSQL's column-combination indexes, and the basis of our
+// RDF-3X / Hexastore simulator mode.
+#ifndef RDFVIEWS_RDF_TRIPLE_STORE_H_
+#define RDFVIEWS_RDF_TRIPLE_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdfviews::rdf {
+
+/// Per-column statistics computed when the store is built.
+struct ColumnStats {
+  uint64_t distinct = 0;
+  TermId min = 0;
+  TermId max = 0;
+  double avg_width = 8.0;  // average lexical width in bytes
+};
+
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Buffers a triple. Duplicates are eliminated by Build().
+  void Add(const Triple& t) { spo_.push_back(t); built_ = false; }
+  void Add(TermId s, TermId p, TermId o) { Add(Triple{s, p, o}); }
+
+  /// Sorts, de-duplicates and builds the secondary orders and statistics.
+  /// `dict` (optional) is used to compute average lexical widths.
+  void Build(const Dictionary* dict = nullptr);
+
+  bool built() const { return built_; }
+  size_t size() const { return spo_.size(); }
+
+  /// Exact number of triples matching the pattern. O(log n).
+  uint64_t Count(const Pattern& pattern) const;
+
+  /// Invokes `fn` for every triple matching the pattern, in index order.
+  /// Iteration stops early if `fn` returns false.
+  void Scan(const Pattern& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+
+  /// Matching triples as a contiguous span of the best-suited order.
+  /// The span's triples are *stored* triples; for patterns with 1-2 bound
+  /// positions the span is exactly the matching range.
+  std::span<const Triple> Range(const Pattern& pattern) const;
+
+  bool Contains(const Triple& t) const;
+
+  const std::vector<Triple>& triples() const { return spo_; }
+
+  const ColumnStats& column_stats(Column c) const {
+    return stats_[static_cast<int>(c)];
+  }
+
+  /// Builds a new store containing this store's triples plus `extra`,
+  /// de-duplicated.
+  TripleStore UnionWith(const std::vector<Triple>& extra,
+                        const Dictionary* dict = nullptr) const;
+
+ private:
+  std::vector<Triple> spo_;  // primary copy, sorted (s, p, o)
+  std::vector<Triple> pos_;  // sorted (p, o, s)
+  std::vector<Triple> osp_;  // sorted (o, s, p)
+  std::array<ColumnStats, kNumColumns> stats_;
+  bool built_ = false;
+};
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_TRIPLE_STORE_H_

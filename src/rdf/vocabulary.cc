@@ -1,0 +1,42 @@
+#include "rdf/vocabulary.h"
+
+#include <array>
+#include <string_view>
+#include <utility>
+
+namespace rdfviews::rdf {
+
+namespace {
+constexpr std::string_view kRdfNs =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+constexpr std::string_view kRdfsNs = "http://www.w3.org/2000/01/rdf-schema#";
+
+constexpr std::array<std::pair<std::string_view, std::string_view>, 8>
+    kMappings = {{
+        {"type", kRdfTypeName},
+        {"Property", kRdfPropertyName},
+        {"subClassOf", kRdfsSubClassOfName},
+        {"subPropertyOf", kRdfsSubPropertyOfName},
+        {"domain", kRdfsDomainName},
+        {"range", kRdfsRangeName},
+        {"Class", kRdfsClassName},
+        {"Resource", kRdfsResourceName},
+    }};
+}  // namespace
+
+std::string_view NormalizeWellKnownUri(std::string_view uri) {
+  std::string_view local;
+  if (uri.substr(0, kRdfNs.size()) == kRdfNs) {
+    local = uri.substr(kRdfNs.size());
+  } else if (uri.substr(0, kRdfsNs.size()) == kRdfsNs) {
+    local = uri.substr(kRdfsNs.size());
+  } else {
+    return uri;
+  }
+  for (const auto& [name, compact] : kMappings) {
+    if (local == name) return compact;
+  }
+  return uri;
+}
+
+}  // namespace rdfviews::rdf

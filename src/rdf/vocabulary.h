@@ -1,0 +1,40 @@
+// Well-known RDF / RDFS vocabulary, pre-interned in every Dictionary.
+#ifndef RDFVIEWS_RDF_VOCABULARY_H_
+#define RDFVIEWS_RDF_VOCABULARY_H_
+
+#include <string_view>
+
+#include "rdf/term.h"
+
+namespace rdfviews::rdf {
+
+// Compact lexical forms used throughout the library. The N-Triples loader
+// maps the full W3C URIs onto these.
+inline constexpr std::string_view kRdfTypeName = "rdf:type";
+inline constexpr std::string_view kRdfsSubClassOfName = "rdfs:subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOfName =
+    "rdfs:subPropertyOf";
+inline constexpr std::string_view kRdfsDomainName = "rdfs:domain";
+inline constexpr std::string_view kRdfsRangeName = "rdfs:range";
+inline constexpr std::string_view kRdfsClassName = "rdfs:Class";
+inline constexpr std::string_view kRdfPropertyName = "rdf:Property";
+inline constexpr std::string_view kRdfsResourceName = "rdfs:Resource";
+
+// Stable TermIds assigned by Dictionary's constructor, in this order.
+inline constexpr TermId kRdfType = 0;
+inline constexpr TermId kRdfsSubClassOf = 1;
+inline constexpr TermId kRdfsSubPropertyOf = 2;
+inline constexpr TermId kRdfsDomain = 3;
+inline constexpr TermId kRdfsRange = 4;
+inline constexpr TermId kRdfsClass = 5;
+inline constexpr TermId kRdfProperty = 6;
+inline constexpr TermId kRdfsResource = 7;
+inline constexpr TermId kFirstUserTerm = 8;
+
+/// Maps a full W3C URI to its compact form, or returns the input unchanged.
+/// Recognizes the rdf: and rdfs: namespaces for the terms above.
+std::string_view NormalizeWellKnownUri(std::string_view uri);
+
+}  // namespace rdfviews::rdf
+
+#endif  // RDFVIEWS_RDF_VOCABULARY_H_

@@ -1,0 +1,36 @@
+// Umbrella header: the public API of the rdfviews library.
+//
+// The paper's pipeline, end to end:
+//   1. Load / generate data  -> rdf::Dictionary + rdf::TripleStore
+//   2. (optional) RDF Schema -> rdf::Schema, rdf::Saturate
+//   3. Parse the workload    -> cq::ParseDatalog / cq::ParseSparql
+//   4. Recommend views       -> vsel::ViewSelector::Recommend
+//   5. Materialize & answer  -> vsel::Materialize, vsel::AnswerQuery
+#ifndef RDFVIEWS_RDFVIEWS_H_
+#define RDFVIEWS_RDFVIEWS_H_
+
+#include "common/status.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "engine/evaluator.h"
+#include "engine/executor.h"
+#include "engine/materializer.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/saturation.h"
+#include "rdf/schema.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+#include "reform/reformulate.h"
+#include "vsel/cost_model.h"
+#include "vsel/search.h"
+#include "vsel/selector.h"
+#include "vsel/state.h"
+#include "vsel/transitions.h"
+#include "workload/barton.h"
+#include "workload/generator.h"
+
+#endif  // RDFVIEWS_RDFVIEWS_H_

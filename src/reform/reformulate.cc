@@ -1,0 +1,205 @@
+#include "reform/reformulate.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::reform {
+
+namespace {
+
+using cq::Atom;
+using cq::ConjunctiveQuery;
+using cq::Term;
+using cq::VarId;
+
+/// Applies one backward rule step: returns all queries derivable from `q`
+/// by one rule application on one atom.
+std::vector<ConjunctiveQuery> OneStep(const ConjunctiveQuery& q,
+                                      const rdf::Schema& schema,
+                                      size_t* rule_applications) {
+  std::vector<ConjunctiveQuery> out;
+  VarId fresh = q.MaxVarId() + 1;
+
+  for (size_t gi = 0; gi < q.atoms().size(); ++gi) {
+    const Atom& g = q.atoms()[gi];
+    const bool p_is_type =
+        g.p.is_const() && g.p.constant() == rdf::kRdfType;
+
+    // Rule 1: g = t(s, rdf:type, c2), c1 subClassOf c2 in S.
+    if (p_is_type && g.o.is_const()) {
+      for (rdf::TermId c1 : schema.DirectSubClasses(g.o.constant())) {
+        ConjunctiveQuery next = q;
+        (*next.mutable_atoms())[gi].o = Term::Const(c1);
+        out.push_back(std::move(next));
+        ++*rule_applications;
+      }
+    }
+    // Rule 2: g = t(s, p2, o), p1 subPropertyOf p2 in S.
+    if (g.p.is_const() && !p_is_type) {
+      for (rdf::TermId p1 : schema.DirectSubProperties(g.p.constant())) {
+        ConjunctiveQuery next = q;
+        (*next.mutable_atoms())[gi].p = Term::Const(p1);
+        out.push_back(std::move(next));
+        ++*rule_applications;
+      }
+    }
+    // Rule 3: g = t(s, rdf:type, c), p domain c in S  =>  t(s, p, X).
+    // Rule 4: g = t(o, rdf:type, c), p range  c in S  =>  t(X, p, o).
+    if (p_is_type && g.o.is_const()) {
+      rdf::TermId c = g.o.constant();
+      for (rdf::TermId p : schema.properties()) {
+        for (rdf::TermId dc : schema.DirectDomains(p)) {
+          if (dc != c) continue;
+          ConjunctiveQuery next = q;
+          Atom& atom = (*next.mutable_atoms())[gi];
+          atom.p = Term::Const(p);
+          atom.o = Term::Var(fresh);
+          out.push_back(std::move(next));
+          ++*rule_applications;
+        }
+        for (rdf::TermId rc : schema.DirectRanges(p)) {
+          if (rc != c) continue;
+          ConjunctiveQuery next = q;
+          Atom& atom = (*next.mutable_atoms())[gi];
+          atom.o = atom.s;  // the typed term moves to the object position
+          atom.s = Term::Var(fresh);
+          atom.p = Term::Const(p);
+          out.push_back(std::move(next));
+          ++*rule_applications;
+        }
+      }
+    }
+    // Rule 5: g = t(s, rdf:type, X)  =>  t(s, rdf:type, ci) σ[X/ci].
+    if (p_is_type && g.o.is_var()) {
+      VarId x = g.o.var();
+      for (rdf::TermId ci : schema.classes()) {
+        ConjunctiveQuery next = q;
+        next.Substitute(x, Term::Const(ci));
+        out.push_back(std::move(next));
+        ++*rule_applications;
+      }
+    }
+    // Rule 6: g = t(s, X, o)  =>  t(s, pi, o) σ[X/pi]  and
+    //                             t(s, rdf:type, o) σ[X/rdf:type].
+    if (g.p.is_var()) {
+      VarId x = g.p.var();
+      for (rdf::TermId pi : schema.properties()) {
+        ConjunctiveQuery next = q;
+        next.Substitute(x, Term::Const(pi));
+        out.push_back(std::move(next));
+        ++*rule_applications;
+      }
+      ConjunctiveQuery next = q;
+      next.Substitute(x, Term::Const(rdf::kRdfType));
+      out.push_back(std::move(next));
+      ++*rule_applications;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReformulationResult Reformulate(const cq::ConjunctiveQuery& q,
+                                const rdf::Schema& schema,
+                                const ReformulationOptions& options) {
+  ReformulationResult result;
+  result.ucq = cq::UnionOfQueries(q.name());
+  std::deque<ConjunctiveQuery> worklist;
+  result.ucq.Add(q);
+  worklist.push_back(q);
+
+  while (!worklist.empty()) {
+    ConjunctiveQuery cur = std::move(worklist.front());
+    worklist.pop_front();
+    for (ConjunctiveQuery& next :
+         OneStep(cur, schema, &result.rule_applications)) {
+      if (result.ucq.size() >= options.max_queries) {
+        result.complete = false;
+        return result;
+      }
+      next.set_name(q.name());
+      if (result.ucq.Add(next)) {
+        worklist.push_back(result.ucq.disjuncts().back());
+      }
+    }
+  }
+  return result;
+}
+
+ReformulationResult ReformulateAtom(const rdf::Pattern& pattern,
+                                    const rdf::Schema& schema,
+                                    const ReformulationOptions& options) {
+  ConjunctiveQuery q;
+  q.set_name("atom");
+  Atom atom;
+  std::vector<Term> head;
+  VarId next_var = 0;
+  auto make_term = [&](rdf::TermId value) {
+    if (value != rdf::kAnyTerm) return Term::Const(value);
+    Term t = Term::Var(next_var++);
+    head.push_back(t);
+    return t;
+  };
+  atom.s = make_term(pattern.s);
+  atom.p = make_term(pattern.p);
+  atom.o = make_term(pattern.o);
+  q.mutable_atoms()->push_back(atom);
+  *q.mutable_head() = head;
+  return Reformulate(q, schema, options);
+}
+
+double TheoremBound(const rdf::Schema& schema, size_t num_atoms) {
+  double s = static_cast<double>(schema.num_statements());
+  double per_atom = 2.0 * s * s;
+  double bound = 1.0;
+  for (size_t i = 0; i < num_atoms; ++i) bound *= per_atom;
+  return bound;
+}
+
+uint64_t ReformulatedStatistics::CountPatternUncached(
+    const rdf::Pattern& pattern) const {
+  ReformulationResult reform = ReformulateAtom(pattern, *schema_);
+  RDFVIEWS_CHECK_MSG(reform.complete,
+                     "atom reformulation exceeded the query budget");
+  // Count distinct projections of the union's matches. Every disjunct is a
+  // single atom, so its matches are direct index scans.
+  std::unordered_set<std::vector<rdf::TermId>, VectorHash> distinct;
+  for (const cq::ConjunctiveQuery& disjunct : reform.ucq.disjuncts()) {
+    RDFVIEWS_DCHECK(disjunct.atoms().size() == 1);
+    const Atom& atom = disjunct.atoms()[0];
+    rdf::Pattern scan = atom.ToPattern();
+    // Repeated variables inside the atom require a post-filter.
+    const bool s_o_equal = atom.s.is_var() && atom.o.is_var() &&
+                           atom.s.var() == atom.o.var();
+    store().Scan(scan, [&](const rdf::Triple& t) {
+      if (s_o_equal && t.s != t.o) return true;
+      std::vector<rdf::TermId> row;
+      row.reserve(disjunct.head().size());
+      for (const Term& h : disjunct.head()) {
+        if (h.is_const()) {
+          row.push_back(h.constant());
+          continue;
+        }
+        // Locate the variable inside the atom (first occurrence).
+        if (atom.s.is_var() && atom.s.var() == h.var()) {
+          row.push_back(t.s);
+        } else if (atom.p.is_var() && atom.p.var() == h.var()) {
+          row.push_back(t.p);
+        } else {
+          RDFVIEWS_DCHECK(atom.o.is_var() && atom.o.var() == h.var());
+          row.push_back(t.o);
+        }
+      }
+      distinct.insert(std::move(row));
+      return true;
+    });
+  }
+  return distinct.size();
+}
+
+}  // namespace rdfviews::reform

@@ -1,0 +1,80 @@
+// Algorithm 1 of the paper: Reformulate(q, S).
+//
+// Given a conjunctive query q and an RDF Schema S, produces a union of
+// conjunctive queries ucq such that for any database D:
+//   evaluate(q, saturate(D, S)) = evaluate(ucq, D)          (Theorem 4.2)
+// The rules (Figure 2), applied backward on query atoms:
+//   (1) t(s, rdf:type, c2) <= t(s, rdf:type, c1)   if c1 subClassOf c2
+//   (2) t(s, p2, o)        <= t(s, p1, o)          if p1 subPropertyOf p2
+//   (3) t(s, rdf:type, c)  <= ∃X t(s, p, X)        if p domain c
+//   (4) t(o, rdf:type, c)  <= ∃X t(X, p, o)        if p range c
+//   (5) t(s, rdf:type, X)  <= t(s, rdf:type, ci)σ[X/ci]  for every class ci
+//   (6) t(s, X, o)         <= t(s, pi, o)σ[X/pi]   for every property pi,
+//                             and t(s, rdf:type, o)σ[X/rdf:type]
+// Unlike the DL-fragment algorithms in the literature, rules 5 and 6 handle
+// atoms with *variables* in class/property position (Sec. 7).
+#ifndef RDFVIEWS_REFORM_REFORMULATE_H_
+#define RDFVIEWS_REFORM_REFORMULATE_H_
+
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "rdf/schema.h"
+#include "rdf/statistics.h"
+
+namespace rdfviews::reform {
+
+struct ReformulationOptions {
+  /// Safety valve on the number of generated (distinct) queries; Theorem 4.1
+  /// bounds the output by (2|S|^2)^m, which can explode for large m.
+  size_t max_queries = 1000000;
+};
+
+struct ReformulationResult {
+  cq::UnionOfQueries ucq;
+  /// False if max_queries stopped the fixpoint early.
+  bool complete = true;
+  /// Number of rule applications performed.
+  size_t rule_applications = 0;
+};
+
+/// Runs Algorithm 1. The returned union always contains q itself.
+ReformulationResult Reformulate(const cq::ConjunctiveQuery& q,
+                                const rdf::Schema& schema,
+                                const ReformulationOptions& options = {});
+
+/// Reformulates a single triple pattern (a 1-atom query whose head projects
+/// the pattern's variable positions), as the paper's post-reformulation does
+/// for every statistics atom. All disjuncts are 1-atom queries.
+ReformulationResult ReformulateAtom(const rdf::Pattern& pattern,
+                                    const rdf::Schema& schema,
+                                    const ReformulationOptions& options = {});
+
+/// Theorem 4.1 upper bound on |Reformulate(q, S)|: (2|S|^2)^m.
+double TheoremBound(const rdf::Schema& schema, size_t num_atoms);
+
+/// Statistics provider for the paper's post-reformulation: the cardinality
+/// of every pattern is computed as |Reformulate(pattern, S)| evaluated on
+/// the *original* store with set semantics — identical, by Theorem 4.2, to
+/// the count on the saturated store, without saturating anything.
+class ReformulatedStatistics : public rdf::Statistics {
+ public:
+  ReformulatedStatistics(const rdf::TripleStore* store,
+                         const rdf::Schema* schema)
+      : rdf::Statistics(store), schema_(schema) {}
+
+  /// Total "virtual" triples (the saturated size), i.e. the count of the
+  /// all-wildcard pattern.
+  uint64_t TotalTriples() const override {
+    return CountPattern(rdf::Pattern{});
+  }
+
+ protected:
+  uint64_t CountPatternUncached(const rdf::Pattern& pattern) const override;
+
+ private:
+  const rdf::Schema* schema_;
+};
+
+}  // namespace rdfviews::reform
+
+#endif  // RDFVIEWS_REFORM_REFORMULATE_H_

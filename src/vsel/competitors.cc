@@ -1,0 +1,256 @@
+#include "vsel/competitors.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "cq/canonical.h"
+#include "vsel/search.h"
+#include "vsel/search_internal.h"
+#include "vsel/transitions.h"
+
+namespace rdfviews::vsel {
+
+namespace {
+
+using internal::SearchContext;
+
+/// How many combined states Pruning / Heuristic keep per combination round
+/// (cost-sorted). Greedy keeps 1. The paper's Pruning keeps every
+/// non-dominated state (and explodes); 16 is the scaled-down analogue that
+/// matches our seconds-scale budgets (see DESIGN.md).
+constexpr size_t kPruningKeep = 16;
+/// Cost factor over the round's best beyond which states are discarded.
+constexpr double kPruneFactor = 100.0;
+
+/// Extracts the 1-query initial state for workload query `qi` from S0:
+/// the views its rewriting scans, with disjoint var / id ranges per query.
+State ExtractSingleQueryState(const State& s0, size_t qi) {
+  State out;
+  std::unordered_set<uint32_t> used;
+  s0.rewritings()[qi]->ForEachScan(
+      [&](const engine::Expr& scan) { used.insert(scan.view_id()); });
+  for (const View& v : s0.views()) {
+    if (used.contains(v.id)) out.mutable_views()->push_back(v);
+  }
+  out.mutable_rewritings()->push_back(s0.rewritings()[qi]);
+  // Disjoint allocation ranges so that merged states never collide.
+  out.set_next_var(s0.next_var() + static_cast<cq::VarId>(qi) * 1000000u);
+  out.set_next_view_id(s0.next_view_id() +
+                       static_cast<uint32_t>(qi) * 100000u);
+  out.Touch();
+  return out;
+}
+
+/// Per-query exploration as [21] describes it: "all possible edge removals,
+/// then all possible view breaks" — a staged closure SC* then JC* then VB*,
+/// with the relational original's transition repertoire (partition view
+/// breaks, one orientation per join edge).
+///
+/// Returns false only when the *state* budget (the simulated heap) is
+/// exhausted. Running out of time merely truncates the exploration: the
+/// paper reports the [21] strategies as anytime on small workloads ("the
+/// runs did not finish") but dying on memory for larger ones.
+bool ClosePerQuerySpace(SearchContext* ctx, const State& start,
+                        std::vector<State>* out) {
+  TransitionOptions topts = ctx->topts;
+  topts.vb_overlap = 0;
+  topts.jc_both_orientations = false;
+
+  std::unordered_set<std::string> local_seen;
+  local_seen.insert(start.Signature());
+  out->push_back(start);
+
+  const TransitionKind stages[3] = {TransitionKind::kSC, TransitionKind::kJC,
+                                    TransitionKind::kVB};
+  for (TransitionKind kind : stages) {
+    // Close every state discovered so far (including earlier stages'
+    // output) under this stage's transition.
+    std::deque<State> frontier(out->begin(), out->end());
+    while (!frontier.empty()) {
+      if (ctx->OutOfBudget()) return !ctx->stats.memory_exhausted;
+      State s = std::move(frontier.front());
+      frontier.pop_front();
+      for (const Transition& t : EnumerateTransitions(s, kind, topts)) {
+        if (ctx->OutOfBudget()) return !ctx->stats.memory_exhausted;
+        State next = ApplyTransition(s, t);
+        ++ctx->stats.created;
+        ++ctx->stats.transitions_applied;
+        if (!local_seen.insert(next.Signature()).second) {
+          ++ctx->stats.duplicates;
+          continue;
+        }
+        // The global `seen` map is the memory ledger.
+        ctx->seen.emplace(next.Signature(), 0);
+        out->push_back(next);
+        frontier.push_back(std::move(next));
+      }
+      ++ctx->stats.explored;
+    }
+  }
+  return true;
+}
+
+State MergeStates(const State& a, const State& b) {
+  State out = a;
+  for (const View& v : b.views()) out.mutable_views()->push_back(v);
+  for (const engine::ExprPtr& r : b.rewritings()) {
+    out.mutable_rewritings()->push_back(r);
+  }
+  out.set_next_var(std::max(a.next_var(), b.next_var()));
+  out.set_next_view_id(std::max(a.next_view_id(), b.next_view_id()));
+  out.Touch();
+  return out;
+}
+
+struct Scored {
+  State state;
+  double cost;
+};
+
+/// Keeps the `keep` cheapest states within `factor` of the best.
+void PruneScored(std::vector<Scored>* states, size_t keep, double factor) {
+  if (states->empty()) return;
+  std::sort(states->begin(), states->end(),
+            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+  double limit = states->front().cost * factor;
+  size_t cut = states->size();
+  for (size_t i = 0; i < states->size(); ++i) {
+    if (i >= keep || (*states)[i].cost > limit) {
+      cut = i;
+      break;
+    }
+  }
+  states->resize(cut);
+}
+
+}  // namespace
+
+Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
+                                         const State& s0,
+                                         const CostModel& cost_model,
+                                         const HeuristicOptions& heuristics,
+                                         const SearchLimits& limits) {
+  SearchContext ctx(&cost_model, heuristics, limits);
+  ctx.Init(s0);
+  const size_t num_queries = s0.rewritings().size();
+
+  // Phase 1: per-query exhaustive spaces.
+  std::vector<std::vector<State>> per_query(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    State sq = ExtractSingleQueryState(s0, qi);
+    if (!ClosePerQuerySpace(&ctx, sq, &per_query[qi])) {
+      (void)ctx.Finish(false);
+      return Status::ResourceExhausted(
+          std::string(StrategyName(strategy)) +
+          ": per-query state space exceeded the memory budget before a full "
+          "candidate set was produced");
+    }
+  }
+
+  // Heuristic: shrink each per-query list to its min-cost state plus states
+  // offering fusion opportunities with other queries' min-cost states.
+  if (strategy == StrategyKind::kHeuristic21) {
+    // Body-canonical strings of views in every query's min-cost state.
+    std::vector<size_t> min_idx(num_queries, 0);
+    std::vector<std::unordered_set<std::string>> min_bodies(num_queries);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      double best = 0;
+      for (size_t i = 0; i < per_query[qi].size(); ++i) {
+        double c = cost_model.StateCost(per_query[qi][i]);
+        if (i == 0 || c < best) {
+          best = c;
+          min_idx[qi] = i;
+        }
+      }
+      for (const View& v : per_query[qi][min_idx[qi]].views()) {
+        min_bodies[qi].insert(
+            cq::CanonicalString(v.def, /*include_head=*/false));
+      }
+    }
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      std::unordered_set<std::string> others;
+      for (size_t qj = 0; qj < num_queries; ++qj) {
+        if (qj == qi) continue;
+        others.insert(min_bodies[qj].begin(), min_bodies[qj].end());
+      }
+      std::vector<State> kept;
+      for (size_t i = 0; i < per_query[qi].size(); ++i) {
+        bool fusable = false;
+        for (const View& v : per_query[qi][i].views()) {
+          if (others.contains(
+                  cq::CanonicalString(v.def, /*include_head=*/false))) {
+            fusable = true;
+            break;
+          }
+        }
+        if (i == min_idx[qi] || fusable) {
+          kept.push_back(per_query[qi][i]);
+        }
+      }
+      per_query[qi] = std::move(kept);
+    }
+  }
+
+  // Phase 2: combine query by query.
+  std::vector<Scored> current;
+  for (const State& s : per_query[0]) {
+    current.push_back(Scored{s, cost_model.StateCost(s)});
+  }
+  size_t keep = strategy == StrategyKind::kGreedy21 ? 1 : kPruningKeep;
+  PruneScored(&current, keep, kPruneFactor);
+
+  for (size_t qi = 1; qi < num_queries; ++qi) {
+    std::vector<Scored> next;
+    for (const Scored& partial : current) {
+      for (const State& piece : per_query[qi]) {
+        if (ctx.OutOfBudget()) {
+          if (!ctx.stats.memory_exhausted) break;  // timeout: keep partials
+          (void)ctx.Finish(false);
+          return Status::ResourceExhausted(
+              std::string(StrategyName(strategy)) +
+              ": combination phase exceeded the memory budget");
+        }
+        State merged = MergeStates(partial.state, piece);
+        ++ctx.stats.created;
+        ctx.seen.emplace(merged.Signature(), 0);
+        next.push_back(Scored{merged, cost_model.StateCost(merged)});
+        // Fusion opportunities: the VF closure of the merged state.
+        size_t steps = 0;
+        State fused = AvfClosure(merged, ctx.topts, &steps);
+        if (steps > 0) {
+          ctx.stats.created += steps;
+          ctx.seen.emplace(fused.Signature(), 0);
+          double c = cost_model.StateCost(fused);
+          next.push_back(Scored{std::move(fused), c});
+        }
+      }
+    }
+    PruneScored(&next, keep, kPruneFactor);
+    ctx.stats.discarded += next.size() > keep ? next.size() - keep : 0;
+    if (next.empty()) {
+      // Timed out before any state covering this query could be combined.
+      (void)ctx.Finish(false);
+      return Status::TimedOut(
+          std::string(StrategyName(strategy)) +
+          ": time budget expired before a full candidate set was combined");
+    }
+    current = std::move(next);
+  }
+
+  RDFVIEWS_CHECK(!current.empty());
+  const Scored& winner = *std::min_element(
+      current.begin(), current.end(),
+      [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+  if (winner.cost < ctx.best_cost) {
+    ctx.best = winner.state;
+    ctx.best_cost = winner.cost;
+    ctx.stats.best_cost = winner.cost;
+    ctx.stats.best_trace.emplace_back(ctx.deadline.ElapsedSeconds(),
+                                      winner.cost);
+  }
+  return ctx.Finish(true);
+}
+
+}  // namespace rdfviews::vsel

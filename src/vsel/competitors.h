@@ -1,0 +1,38 @@
+// Re-implementations of the relational view-selection strategies of
+// Theodoratos, Ligoudistianos & Sellis [21], used as competitors in Sec. 6.
+//
+// All three follow the divide-and-conquer scheme described in Sec. 6.1:
+//  1. Break the initial state into 1-query states and exhaustively apply
+//     all edge removals (SC/JC) and view breaks (VB) to each.
+//  2. Re-combine per-query states into multi-query states query by query,
+//     fusing views when possible.
+//  3. Prune according to the strategy:
+//     - Pruning: discards duplicate / clearly-dominated combined states;
+//     - Greedy: keeps only the best combined state at each step;
+//     - Heuristic: first reduces each per-query list to the min-cost state
+//       plus states offering view-fusion opportunities, then combines.
+// Because every combination of partial states is a valid state, the number
+// of combined states explodes; the paper observes these strategies exhaust
+// memory on 10-atom workloads before producing any full candidate set,
+// which our state budget reproduces (Result == ResourceExhausted).
+#ifndef RDFVIEWS_VSEL_COMPETITORS_H_
+#define RDFVIEWS_VSEL_COMPETITORS_H_
+
+#include "common/status.h"
+#include "vsel/cost_model.h"
+#include "vsel/options.h"
+#include "vsel/state.h"
+
+namespace rdfviews::vsel {
+
+struct SearchResult;
+
+Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
+                                         const State& s0,
+                                         const CostModel& cost_model,
+                                         const HeuristicOptions& heuristics,
+                                         const SearchLimits& limits);
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_COMPETITORS_H_

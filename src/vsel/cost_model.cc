@@ -1,0 +1,249 @@
+#include "vsel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rdfviews::vsel {
+
+namespace {
+
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+
+/// First body occurrence column of each variable, for width/distinct lookup.
+std::unordered_map<cq::VarId, rdf::Column> FirstColumns(
+    const cq::ConjunctiveQuery& def) {
+  std::unordered_map<cq::VarId, rdf::Column> out;
+  for (const cq::Atom& a : def.atoms()) {
+    for (rdf::Column c : kColumns) {
+      cq::Term t = a.at(c);
+      if (t.is_var()) out.emplace(t.var(), c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double CostModel::ViewCardinality(const cq::ConjunctiveQuery& def) const {
+  if (def.atoms().empty()) return 0;
+
+  // Per-atom exact counts and per-occurrence distinct estimates.
+  std::vector<double> atom_card(def.atoms().size(), 0);
+  for (size_t i = 0; i < def.atoms().size(); ++i) {
+    const cq::Atom& atom = def.atoms()[i];
+    double card =
+        static_cast<double>(stats_->CountPattern(atom.ToPattern()));
+    // Repeated variable inside one atom: an implicit equality selection.
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        cq::Term ta = atom.at(kColumns[a]);
+        cq::Term tb = atom.at(kColumns[b]);
+        if (ta.is_var() && tb.is_var() && ta.var() == tb.var()) {
+          double d = std::max<double>(
+              1.0, static_cast<double>(stats_->DistinctValues(kColumns[b])));
+          card /= d;
+        }
+      }
+    }
+    atom_card[i] = card;
+  }
+
+  double card = 1.0;
+  for (double c : atom_card) card *= c;
+
+  // Join reduction: for each variable, its occurrences across atoms form a
+  // clique; apply 1/max(d_i, d_first) for every occurrence after the first,
+  // where d = min(|atom|, distinct(col)) under uniformity.
+  auto occurrence_distinct = [&](const cq::Occurrence& occ) {
+    double col_distinct = static_cast<double>(
+        stats_->DistinctValues(occ.column));
+    return std::max(1.0, std::min(atom_card[occ.atom], col_distinct));
+  };
+  for (const auto& [var, occs] : def.VarOccurrences()) {
+    for (size_t i = 1; i < occs.size(); ++i) {
+      if (occs[i].atom == occs[i - 1].atom) continue;  // intra-atom handled
+      double d = std::max(occurrence_distinct(occs[i]),
+                          occurrence_distinct(occs[0]));
+      card /= std::max(1.0, d);
+    }
+  }
+  return card;
+}
+
+double CostModel::ViewBytes(const View& view) const {
+  double card = ViewCardinality(view.def);
+  std::unordered_map<cq::VarId, rdf::Column> cols = FirstColumns(view.def);
+  double width = 0;
+  for (const cq::Term& t : view.def.head()) {
+    auto it = cols.find(t.var());
+    double w = it != cols.end() ? stats_->AvgWidth(it->second) : 8.0;
+    width += w;
+  }
+  return card * width;
+}
+
+double CostModel::Vso(const State& state) const {
+  double total = 0;
+  for (const View& v : state.views()) total += ViewBytes(v);
+  return total;
+}
+
+CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
+                                                const State& state) const {
+  using Kind = engine::Expr::Kind;
+  NodeEstimate out;
+  switch (expr.kind()) {
+    case Kind::kScan: {
+      int idx = state.ViewIndexById(expr.view_id());
+      RDFVIEWS_CHECK_MSG(idx >= 0, "rewriting scans unknown view v"
+                                       << expr.view_id());
+      const View& v = state.views()[static_cast<size_t>(idx)];
+      out.card = ViewCardinality(v.def);
+      out.io = out.card;
+      std::unordered_map<cq::VarId, rdf::Column> cols = FirstColumns(v.def);
+      for (cq::VarId name : expr.scan_columns()) {
+        // Columns are positionally the view's head; map through head order.
+        out.distinct[name] = out.card;
+      }
+      // Refine with the column-kind distinct bound.
+      const std::vector<cq::VarId> head = v.Columns();
+      for (size_t i = 0; i < head.size() && i < expr.scan_columns().size();
+           ++i) {
+        auto it = cols.find(head[i]);
+        if (it == cols.end()) continue;
+        double d = static_cast<double>(stats_->DistinctValues(it->second));
+        double& slot = out.distinct[expr.scan_columns()[i]];
+        slot = std::max(1.0, std::min(slot, d));
+      }
+      break;
+    }
+    case Kind::kSelect: {
+      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      double selectivity = 1.0;
+      for (const engine::Condition& c : expr.conditions()) {
+        auto it = child.distinct.find(c.lhs);
+        double d = it != child.distinct.end() ? std::max(1.0, it->second)
+                                              : child.card;
+        if (!c.rhs_is_const) {
+          auto jt = child.distinct.find(c.var_rhs);
+          double d2 = jt != child.distinct.end() ? std::max(1.0, jt->second)
+                                                 : child.card;
+          d = std::max(d, d2);
+        }
+        selectivity /= std::max(1.0, d);
+      }
+      out = child;
+      out.card = child.card * selectivity;
+      out.cpu += child.card;  // one filtering pass over the input
+      for (auto& [var, d] : out.distinct) d = std::min(d, out.card);
+      break;
+    }
+    case Kind::kProject: {
+      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      out = child;  // projection is free (see header)
+      break;
+    }
+    case Kind::kRename: {
+      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      out.card = child.card;
+      out.io = child.io;
+      out.cpu = child.cpu;
+      for (const auto& [var, d] : child.distinct) {
+        auto it = expr.rename_map().find(var);
+        out.distinct[it == expr.rename_map().end() ? var : it->second] = d;
+      }
+      break;
+    }
+    case Kind::kJoin: {
+      NodeEstimate l = EstimateExpr(*expr.left(), state);
+      NodeEstimate r = EstimateExpr(*expr.right(), state);
+      out.io = l.io + r.io;
+      out.cpu = l.cpu + r.cpu;
+      double card = l.card * r.card;
+      auto reduce = [&](cq::VarId lv, cq::VarId rv) {
+        double dl = l.distinct.contains(lv) ? l.distinct.at(lv) : l.card;
+        double dr = r.distinct.contains(rv) ? r.distinct.at(rv) : r.card;
+        card /= std::max(1.0, std::max(dl, dr));
+      };
+      // Natural join keys.
+      for (const auto& [var, d] : l.distinct) {
+        if (r.distinct.contains(var)) reduce(var, var);
+      }
+      for (const auto& [lv, rv] : expr.join_pairs()) reduce(lv, rv);
+      out.card = card;
+      // Hash join: build + probe + output.
+      out.cpu += l.card + r.card + card;
+      out.distinct = l.distinct;
+      for (const auto& [var, d] : r.distinct) {
+        auto [it, inserted] = out.distinct.emplace(var, d);
+        if (!inserted) it->second = std::min(it->second, d);
+      }
+      for (auto& [var, d] : out.distinct) d = std::min(d, out.card);
+      break;
+    }
+    case Kind::kUnion: {
+      for (const engine::ExprPtr& c : expr.children()) {
+        NodeEstimate child = EstimateExpr(*c, state);
+        out.card += child.card;
+        out.io += child.io;
+        out.cpu += child.cpu;
+      }
+      break;
+    }
+    case Kind::kArrange: {
+      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      out.card = child.card;
+      out.io = child.io;
+      out.cpu = child.cpu;
+      for (const engine::ArrangeCol& a : expr.arrange_spec()) {
+        if (a.is_const) {
+          out.distinct[a.output_name] = 1.0;
+        } else if (child.distinct.contains(a.source)) {
+          out.distinct[a.output_name] = child.distinct.at(a.source);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+double CostModel::Rec(const State& state) const {
+  double total = 0;
+  for (const engine::ExprPtr& r : state.rewritings()) {
+    NodeEstimate e = EstimateExpr(*r, state);
+    total += weights_.c1 * e.io + weights_.c2 * e.cpu;
+  }
+  return total;
+}
+
+double CostModel::Vmc(const State& state) const {
+  double total = 0;
+  for (const View& v : state.views()) {
+    total += std::pow(weights_.f, static_cast<double>(v.def.len()));
+  }
+  return total;
+}
+
+CostBreakdown CostModel::Breakdown(const State& state) const {
+  CostBreakdown b;
+  b.vso = Vso(state);
+  b.rec = Rec(state);
+  b.vmc = Vmc(state);
+  b.total = weights_.cs * b.vso + weights_.cr * b.rec + weights_.cm * b.vmc;
+  return b;
+}
+
+double CostModel::CalibrateCm(const CostBreakdown& s0,
+                              const CostWeights& weights) {
+  double other = weights.cs * s0.vso + weights.cr * s0.rec;
+  if (s0.vmc <= 0 || other <= 0) return weights.cm;
+  // Place cm*VMC two orders of magnitude under the other components.
+  double cm = other / (100.0 * s0.vmc);
+  return std::clamp(cm, 1e-9, 1e9);
+}
+
+}  // namespace rdfviews::vsel

@@ -1,0 +1,78 @@
+// The state cost estimation of Section 3.3:
+//   c(S) = cs * VSO(S) + cr * REC(S) + cm * VMC(S)
+// with
+//   VSO  — view space occupancy, from exact per-atom counts plus the
+//          textbook uniformity/independence estimates [18];
+//   REC  — rewriting evaluation cost, sum over rewritings of
+//          c1 * io(r) + c2 * cpu(r), io(r) = sum of scanned view sizes;
+//   VMC  — view maintenance cost, sum over views of f^len(v).
+//
+// Projection CPU is priced at zero so that the paper's monotonicity claims
+// hold exactly: SC never decreases the state cost, VF never increases it.
+#ifndef RDFVIEWS_VSEL_COST_MODEL_H_
+#define RDFVIEWS_VSEL_COST_MODEL_H_
+
+#include <unordered_map>
+
+#include "rdf/statistics.h"
+#include "vsel/options.h"
+#include "vsel/state.h"
+
+namespace rdfviews::vsel {
+
+/// Breakdown of a state's cost.
+struct CostBreakdown {
+  double vso = 0;
+  double rec = 0;
+  double vmc = 0;
+  double total = 0;
+};
+
+class CostModel {
+ public:
+  CostModel(const rdf::Statistics* stats, const CostWeights& weights)
+      : stats_(stats), weights_(weights) {}
+
+  const CostWeights& weights() const { return weights_; }
+  void set_weights(const CostWeights& w) { weights_ = w; }
+
+  /// |v|e: estimated cardinality of a view body (Sec. 3.3, View space
+  /// occupancy): exact per-atom counts, then per-shared-variable reduction
+  /// factors 1/max(d1, d2) over a spanning structure of each variable's
+  /// occurrence clique.
+  double ViewCardinality(const cq::ConjunctiveQuery& def) const;
+
+  /// Estimated storage bytes: |v|e times the summed average width of the
+  /// head columns (widths by triple-table column of first occurrence).
+  double ViewBytes(const View& view) const;
+
+  double Vso(const State& state) const;
+  double Rec(const State& state) const;
+  double Vmc(const State& state) const;
+
+  CostBreakdown Breakdown(const State& state) const;
+  double StateCost(const State& state) const { return Breakdown(state).total; }
+
+  /// Sec. 6 "Weights of cost components": picks cm so that cm*VMC(S0) is
+  /// within two orders of magnitude of the other components.
+  static double CalibrateCm(const CostBreakdown& s0_breakdown,
+                            const CostWeights& weights);
+
+ private:
+  struct NodeEstimate {
+    double card = 0;
+    double io = 0;   // sum of scanned view cardinalities in the subtree
+    double cpu = 0;  // accumulated cpu cost of the subtree
+    std::unordered_map<cq::VarId, double> distinct;
+  };
+
+  NodeEstimate EstimateExpr(const engine::Expr& expr,
+                            const State& state) const;
+
+  const rdf::Statistics* stats_;
+  CostWeights weights_;
+};
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_COST_MODEL_H_

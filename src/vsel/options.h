@@ -1,0 +1,89 @@
+// Knobs of the view-selection search.
+#ifndef RDFVIEWS_VSEL_OPTIONS_H_
+#define RDFVIEWS_VSEL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdfviews::vsel {
+
+/// Search strategies: ours (Sec. 5) and the competitors of [21] (Sec. 6.1).
+enum class StrategyKind {
+  kExNaive,      // Algorithm 2
+  kExStr,        // exhaustive stratified (VB* SC* JC* VF* paths)
+  kDfs,          // stratified depth-first
+  kGstr,         // greedy stratified
+  kPruning21,    // Theodoratos et al. "Pruning"
+  kGreedy21,     // Theodoratos et al. "Greedy"
+  kHeuristic21,  // Theodoratos et al. "Heuristic"
+};
+
+const char* StrategyName(StrategyKind kind);
+
+/// Optimizations and stop conditions (Sec. 5.2).
+struct HeuristicOptions {
+  /// AVF: aggressively fuse views (apply VF to fixpoint) on every new state.
+  bool avf = false;
+  /// STV: discard states where some view has only variables.
+  bool stop_var = false;
+  /// stop_tt: discard states where some view is the full triple table.
+  bool stop_tt = false;
+  /// View-break overlap budget: 0 enumerates only partitions into two
+  /// connected components; 1 additionally allows covers sharing one node
+  /// (Def. 3.2 allows arbitrary overlapping covers; see DESIGN.md).
+  int vb_overlap = 1;
+  /// Views larger than this only get partition-style view breaks.
+  size_t vb_overlap_max_atoms = 14;
+};
+
+/// Hard limits turning the search into an anytime algorithm.
+struct SearchLimits {
+  /// Wall-clock budget in seconds; <= 0 means unlimited (stop_time).
+  double time_budget_sec = 0;
+  /// Cap on the number of distinct states remembered; exceeding it aborts
+  /// the search reporting memory exhaustion (the paper's JVM OOM analogue).
+  size_t max_states = 5000000;
+};
+
+/// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost
+/// components").
+struct CostWeights {
+  double cs = 1.0;   // view space occupancy weight
+  double cr = 1.0;   // rewriting evaluation weight
+  double cm = 0.5;   // view maintenance weight
+  double c1 = 1.0;   // REC: io weight
+  double c2 = 0.05;  // REC: cpu weight
+  double f = 2.0;    // VMC: per-join fan-out factor
+};
+
+/// Counters exposed by every strategy (the quantities of Figure 5).
+struct SearchStats {
+  uint64_t created = 0;
+  uint64_t duplicates = 0;
+  uint64_t discarded = 0;
+  uint64_t explored = 0;
+  uint64_t transitions_applied = 0;
+
+  double initial_cost = 0;
+  double best_cost = 0;
+  /// (elapsed seconds, best cost) every time the best state improves.
+  std::vector<std::pair<double, double>> best_trace;
+
+  bool completed = false;           // search space exhausted
+  bool memory_exhausted = false;    // max_states hit
+  bool time_exhausted = false;      // time budget hit
+  double elapsed_sec = 0;
+
+  /// Relative cost reduction (c(S0) - c(Sb)) / c(S0), Sec. 6.1.
+  double RelativeCostReduction() const {
+    if (initial_cost <= 0) return 0;
+    return (initial_cost - best_cost) / initial_cost;
+  }
+};
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_OPTIONS_H_

@@ -1,0 +1,300 @@
+#include "vsel/search.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "vsel/competitors.h"
+#include "vsel/search_internal.h"
+
+namespace rdfviews::vsel {
+
+namespace internal {
+
+const int kNumPhases = 4;  // VB, SC, JC, VF
+
+SearchContext::SearchContext(const CostModel* cost_model,
+                             const HeuristicOptions& heuristics,
+                             const SearchLimits& limits)
+    : cost(cost_model),
+      heur(heuristics),
+      limits(limits),
+      topts(TransitionOptions::FromHeuristics(heuristics)),
+      deadline(limits.time_budget_sec) {}
+
+bool SearchContext::ViolatesStopConditions(const State& s) const {
+  if (heur.stop_var && stop_var_active) {
+    for (const View& v : s.views()) {
+      if (v.def.NumConstants() == 0) return true;
+    }
+  }
+  if (heur.stop_tt && stop_tt_active) {
+    for (const View& v : s.views()) {
+      if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
+          v.def.BodyVars().size() == 3) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void SearchContext::Init(const State& s0) {
+  stop_var_active = true;
+  stop_tt_active = true;
+  {
+    // Stop conditions satisfied by S0 itself are disabled (Sec. 5.2).
+    HeuristicOptions saved = heur;
+    heur.stop_var = true;
+    heur.stop_tt = true;
+    for (const View& v : s0.views()) {
+      if (v.def.NumConstants() == 0) stop_var_active = false;
+      if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
+          v.def.BodyVars().size() == 3) {
+        stop_tt_active = false;
+      }
+    }
+    heur = saved;
+  }
+  best = s0;
+  best_cost = cost->StateCost(s0);
+  stats.initial_cost = best_cost;
+  stats.best_cost = best_cost;
+  stats.best_trace.emplace_back(0.0, best_cost);
+  seen.emplace(s0.Signature(), 0);
+  start = s0;
+  if (heur.avf) {
+    size_t steps = 0;
+    State closed = AvfClosure(s0, topts, &steps);
+    if (steps > 0) {
+      stats.created += steps;
+      stats.discarded += steps - 1;  // intermediates; the fixpoint is kept
+      seen.emplace(closed.Signature(), 0);
+      double c = cost->StateCost(closed);
+      if (c < best_cost) {
+        best = closed;
+        best_cost = c;
+        stats.best_cost = c;
+        stats.best_trace.emplace_back(deadline.ElapsedSeconds(), c);
+      }
+      start = std::move(closed);
+    }
+  }
+}
+
+bool SearchContext::OutOfBudget() {
+  if (deadline.Expired()) {
+    stats.time_exhausted = true;
+    return true;
+  }
+  if (limits.max_states > 0 && seen.size() >= limits.max_states) {
+    stats.memory_exhausted = true;
+    return true;
+  }
+  return false;
+}
+
+std::optional<SearchContext::Admitted> SearchContext::Admit(State s,
+                                                            int phase) {
+  ++stats.created;
+  ++stats.transitions_applied;
+  if (heur.avf) {
+    size_t steps = 0;
+    s = AvfClosure(s, topts, &steps);
+    stats.created += steps;
+    stats.discarded += steps;
+  }
+  if (ViolatesStopConditions(s)) {
+    ++stats.discarded;
+    return std::nullopt;
+  }
+  auto [it, inserted] = seen.try_emplace(s.Signature(), phase);
+  if (!inserted) {
+    ++stats.duplicates;
+    if (it->second <= phase) return std::nullopt;
+    // Re-opened at an earlier stratum: earlier-kind transitions now apply.
+    it->second = phase;
+  }
+  double c = cost->StateCost(s);
+  if (c < best_cost) {
+    best = s;
+    best_cost = c;
+    stats.best_cost = c;
+    stats.best_trace.emplace_back(deadline.ElapsedSeconds(), c);
+  }
+  return Admitted{std::move(s), c};
+}
+
+SearchResult SearchContext::Finish(bool completed) {
+  stats.completed = completed && !stats.time_exhausted &&
+                    !stats.memory_exhausted;
+  stats.elapsed_sec = deadline.ElapsedSeconds();
+  stats.best_cost = best_cost;
+  return SearchResult{best, stats};
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::SearchContext;
+
+/// Shared implementation of EXNAIVE (Algorithm 2) and EXSTR: round-robin
+/// over CS, applying one (new-state-producing) transition per visit. For
+/// EXSTR, the transitions applicable to a state are restricted to kinds >=
+/// the stratum at which the state was reached, in VB < SC < JC < VF order.
+SearchResult RunExhaustive(SearchContext* ctx, const State& s0,
+                           bool stratified) {
+  struct Entry {
+    State state;
+    int phase;
+    std::vector<Transition> transitions;
+    bool loaded = false;
+    size_t next = 0;
+  };
+  std::deque<Entry> cs;
+  ctx->Init(s0);
+  cs.push_back(Entry{ctx->start, 0, {}, false, 0});
+
+  while (!cs.empty()) {
+    if (ctx->OutOfBudget()) return ctx->Finish(false);
+    Entry entry = std::move(cs.front());
+    cs.pop_front();
+    if (!entry.loaded) {
+      entry.loaded = true;
+      int start_kind = stratified ? entry.phase : 0;
+      for (int k = start_kind; k < internal::kNumPhases; ++k) {
+        // Non-stratified EXNAIVE may apply any kind at any time; stratified
+        // EXSTR only kinds >= the arrival stratum.
+        std::vector<Transition> ts = EnumerateTransitions(
+            entry.state, static_cast<TransitionKind>(k), ctx->topts);
+        entry.transitions.insert(entry.transitions.end(), ts.begin(),
+                                 ts.end());
+      }
+    }
+    bool produced = false;
+    while (entry.next < entry.transitions.size()) {
+      if (ctx->OutOfBudget()) return ctx->Finish(false);
+      const Transition& t = entry.transitions[entry.next++];
+      int phase = stratified ? static_cast<int>(t.kind) : 0;
+      auto admitted = ctx->Admit(ApplyTransition(entry.state, t), phase);
+      if (admitted.has_value()) {
+        cs.push_back(Entry{std::move(admitted->state), phase, {}, false, 0});
+        produced = true;
+        break;
+      }
+    }
+    if (entry.next < entry.transitions.size() || produced) {
+      // Not yet explored: revisit later (round-robin).
+      if (entry.next < entry.transitions.size()) {
+        cs.push_back(std::move(entry));
+      } else {
+        ++ctx->stats.explored;
+      }
+    } else {
+      ++ctx->stats.explored;
+    }
+  }
+  return ctx->Finish(true);
+}
+
+/// Stratified depth-first search (Sec. 5.2). For each state, first the
+/// closure under the current transition kind is explored depth-first, then
+/// the state advances to the next kind.
+void DfsVisit(SearchContext* ctx, const State& s, int kind) {
+  if (kind >= internal::kNumPhases) {
+    ++ctx->stats.explored;
+    return;
+  }
+  for (const Transition& t : EnumerateTransitions(
+           s, static_cast<TransitionKind>(kind), ctx->topts)) {
+    if (ctx->OutOfBudget()) return;
+    auto admitted = ctx->Admit(ApplyTransition(s, t), kind);
+    if (admitted.has_value()) DfsVisit(ctx, admitted->state, kind);
+  }
+  if (ctx->OutOfBudget()) return;
+  DfsVisit(ctx, s, kind + 1);
+}
+
+SearchResult RunDfs(SearchContext* ctx, const State& s0) {
+  ctx->Init(s0);
+  DfsVisit(ctx, ctx->start, 0);
+  return ctx->Finish(true);
+}
+
+/// Greedy stratified search (Sec. 5.2): per stratum, explore the closure
+/// under that transition kind, then keep only the best state found.
+SearchResult RunGstr(SearchContext* ctx, const State& s0) {
+  ctx->Init(s0);
+  State current = ctx->start;
+  double current_cost = ctx->cost->StateCost(current);
+  for (int kind = 0; kind < internal::kNumPhases; ++kind) {
+    std::deque<State> frontier;
+    frontier.push_back(current);
+    State phase_best = current;
+    double phase_best_cost = current_cost;
+    while (!frontier.empty()) {
+      if (ctx->OutOfBudget()) return ctx->Finish(false);
+      State s = std::move(frontier.front());
+      frontier.pop_front();
+      for (const Transition& t : EnumerateTransitions(
+               s, static_cast<TransitionKind>(kind), ctx->topts)) {
+        if (ctx->OutOfBudget()) return ctx->Finish(false);
+        auto admitted = ctx->Admit(ApplyTransition(s, t), kind);
+        if (!admitted.has_value()) continue;
+        if (admitted->cost < phase_best_cost) {
+          phase_best = admitted->state;
+          phase_best_cost = admitted->cost;
+        }
+        frontier.push_back(std::move(admitted->state));
+      }
+      ++ctx->stats.explored;
+    }
+    current = std::move(phase_best);
+    current_cost = phase_best_cost;
+  }
+  return ctx->Finish(true);
+}
+
+}  // namespace
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kExNaive: return "EXNAIVE";
+    case StrategyKind::kExStr: return "EXSTR";
+    case StrategyKind::kDfs: return "DFS";
+    case StrategyKind::kGstr: return "GSTR";
+    case StrategyKind::kPruning21: return "Pruning";
+    case StrategyKind::kGreedy21: return "Greedy";
+    case StrategyKind::kHeuristic21: return "Heuristic";
+  }
+  return "?";
+}
+
+Result<SearchResult> RunSearch(StrategyKind strategy, const State& s0,
+                               const CostModel& cost_model,
+                               const HeuristicOptions& heuristics,
+                               const SearchLimits& limits) {
+  SearchContext ctx(&cost_model, heuristics, limits);
+  switch (strategy) {
+    case StrategyKind::kExNaive:
+      return RunExhaustive(&ctx, s0, /*stratified=*/false);
+    case StrategyKind::kExStr:
+      return RunExhaustive(&ctx, s0, /*stratified=*/true);
+    case StrategyKind::kDfs:
+      return RunDfs(&ctx, s0);
+    case StrategyKind::kGstr:
+      return RunGstr(&ctx, s0);
+    case StrategyKind::kPruning21:
+    case StrategyKind::kGreedy21:
+    case StrategyKind::kHeuristic21:
+      return RunCompetitorSearch(strategy, s0, cost_model, heuristics,
+                                 limits);
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace rdfviews::vsel

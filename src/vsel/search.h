@@ -1,0 +1,32 @@
+// Search strategies over the space of candidate view sets (Section 5):
+// EXNAIVE (Algorithm 2), EXSTR, DFS and GSTR, with the AVF optimization and
+// the stop_tt / stop_var / stop_time conditions.
+#ifndef RDFVIEWS_VSEL_SEARCH_H_
+#define RDFVIEWS_VSEL_SEARCH_H_
+
+#include "common/status.h"
+#include "vsel/cost_model.h"
+#include "vsel/options.h"
+#include "vsel/state.h"
+#include "vsel/transitions.h"
+
+namespace rdfviews::vsel {
+
+struct SearchResult {
+  State best;
+  SearchStats stats;
+};
+
+/// Runs `strategy` from the initial state `s0`. All strategies are anytime:
+/// they return the best state found when the space is exhausted, the time
+/// budget expires, or the state budget (memory) is exceeded; for the [21]
+/// competitor strategies, memory exhaustion before a full candidate set
+/// yields an error status (they have no anytime solution, Sec. 6.2).
+Result<SearchResult> RunSearch(StrategyKind strategy, const State& s0,
+                               const CostModel& cost_model,
+                               const HeuristicOptions& heuristics,
+                               const SearchLimits& limits);
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_SEARCH_H_

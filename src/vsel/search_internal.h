@@ -1,0 +1,72 @@
+// Shared search-bookkeeping context used by the strategies and the [21]
+// competitor re-implementations. Internal header.
+#ifndef RDFVIEWS_VSEL_SEARCH_INTERNAL_H_
+#define RDFVIEWS_VSEL_SEARCH_INTERNAL_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "vsel/cost_model.h"
+#include "vsel/options.h"
+#include "vsel/state.h"
+#include "vsel/transitions.h"
+
+namespace rdfviews::vsel {
+
+struct SearchResult;
+
+namespace internal {
+
+extern const int kNumPhases;
+
+/// Bookkeeping shared by all strategies: duplicate detection (by state
+/// signature, with stratum re-opening), AVF closure, stop conditions, best
+/// state tracking and budget enforcement.
+class SearchContext {
+ public:
+  SearchContext(const CostModel* cost_model,
+                const HeuristicOptions& heuristics,
+                const SearchLimits& limits);
+
+  void Init(const State& s0);
+
+  /// True once the time or state budget is exceeded (and records which).
+  bool OutOfBudget();
+
+  struct Admitted {
+    State state;
+    double cost;
+  };
+
+  /// Processes a freshly produced state: applies AVF closure, stop
+  /// conditions and duplicate detection, and tracks the best state.
+  /// `phase` is the stratum (transition kind) that produced the state.
+  std::optional<Admitted> Admit(State s, int phase);
+
+  bool ViolatesStopConditions(const State& s) const;
+
+  SearchResult Finish(bool completed);
+
+  const CostModel* cost;
+  HeuristicOptions heur;
+  SearchLimits limits;
+  TransitionOptions topts;
+  Deadline deadline;
+  SearchStats stats;
+  std::unordered_map<std::string, int> seen;  // signature -> min stratum
+  State best;
+  /// The state the strategies explore from: S0, or its AVF closure when
+  /// aggressive view fusion is on (VF only ever improves the cost, so the
+  /// fused state dominates S0 and shrinks the space).
+  State start;
+  double best_cost = 0;
+  bool stop_var_active = true;
+  bool stop_tt_active = true;
+};
+
+}  // namespace internal
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_SEARCH_INTERNAL_H_

@@ -1,0 +1,103 @@
+// Top-level view-selection API: workload in, recommended views + rewritings
+// out, with the paper's four ways of handling RDF entailment (Sec. 4.3):
+// ignore it, saturate the database, pre-reformulate the workload, or
+// post-reformulate the winning views.
+#ifndef RDFVIEWS_VSEL_SELECTOR_H_
+#define RDFVIEWS_VSEL_SELECTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "engine/relation.h"
+#include "rdf/schema.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+#include "vsel/cost_model.h"
+#include "vsel/options.h"
+#include "vsel/search.h"
+
+namespace rdfviews::vsel {
+
+/// How implicit triples are reflected in the recommendation (Sec. 4.3).
+enum class EntailmentMode {
+  kNone,             // plain RDF, no implicit triples
+  kSaturate,         // search and materialize over the saturated store
+  kPreReformulate,   // reformulate the workload, search over the union
+  kPostReformulate,  // search with saturated statistics, reformulate the
+                     // winning views before materializing
+};
+
+const char* EntailmentModeName(EntailmentMode mode);
+
+struct SelectorOptions {
+  StrategyKind strategy = StrategyKind::kDfs;
+  HeuristicOptions heuristics{.avf = true, .stop_var = true};
+  SearchLimits limits;
+  CostWeights weights;
+  /// Recalibrate cm from S0 as in Sec. 6 ("Weights of cost components").
+  bool auto_calibrate_cm = true;
+  EntailmentMode entailment = EntailmentMode::kNone;
+};
+
+/// A recommended view set: everything needed to deploy the three-tier
+/// scenario of the introduction — materialize `views` (away from the
+/// database), then answer query i by executing rewritings[i] on them.
+struct Recommendation {
+  /// One definition per view of the best state; union views carry the
+  /// post-reformulated disjuncts (a singleton union otherwise).
+  std::vector<cq::UnionOfQueries> view_definitions;
+  /// Column names per view, aligned with view_definitions.
+  std::vector<std::vector<cq::VarId>> view_columns;
+  /// View ids, aligned with view_definitions.
+  std::vector<uint32_t> view_ids;
+  /// One rewriting per workload query, over the views above.
+  std::vector<engine::ExprPtr> rewritings;
+
+  State best_state;
+  SearchStats stats;
+  EntailmentMode entailment = EntailmentMode::kNone;
+
+  /// The store the views must be materialized over: the saturated store for
+  /// kSaturate, the original store otherwise (owned when saturated).
+  std::shared_ptr<const rdf::TripleStore> materialization_store;
+};
+
+/// Materializes all recommended views over the recommendation's store.
+struct MaterializedViews {
+  std::vector<engine::Relation> relations;  // aligned with view ids
+  std::vector<uint32_t> view_ids;
+
+  const engine::Relation& ById(uint32_t view_id) const;
+  size_t TotalBytes() const;
+};
+
+class ViewSelector {
+ public:
+  /// `schema` may be null when entailment is kNone.
+  ViewSelector(const rdf::TripleStore* store, const rdf::Dictionary* dict,
+               const rdf::Schema* schema = nullptr)
+      : store_(store), dict_(dict), schema_(schema) {}
+
+  Result<Recommendation> Recommend(
+      const std::vector<cq::ConjunctiveQuery>& workload,
+      const SelectorOptions& options) const;
+
+ private:
+  const rdf::TripleStore* store_;
+  const rdf::Dictionary* dict_;
+  const rdf::Schema* schema_;
+};
+
+/// Materializes the recommended views.
+MaterializedViews Materialize(const Recommendation& rec);
+
+/// Executes rewriting `query_index` over the materialized views.
+engine::Relation AnswerQuery(const Recommendation& rec,
+                             const MaterializedViews& views,
+                             size_t query_index);
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_SELECTOR_H_

@@ -1,0 +1,208 @@
+#include "vsel/state.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+
+namespace rdfviews::vsel {
+
+const std::string& State::Signature() const {
+  if (!signature_.empty()) return signature_;
+  std::vector<std::string> parts;
+  parts.reserve(views_.size());
+  for (const View& v : views_) {
+    parts.push_back(cq::CanonicalString(v.def, /*include_head=*/true));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (const std::string& p : parts) {
+    sig += p;
+    sig += '\n';
+  }
+  signature_ = std::move(sig);
+  return signature_;
+}
+
+std::string State::ToString(const rdf::Dictionary* dict) const {
+  std::ostringstream out;
+  out << "state{\n";
+  for (const View& v : views_) {
+    cq::ConjunctiveQuery named = v.def;
+    named.set_name(v.Name());
+    out << "  " << named.ToString(dict) << "\n";
+  }
+  auto name = [this](uint32_t id) {
+    return "v" + std::to_string(id);
+  };
+  for (size_t i = 0; i < rewritings_.size(); ++i) {
+    out << "  r" << i << " = " << rewritings_[i]->ToString(name, dict)
+        << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+namespace {
+
+Status CheckWorkloadQuery(const cq::ConjunctiveQuery& q) {
+  RDFVIEWS_RETURN_IF_ERROR(q.Validate());
+  if (q.head().empty()) {
+    return Status::InvalidArgument("workload query with empty head: " +
+                                   q.name());
+  }
+  std::unordered_set<cq::VarId> seen;
+  for (const cq::Term& t : q.head()) {
+    if (t.is_const()) {
+      return Status::InvalidArgument(
+          "workload query with constant head term: " + q.name());
+    }
+    if (!seen.insert(t.var()).second) {
+      return Status::InvalidArgument(
+          "workload query with repeated head variable: " + q.name());
+    }
+  }
+  return Status::OK();
+}
+
+/// Renames `q` into the state's fresh-variable space and registers its
+/// connected components as views. Returns the per-component scan
+/// expressions and the mapped head variables of q.
+struct InstalledQuery {
+  std::vector<engine::ExprPtr> scans;
+  std::vector<cq::VarId> head;  // q's head, renamed
+};
+
+InstalledQuery InstallQueryAsViews(const cq::ConjunctiveQuery& minimized,
+                                   State* state) {
+  cq::ConjunctiveQuery q = minimized;
+  // Rename variables into a fresh range.
+  std::unordered_map<cq::VarId, cq::VarId> rename;
+  for (cq::VarId v : q.BodyVars()) rename[v] = state->FreshVar();
+  q.RenameVars(rename);
+
+  InstalledQuery out;
+  for (const cq::Term& t : q.head()) out.head.push_back(t.var());
+
+  for (cq::ConjunctiveQuery& component : q.SplitIntoConnectedQueries()) {
+    // Views must expose the query head vars of their component; a component
+    // of a valid query always has a non-empty head unless the query's head
+    // vars all live elsewhere — then expose one variable to keep the view
+    // materializable and the cross product computable.
+    if (component.head().empty()) {
+      component.mutable_head()->push_back(
+          cq::Term::Var(component.BodyVars().front()));
+    }
+    View view;
+    view.id = state->FreshViewId();
+    component.set_name("v" + std::to_string(view.id));
+    view.def = std::move(component);
+    out.scans.push_back(engine::Expr::Scan(view.id, view.Columns()));
+    state->mutable_views()->push_back(std::move(view));
+  }
+  return out;
+}
+
+/// Joins the component scans (cross product across components) and projects
+/// the query head in order.
+engine::ExprPtr ComposeQueryExpr(const InstalledQuery& installed) {
+  engine::ExprPtr expr = installed.scans[0];
+  for (size_t i = 1; i < installed.scans.size(); ++i) {
+    expr = engine::Expr::Join(expr, installed.scans[i], {});
+  }
+  if (expr->OutputColumns() != installed.head) {
+    expr = engine::Expr::Project(expr, installed.head);
+  }
+  return expr;
+}
+
+}  // namespace
+
+Result<State> MakeInitialState(
+    const std::vector<cq::ConjunctiveQuery>& workload) {
+  State state;
+  for (const cq::ConjunctiveQuery& raw : workload) {
+    RDFVIEWS_RETURN_IF_ERROR(CheckWorkloadQuery(raw));
+    cq::ConjunctiveQuery minimized = cq::Minimize(raw);
+    InstalledQuery installed = InstallQueryAsViews(minimized, &state);
+    state.mutable_rewritings()->push_back(ComposeQueryExpr(installed));
+  }
+  state.Touch();
+  return state;
+}
+
+Result<State> MakeReformulatedInitialState(
+    const std::vector<cq::ConjunctiveQuery>& workload,
+    const std::vector<cq::UnionOfQueries>& reformulated) {
+  if (workload.size() != reformulated.size()) {
+    return Status::InvalidArgument(
+        "workload/reformulation size mismatch");
+  }
+  State state;
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    RDFVIEWS_RETURN_IF_ERROR(CheckWorkloadQuery(workload[qi]));
+    std::vector<engine::ExprPtr> children;
+    // Output column names shared by all union children, fresh per query.
+    std::vector<cq::VarId> out_names;
+    for (size_t i = 0; i < workload[qi].head().size(); ++i) {
+      out_names.push_back(state.FreshVar());
+    }
+    for (const cq::ConjunctiveQuery& disjunct :
+         reformulated[qi].disjuncts()) {
+      cq::ConjunctiveQuery d = cq::Minimize(disjunct);
+      // Split the head into its variable part (becomes the view head) and
+      // remember the positional spec for the Arrange node.
+      cq::ConjunctiveQuery view_def = d;
+      view_def.mutable_head()->clear();
+      std::unordered_set<cq::VarId> head_seen;
+      for (const cq::Term& t : d.head()) {
+        if (t.is_var() && head_seen.insert(t.var()).second) {
+          view_def.mutable_head()->push_back(t);
+        }
+      }
+      if (view_def.head().empty()) {
+        // Fully-constant head (possible for very specific disjuncts): keep
+        // one body variable so the view is a well-formed relation.
+        view_def.mutable_head()->push_back(
+            cq::Term::Var(view_def.BodyVars().front()));
+      }
+      InstalledQuery installed = InstallQueryAsViews(view_def, &state);
+      // installed.head aligns with view_def.head(); build var mapping from
+      // the disjunct's original head vars to renamed ones.
+      std::unordered_map<cq::VarId, cq::VarId> head_rename;
+      for (size_t i = 0; i < view_def.head().size(); ++i) {
+        head_rename[view_def.head()[i].var()] = installed.head[i];
+      }
+      engine::ExprPtr joined = installed.scans[0];
+      for (size_t i = 1; i < installed.scans.size(); ++i) {
+        joined = engine::Expr::Join(joined, installed.scans[i], {});
+      }
+      std::vector<engine::ArrangeCol> spec;
+      for (size_t pos = 0; pos < d.head().size(); ++pos) {
+        engine::ArrangeCol col;
+        col.output_name = out_names[pos];
+        const cq::Term& t = d.head()[pos];
+        if (t.is_const()) {
+          col.is_const = true;
+          col.value = t.constant();
+        } else {
+          col.source = head_rename.at(t.var());
+        }
+        spec.push_back(col);
+      }
+      children.push_back(engine::Expr::Arrange(joined, std::move(spec)));
+    }
+    RDFVIEWS_CHECK_MSG(!children.empty(),
+                       "reformulation produced no disjuncts");
+    state.mutable_rewritings()->push_back(
+        children.size() == 1 ? children[0]
+                             : engine::Expr::Union(std::move(children)));
+  }
+  state.Touch();
+  return state;
+}
+
+}  // namespace rdfviews::vsel

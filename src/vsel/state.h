@@ -1,0 +1,78 @@
+// States of the search space (Sec. 3.1): a candidate view set plus one
+// equivalent rewriting per workload query.
+#ifndef RDFVIEWS_VSEL_STATE_H_
+#define RDFVIEWS_VSEL_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cq/ucq.h"
+#include "engine/expr.h"
+#include "vsel/view.h"
+
+namespace rdfviews::vsel {
+
+/// A candidate view set <V, R> (Def. 2.3). Immutable by convention:
+/// transitions copy the state. Variable ids and view ids are allocated from
+/// per-state counters so they stay globally unique across views.
+class State {
+ public:
+  const std::vector<View>& views() const { return views_; }
+  std::vector<View>* mutable_views() { return &views_; }
+
+  const std::vector<engine::ExprPtr>& rewritings() const {
+    return rewritings_;
+  }
+  std::vector<engine::ExprPtr>* mutable_rewritings() { return &rewritings_; }
+
+  cq::VarId FreshVar() { return next_var_++; }
+  uint32_t FreshViewId() { return next_view_id_++; }
+  cq::VarId next_var() const { return next_var_; }
+  void set_next_var(cq::VarId v) { next_var_ = v; }
+  uint32_t next_view_id() const { return next_view_id_; }
+  void set_next_view_id(uint32_t v) { next_view_id_ = v; }
+
+  int ViewIndexById(uint32_t id) const {
+    for (size_t i = 0; i < views_.size(); ++i) {
+      if (views_[i].id == id) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Canonical signature: the sorted canonical strings of all views. Two
+  /// states are equivalent iff they have the same view sets (Sec. 3.1), so
+  /// equal signatures identify duplicate states.
+  const std::string& Signature() const;
+
+  /// Invalidates the cached signature; called by transitions after edits.
+  void Touch() { signature_.clear(); }
+
+  std::string ToString(const rdf::Dictionary* dict = nullptr) const;
+
+ private:
+  std::vector<View> views_;
+  std::vector<engine::ExprPtr> rewritings_;
+  cq::VarId next_var_ = 0;
+  uint32_t next_view_id_ = 0;
+  mutable std::string signature_;
+};
+
+/// Builds the initial state S0: one view per workload query (queries are
+/// minimized first; a query with a Cartesian product is represented by its
+/// independent connected sub-queries, Def. 2.1), and trivial scan
+/// rewritings. Queries must have non-empty heads of distinct variables.
+Result<State> MakeInitialState(
+    const std::vector<cq::ConjunctiveQuery>& workload);
+
+/// Builds the pre-reformulation initial state (Sec. 4.3): one view per
+/// disjunct of each reformulated query, and union rewritings
+/// R0 = { qi = q1i U ... U qnii }. Disjunct head constants (from rules 5/6)
+/// are re-inserted positionally by Arrange nodes in the rewritings.
+Result<State> MakeReformulatedInitialState(
+    const std::vector<cq::ConjunctiveQuery>& workload,
+    const std::vector<cq::UnionOfQueries>& reformulated);
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_STATE_H_

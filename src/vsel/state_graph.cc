@@ -1,0 +1,80 @@
+#include "vsel/state_graph.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace rdfviews::vsel {
+
+namespace {
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+}  // namespace
+
+ViewGraph BuildViewGraph(const State& state, uint32_t view_idx) {
+  ViewGraph graph;
+  const cq::ConjunctiveQuery& def = state.views()[view_idx].def;
+  for (uint32_t ai = 0; ai < def.atoms().size(); ++ai) {
+    for (rdf::Column c : kColumns) {
+      cq::Term t = def.atoms()[ai].at(c);
+      if (t.is_const()) {
+        graph.selection_edges.push_back(
+            SelectionEdge{view_idx, cq::Occurrence{ai, c}, t.constant()});
+      }
+    }
+  }
+  for (const auto& [var, occs] : def.VarOccurrences()) {
+    for (size_t i = 0; i < occs.size(); ++i) {
+      for (size_t j = i + 1; j < occs.size(); ++j) {
+        graph.join_edges.push_back(JoinEdge{view_idx, occs[i], occs[j], var});
+      }
+    }
+  }
+  return graph;
+}
+
+StateGraph StateGraph::Of(const State& state) {
+  StateGraph g;
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    ViewGraph vg = BuildViewGraph(state, vi);
+    g.selection_edges.insert(g.selection_edges.end(),
+                             vg.selection_edges.begin(),
+                             vg.selection_edges.end());
+    g.join_edges.insert(g.join_edges.end(), vg.join_edges.begin(),
+                        vg.join_edges.end());
+  }
+  return g;
+}
+
+std::vector<int> AtomComponents(const std::vector<cq::Atom>& atoms) {
+  const size_t n = atoms.size();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::unordered_map<cq::VarId, int> first_atom;
+  for (size_t i = 0; i < n; ++i) {
+    for (rdf::Column c : kColumns) {
+      cq::Term t = atoms[i].at(c);
+      if (!t.is_var()) continue;
+      auto [it, inserted] = first_atom.emplace(t.var(), static_cast<int>(i));
+      if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
+    }
+  }
+  std::vector<int> comp(n);
+  std::unordered_map<int, int> root_to_id;
+  int next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int root = find(static_cast<int>(i));
+    auto [it, inserted] = root_to_id.emplace(root, next_id);
+    if (inserted) ++next_id;
+    comp[i] = it->second;
+  }
+  return comp;
+}
+
+}  // namespace rdfviews::vsel

@@ -1,0 +1,458 @@
+#include "vsel/transitions.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "cq/canonical.h"
+#include "cq/containment.h"
+
+namespace rdfviews::vsel {
+
+namespace {
+
+constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
+                                     rdf::Column::kO};
+
+using engine::Expr;
+using engine::ExprPtr;
+
+std::unordered_set<cq::VarId> VarsOfMask(const std::vector<cq::Atom>& atoms,
+                                         uint64_t mask) {
+  std::unordered_set<cq::VarId> vars;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (!(mask & (1ull << i))) continue;
+    for (rdf::Column c : kColumns) {
+      cq::Term t = atoms[i].at(c);
+      if (t.is_var()) vars.insert(t.var());
+    }
+  }
+  return vars;
+}
+
+bool MaskConnected(const std::vector<cq::Atom>& atoms, uint64_t mask) {
+  std::vector<cq::Atom> sub;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (mask & (1ull << i)) sub.push_back(atoms[i]);
+  }
+  if (sub.empty()) return false;
+  std::vector<int> comp = AtomComponents(sub);
+  for (int c : comp) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+/// Replaces every Scan of `view_id` in all rewritings by `replacement`.
+void SubstituteView(State* state, uint32_t view_id, const ExprPtr& replacement) {
+  for (ExprPtr& r : *state->mutable_rewritings()) {
+    r = Expr::ReplaceScans(
+        r, view_id, [&](const Expr&) { return replacement; });
+  }
+}
+
+/// Appends Var(v) to the head if not already present.
+void AddHeadVar(cq::ConjunctiveQuery* def, cq::VarId v) {
+  for (const cq::Term& t : def->head()) {
+    if (t.is_var() && t.var() == v) return;
+  }
+  def->mutable_head()->push_back(cq::Term::Var(v));
+}
+
+/// Builds the sub-view over the atoms in `mask` (Def. 3.2): head = (head of
+/// v restricted to the sub-body) plus every variable shared with the other
+/// side. The result is minimized (views are minimal by Def. 2.1).
+cq::ConjunctiveQuery MakeSubView(const cq::ConjunctiveQuery& parent,
+                                 uint64_t mask,
+                                 const std::unordered_set<cq::VarId>& shared) {
+  cq::ConjunctiveQuery def;
+  std::unordered_set<cq::VarId> vars;
+  for (size_t i = 0; i < parent.atoms().size(); ++i) {
+    if (!(mask & (1ull << i))) continue;
+    def.mutable_atoms()->push_back(parent.atoms()[i]);
+    for (rdf::Column c : kColumns) {
+      cq::Term t = parent.atoms()[i].at(c);
+      if (t.is_var()) vars.insert(t.var());
+    }
+  }
+  for (const cq::Term& t : parent.head()) {
+    if (t.is_var() && vars.contains(t.var())) AddHeadVar(&def, t.var());
+  }
+  std::vector<cq::VarId> extra;
+  for (cq::VarId v : shared) {
+    if (vars.contains(v)) extra.push_back(v);
+  }
+  std::sort(extra.begin(), extra.end());
+  for (cq::VarId v : extra) AddHeadVar(&def, v);
+  return cq::Minimize(def);
+}
+
+State ApplySc(const State& in, const Transition& t) {
+  State out = in;
+  View& v = (*out.mutable_views())[t.view_idx];
+  const uint32_t old_id = v.id;
+  const std::vector<cq::VarId> old_cols = v.Columns();
+
+  cq::Term old_term =
+      v.def.atoms()[t.sc_occurrence.atom].at(t.sc_occurrence.column);
+  RDFVIEWS_CHECK_MSG(old_term.is_const(), "SC on a non-constant position");
+  const rdf::TermId constant = old_term.constant();
+
+  const cq::VarId w = out.FreshVar();
+  View nv;
+  nv.id = out.FreshViewId();
+  nv.def = v.def;
+  (*nv.def.mutable_atoms())[t.sc_occurrence.atom].set(t.sc_occurrence.column,
+                                                      cq::Term::Var(w));
+  nv.def.mutable_head()->push_back(cq::Term::Var(w));
+  nv.def.set_name(nv.Name());
+  ExprPtr repl = Expr::Project(
+      Expr::Select(Expr::Scan(nv.id, nv.Columns()),
+                   {engine::Condition::Eq(w, constant)}),
+      old_cols);
+  v = std::move(nv);
+  SubstituteView(&out, old_id, repl);
+  out.Touch();
+  return out;
+}
+
+State ApplyJc(const State& in, const Transition& t) {
+  State out = in;
+  const View v = out.views()[t.view_idx];
+  const uint32_t old_id = v.id;
+  const std::vector<cq::VarId> old_cols = v.Columns();
+
+  cq::Term replaced =
+      v.def.atoms()[t.jc_replace.atom].at(t.jc_replace.column);
+  RDFVIEWS_CHECK_MSG(replaced.is_var(), "JC on a non-variable position");
+  const cq::VarId x = replaced.var();
+  const cq::VarId xp = out.FreshVar();
+
+  cq::ConjunctiveQuery def2 = v.def;
+  (*def2.mutable_atoms())[t.jc_replace.atom].set(t.jc_replace.column,
+                                                 cq::Term::Var(xp));
+  AddHeadVar(&def2, x);
+  AddHeadVar(&def2, xp);
+
+  std::vector<int> comp = AtomComponents(def2.atoms());
+  int num_comp = *std::max_element(comp.begin(), comp.end()) + 1;
+  RDFVIEWS_CHECK_MSG(num_comp <= 2, "JC split a view into >2 components");
+
+  if (num_comp == 1) {
+    View nv;
+    nv.id = out.FreshViewId();
+    nv.def = std::move(def2);
+    nv.def.set_name(nv.Name());
+    ExprPtr repl = Expr::Project(
+        Expr::Select(Expr::Scan(nv.id, nv.Columns()),
+                     {engine::Condition::EqVar(x, xp)}),
+        old_cols);
+    (*out.mutable_views())[t.view_idx] = std::move(nv);
+    SubstituteView(&out, old_id, repl);
+    out.Touch();
+    return out;
+  }
+
+  // The view splits in two: one component holds x's remaining occurrences,
+  // the other holds x' (Def. 3.4 case 2).
+  uint64_t mask_a = 0;
+  uint64_t mask_b = 0;
+  for (size_t i = 0; i < def2.atoms().size(); ++i) {
+    if (comp[i] == 0) {
+      mask_a |= 1ull << i;
+    } else {
+      mask_b |= 1ull << i;
+    }
+  }
+  std::unordered_set<cq::VarId> no_shared;  // components share no variables
+  cq::ConjunctiveQuery def_a = MakeSubView(def2, mask_a, no_shared);
+  cq::ConjunctiveQuery def_b = MakeSubView(def2, mask_b, no_shared);
+
+  View va;
+  va.id = out.FreshViewId();
+  va.def = std::move(def_a);
+  va.def.set_name(va.Name());
+  View vb;
+  vb.id = out.FreshViewId();
+  vb.def = std::move(def_b);
+  vb.def.set_name(vb.Name());
+
+  // The explicit join predicate joins x with x'; orient by side.
+  std::unordered_set<cq::VarId> vars_a = VarsOfMask(def2.atoms(), mask_a);
+  std::pair<cq::VarId, cq::VarId> pair =
+      vars_a.contains(x) ? std::make_pair(x, xp) : std::make_pair(xp, x);
+
+  ExprPtr repl = Expr::Project(
+      Expr::Join(Expr::Scan(va.id, va.Columns()),
+                 Expr::Scan(vb.id, vb.Columns()), {pair}),
+      old_cols);
+  (*out.mutable_views())[t.view_idx] = std::move(va);
+  out.mutable_views()->push_back(std::move(vb));
+  SubstituteView(&out, old_id, repl);
+  out.Touch();
+  return out;
+}
+
+State ApplyVb(const State& in, const Transition& t) {
+  State out = in;
+  const View v = out.views()[t.view_idx];
+  const uint32_t old_id = v.id;
+  const std::vector<cq::VarId> old_cols = v.Columns();
+
+  std::unordered_set<cq::VarId> vars_a = VarsOfMask(v.def.atoms(), t.vb_mask_a);
+  std::unordered_set<cq::VarId> vars_b = VarsOfMask(v.def.atoms(), t.vb_mask_b);
+  std::unordered_set<cq::VarId> shared;
+  for (cq::VarId u : vars_a) {
+    if (vars_b.contains(u)) shared.insert(u);
+  }
+
+  View va;
+  va.id = out.FreshViewId();
+  va.def = MakeSubView(v.def, t.vb_mask_a, shared);
+  va.def.set_name(va.Name());
+  View vb;
+  vb.id = out.FreshViewId();
+  vb.def = MakeSubView(v.def, t.vb_mask_b, shared);
+  vb.def.set_name(vb.Name());
+
+  // Natural join re-joins on the shared variable names.
+  ExprPtr repl = Expr::Project(
+      Expr::Join(Expr::Scan(va.id, va.Columns()),
+                 Expr::Scan(vb.id, vb.Columns()), {}),
+      old_cols);
+  (*out.mutable_views())[t.view_idx] = std::move(va);
+  out.mutable_views()->push_back(std::move(vb));
+  SubstituteView(&out, old_id, repl);
+  out.Touch();
+  return out;
+}
+
+State ApplyVf(const State& in, const Transition& t) {
+  State out = in;
+  const View v1 = out.views()[t.view_idx];
+  const View v2 = out.views()[t.view_idx2];
+
+  cq::CanonicalForm c1 = cq::Canonicalize(v1.def, /*include_head=*/false);
+  cq::CanonicalForm c2 = cq::Canonicalize(v2.def, /*include_head=*/false);
+  RDFVIEWS_CHECK_MSG(c1.repr == c2.repr, "VF on non-isomorphic views");
+
+  // mu maps v2 variables onto v1 variables through the canonical indices.
+  std::unordered_map<uint32_t, cq::VarId> inverse_c1;
+  for (const auto& [var, idx] : c1.var_map) inverse_c1[idx] = var;
+  std::unordered_map<cq::VarId, cq::VarId> mu;
+  for (const auto& [var, idx] : c2.var_map) {
+    auto it = inverse_c1.find(idx);
+    RDFVIEWS_CHECK(it != inverse_c1.end());
+    mu[var] = it->second;
+  }
+
+  View v3;
+  v3.id = out.FreshViewId();
+  v3.def = v1.def;
+  for (const cq::Term& t2 : v2.def.head()) {
+    AddHeadVar(&v3.def, mu.at(t2.var()));
+  }
+  v3.def.set_name(v3.Name());
+
+  ExprPtr repl1 =
+      Expr::Project(Expr::Scan(v3.id, v3.Columns()), v1.Columns());
+
+  // Rename v3's columns into v2's namespace. The map is total over v3's
+  // columns: unmapped ones get fresh names so no output name collides with
+  // a v2 name (v1 and v2 may share variables after overlapping view breaks).
+  std::unordered_map<cq::VarId, cq::VarId> rename;
+  for (const cq::Term& t2 : v2.def.head()) {
+    rename[mu.at(t2.var())] = t2.var();
+  }
+  for (cq::VarId col : v3.Columns()) {
+    if (!rename.contains(col)) rename[col] = out.FreshVar();
+  }
+  ExprPtr repl2 = Expr::Project(
+      Expr::Rename(Expr::Scan(v3.id, v3.Columns()), rename), v2.Columns());
+
+  // Replace v1's slot with v3 and erase v2.
+  (*out.mutable_views())[t.view_idx] = std::move(v3);
+  out.mutable_views()->erase(out.mutable_views()->begin() + t.view_idx2);
+  SubstituteView(&out, v1.id, repl1);
+  SubstituteView(&out, v2.id, repl2);
+  out.Touch();
+  return out;
+}
+
+void EnumerateVb(const State& state, const TransitionOptions& options,
+                 std::vector<Transition>* out) {
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    const std::vector<cq::Atom>& atoms = state.views()[vi].def.atoms();
+    const size_t n = atoms.size();
+    // Def. 3.2 requires |Nv| > 2; the upper cap bounds the 2^n enumeration.
+    if (n < 3 || n > options.vb_max_atoms) continue;
+    const uint64_t full = (n == 64) ? ~0ull : ((1ull << n) - 1);
+
+    // Partition-style breaks.
+    for (uint64_t a = 1; a < full; ++a) {
+      uint64_t b = full ^ a;
+      if (a >= b) continue;  // unordered pair
+      if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
+      Transition t;
+      t.kind = TransitionKind::kVB;
+      t.view_idx = vi;
+      t.vb_mask_a = a;
+      t.vb_mask_b = b;
+      out->push_back(t);
+    }
+
+    // Overlapping covers sharing `vb_overlap` nodes (we support 1).
+    if (options.vb_overlap >= 1 && n <= options.vb_overlap_max_atoms) {
+      for (size_t pivot = 0; pivot < n; ++pivot) {
+        const uint64_t pbit = 1ull << pivot;
+        const uint64_t rest = full ^ pbit;
+        // Enumerate subsets of `rest` as side A's exclusive part.
+        for (uint64_t ax = rest; ax != 0; ax = (ax - 1) & rest) {
+          uint64_t bx = rest ^ ax;
+          if (bx == 0) continue;  // B would be a subset of A
+          uint64_t a = ax | pbit;
+          uint64_t b = bx | pbit;
+          if (a >= b) continue;
+          if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
+          Transition t;
+          t.kind = TransitionKind::kVB;
+          t.view_idx = vi;
+          t.vb_mask_a = a;
+          t.vb_mask_b = b;
+          out->push_back(t);
+        }
+      }
+    }
+  }
+}
+
+void EnumerateVf(const State& state, std::vector<Transition>* out) {
+  std::unordered_map<std::string, std::vector<uint32_t>> by_body;
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    by_body[cq::CanonicalString(state.views()[vi].def,
+                                /*include_head=*/false)]
+        .push_back(vi);
+  }
+  for (const auto& [body, group] : by_body) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        Transition t;
+        t.kind = TransitionKind::kVF;
+        t.view_idx = group[i];
+        t.view_idx2 = group[j];
+        out->push_back(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* TransitionName(TransitionKind kind) {
+  switch (kind) {
+    case TransitionKind::kVB: return "VB";
+    case TransitionKind::kSC: return "SC";
+    case TransitionKind::kJC: return "JC";
+    case TransitionKind::kVF: return "VF";
+  }
+  return "?";
+}
+
+std::string Transition::ToString() const {
+  std::ostringstream out;
+  out << TransitionName(kind) << "(view#" << view_idx;
+  switch (kind) {
+    case TransitionKind::kSC:
+      out << ", atom " << sc_occurrence.atom << "."
+          << rdf::ColumnName(sc_occurrence.column);
+      break;
+    case TransitionKind::kJC:
+      out << ", cut " << jc_replace.atom << "."
+          << rdf::ColumnName(jc_replace.column) << " = " << jc_other.atom
+          << "." << rdf::ColumnName(jc_other.column);
+      break;
+    case TransitionKind::kVB:
+      out << ", masks " << vb_mask_a << "/" << vb_mask_b;
+      break;
+    case TransitionKind::kVF:
+      out << ", view#" << view_idx2;
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+std::vector<Transition> EnumerateTransitions(
+    const State& state, TransitionKind kind,
+    const TransitionOptions& options) {
+  std::vector<Transition> out;
+  switch (kind) {
+    case TransitionKind::kSC: {
+      for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+        ViewGraph g = BuildViewGraph(state, vi);
+        for (const SelectionEdge& e : g.selection_edges) {
+          Transition t;
+          t.kind = TransitionKind::kSC;
+          t.view_idx = vi;
+          t.sc_occurrence = e.occurrence;
+          out.push_back(t);
+        }
+      }
+      break;
+    }
+    case TransitionKind::kJC: {
+      for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+        ViewGraph g = BuildViewGraph(state, vi);
+        for (const JoinEdge& e : g.join_edges) {
+          // Cutting ni.ai=nj.aj renames the ni.ai occurrence; both
+          // orientations are distinct transitions (Def. 3.4).
+          Transition t;
+          t.kind = TransitionKind::kJC;
+          t.view_idx = vi;
+          t.jc_replace = e.a;
+          t.jc_other = e.b;
+          out.push_back(t);
+          if (options.jc_both_orientations) {
+            std::swap(t.jc_replace, t.jc_other);
+            out.push_back(t);
+          }
+        }
+      }
+      break;
+    }
+    case TransitionKind::kVB:
+      EnumerateVb(state, options, &out);
+      break;
+    case TransitionKind::kVF:
+      EnumerateVf(state, &out);
+      break;
+  }
+  return out;
+}
+
+State ApplyTransition(const State& state, const Transition& t) {
+  switch (t.kind) {
+    case TransitionKind::kSC: return ApplySc(state, t);
+    case TransitionKind::kJC: return ApplyJc(state, t);
+    case TransitionKind::kVB: return ApplyVb(state, t);
+    case TransitionKind::kVF: return ApplyVf(state, t);
+  }
+  RDFVIEWS_CHECK_MSG(false, "unreachable");
+  return state;
+}
+
+State AvfClosure(const State& state, const TransitionOptions& options,
+                 size_t* steps) {
+  State current = state;
+  while (true) {
+    std::vector<Transition> fusions =
+        EnumerateTransitions(current, TransitionKind::kVF, options);
+    if (fusions.empty()) return current;
+    current = ApplyTransition(current, fusions.front());
+    if (steps != nullptr) ++*steps;
+  }
+}
+
+}  // namespace rdfviews::vsel

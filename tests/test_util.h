@@ -1,0 +1,59 @@
+// Shared helpers for the test suites: tiny datasets, a brute-force
+// reference evaluator, and random query/transition generators for the
+// property-based suites.
+#ifndef RDFVIEWS_TESTS_TEST_UTIL_H_
+#define RDFVIEWS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "engine/relation.h"
+#include "rdf/dictionary.h"
+#include "rdf/schema.h"
+#include "rdf/triple_store.h"
+
+namespace rdfviews::testing {
+
+/// Parses a datalog query, aborting the test on failure.
+cq::ConjunctiveQuery MustParse(const std::string& text,
+                               rdf::Dictionary* dict);
+
+/// The painters dataset behind the paper's running example (q1: painters of
+/// "starryNight" with painter children), plus the museum schema of Sec. 4.3
+/// (painting ⊑ picture, isExpIn ⊑p isLocatIn, plus domain/range typings).
+struct PaintersFixture {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  rdf::Schema schema;
+
+  PaintersFixture();
+};
+
+/// A small random store over a closed vocabulary; useful for property
+/// tests. All terms are pre-interned as p0..pP / r0..rR.
+rdf::TripleStore RandomStore(rdf::Dictionary* dict, size_t num_triples,
+                             size_t num_resources, size_t num_properties,
+                             uint64_t seed);
+
+/// A random RDFS over the same vocabulary: subclass/subproperty forests and
+/// some domain/range statements.
+rdf::Schema RandomSchema(rdf::Dictionary* dict, size_t num_classes,
+                         size_t num_properties, uint64_t seed);
+
+/// Reference evaluator: enumerates all assignments of atoms to triples,
+/// no indexes, no cleverness. Ground truth for the engine tests.
+engine::Relation BruteForceEvaluate(const cq::ConjunctiveQuery& q,
+                                    const rdf::TripleStore& store);
+
+/// A random connected conjunctive query over the store's vocabulary with
+/// `num_atoms` atoms (property constants drawn from the store).
+cq::ConjunctiveQuery RandomQuery(const rdf::TripleStore& store,
+                                 size_t num_atoms, size_t head_vars,
+                                 uint64_t seed);
+
+}  // namespace rdfviews::testing
+
+#endif  // RDFVIEWS_TESTS_TEST_UTIL_H_

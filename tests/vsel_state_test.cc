@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.h"
+#include "engine/materializer.h"
+#include "reform/reformulate.h"
+#include "rdf/saturation.h"
+#include "test_util.h"
+#include "vsel/state.h"
+#include "vsel/state_graph.h"
+
+namespace rdfviews::vsel {
+namespace {
+
+using rdfviews::testing::MustParse;
+using rdfviews::testing::PaintersFixture;
+
+/// Materializes every view of `state` on `store` and checks that executing
+/// each rewriting returns exactly the workload query's answers.
+void ExpectStateAnswersWorkload(
+    const State& state, const std::vector<cq::ConjunctiveQuery>& workload,
+    const rdf::TripleStore& store) {
+  std::map<uint32_t, engine::Relation> mats;
+  for (const View& v : state.views()) {
+    mats[v.id] = engine::MaterializeView(v.def, v.Columns(), store);
+  }
+  auto resolver = [&](uint32_t id) -> const engine::Relation& {
+    return mats.at(id);
+  };
+  ASSERT_EQ(state.rewritings().size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    engine::Relation got = engine::Execute(*state.rewritings()[i], resolver);
+    got.DedupRows();
+    engine::Relation expected = engine::EvaluateQuery(workload[i], store);
+    EXPECT_TRUE(expected.SameRowsAs(got))
+        << "query " << i << ": " << workload[i].ToString() << "\nstate:\n"
+        << state.ToString();
+  }
+}
+
+TEST(StateTest, InitialStateHasOneViewPerQuery) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q1(X) :- t(X, p, c1)", &dict),
+      MustParse("q2(X, Y) :- t(X, p, Y), t(Y, q, c2)", &dict),
+  };
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok()) << s0.status().ToString();
+  EXPECT_EQ(s0->views().size(), 2u);
+  EXPECT_EQ(s0->rewritings().size(), 2u);
+  // Views got fresh variable spaces: ids are disjoint.
+  auto v0 = s0->views()[0].def.BodyVars();
+  auto v1 = s0->views()[1].def.BodyVars();
+  for (cq::VarId a : v0) {
+    for (cq::VarId b : v1) EXPECT_NE(a, b);
+  }
+}
+
+TEST(StateTest, InitialStateAnswersWorkload) {
+  PaintersFixture fx;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse(
+          "q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), "
+          "t(Y, hasPainted, Z)",
+          &fx.dict),
+      MustParse("q2(X) :- t(X, isExpIn, Y)", &fx.dict),
+  };
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ExpectStateAnswersWorkload(*s0, workload, fx.store);
+}
+
+TEST(StateTest, QueriesAreMinimizedOnEntry) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q(X) :- t(X, p, Y), t(X, p, Z)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_EQ(s0->views()[0].def.len(), 1u);
+}
+
+TEST(StateTest, CartesianProductSplitsIntoViews) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q(X, A) :- t(X, p, c1), t(A, q, c2)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_EQ(s0->views().size(), 2u);
+  EXPECT_EQ(s0->rewritings().size(), 1u);
+}
+
+TEST(StateTest, CartesianSplitStillAnswers) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  store.Add(dict.Intern("a"), dict.Intern("p"), dict.Intern("c1"));
+  store.Add(dict.Intern("b"), dict.Intern("q"), dict.Intern("c2"));
+  store.Add(dict.Intern("d"), dict.Intern("q"), dict.Intern("c2"));
+  store.Build(&dict);
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q(X, A) :- t(X, p, c1), t(A, q, c2)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ExpectStateAnswersWorkload(*s0, workload, store);
+}
+
+TEST(StateTest, RejectsConstantHeadAndDuplicates) {
+  rdf::Dictionary dict;
+  cq::ConjunctiveQuery q = MustParse("q(X, Y) :- t(X, p, Y)", &dict);
+  q.Substitute(q.head()[1].var(), cq::Term::Const(dict.Intern("c")));
+  EXPECT_FALSE(MakeInitialState({q}).ok());
+
+  cq::ConjunctiveQuery dup = MustParse("q(X, Y) :- t(X, p, Y)", &dict);
+  dup.mutable_head()->push_back(dup.head()[0]);
+  EXPECT_FALSE(MakeInitialState({dup}).ok());
+}
+
+TEST(StateTest, SignatureInvariantUnderRenamingAndOrder) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> w1 = {
+      MustParse("q1(X) :- t(X, p, c1)", &dict),
+      MustParse("q2(Y) :- t(Y, q, c2)", &dict),
+  };
+  std::vector<cq::ConjunctiveQuery> w2 = {
+      MustParse("q2(B) :- t(B, q, c2)", &dict),
+      MustParse("q1(A) :- t(A, p, c1)", &dict),
+  };
+  Result<State> a = MakeInitialState(w1);
+  Result<State> b = MakeInitialState(w2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->Signature(), b->Signature());
+}
+
+TEST(StateTest, ReformulatedInitialStateAnswersWithEntailment) {
+  PaintersFixture fx;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q1(X) :- t(X, rdf:type, picture)", &fx.dict),
+      MustParse("q2(X, Y) :- t(X, isLocatIn, Y)", &fx.dict),
+  };
+  std::vector<cq::UnionOfQueries> reformulated;
+  for (const auto& q : workload) {
+    reformulated.push_back(reform::Reformulate(q, fx.schema).ucq);
+  }
+  Result<State> s0 = MakeReformulatedInitialState(workload, reformulated);
+  ASSERT_TRUE(s0.ok()) << s0.status().ToString();
+  EXPECT_GT(s0->views().size(), 2u);  // one view per disjunct
+
+  // Materializing on the *original* store and executing the union
+  // rewritings must equal direct evaluation on the *saturated* store.
+  rdf::TripleStore saturated = rdf::Saturate(fx.store, fx.schema);
+  std::map<uint32_t, engine::Relation> mats;
+  for (const View& v : s0->views()) {
+    mats[v.id] = engine::MaterializeView(v.def, v.Columns(), fx.store);
+  }
+  auto resolver = [&](uint32_t id) -> const engine::Relation& {
+    return mats.at(id);
+  };
+  for (size_t i = 0; i < workload.size(); ++i) {
+    engine::Relation got = engine::Execute(*s0->rewritings()[i], resolver);
+    got.DedupRows();
+    engine::Relation expected = engine::EvaluateQuery(workload[i], saturated);
+    EXPECT_TRUE(expected.SameRowsAs(got)) << workload[i].ToString(&fx.dict);
+  }
+}
+
+// ---------------------------------------------------------------- StateGraph
+
+TEST(StateGraphTest, StarQueryGraphIsClique) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {MustParse(
+      "q(X) :- t(X, p1, Y1), t(X, p2, Y2), t(X, p3, Y3), t(X, p4, Y4)",
+      &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ViewGraph g = BuildViewGraph(*s0, 0);
+  // X occurs 4 times: C(4,2) = 6 join edges (a clique, Sec. 6.2).
+  EXPECT_EQ(g.join_edges.size(), 6u);
+  EXPECT_EQ(g.selection_edges.size(), 4u);  // the four property constants
+}
+
+TEST(StateGraphTest, ChainQueryGraphIsPath) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {MustParse(
+      "q(X0, X3) :- t(X0, p1, X1), t(X1, p2, X2), t(X2, p3, X3)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ViewGraph g = BuildViewGraph(*s0, 0);
+  EXPECT_EQ(g.join_edges.size(), 2u);
+  EXPECT_EQ(g.selection_edges.size(), 3u);
+}
+
+TEST(StateGraphTest, IntraAtomJoinEdge) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q(X) :- t(X, p, X)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ViewGraph g = BuildViewGraph(*s0, 0);
+  EXPECT_EQ(g.join_edges.size(), 1u);
+  EXPECT_EQ(g.join_edges[0].a.atom, g.join_edges[0].b.atom);
+}
+
+TEST(StateGraphTest, SelectionEdgesCarryConstants) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q(X) :- t(X, hasPainted, starryNight)", &dict)};
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  ViewGraph g = BuildViewGraph(*s0, 0);
+  ASSERT_EQ(g.selection_edges.size(), 2u);
+  EXPECT_EQ(g.selection_edges[0].occurrence.column, rdf::Column::kP);
+  EXPECT_EQ(g.selection_edges[1].occurrence.column, rdf::Column::kO);
+}
+
+TEST(StateGraphTest, WholeGraphCollectsAllViews) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = {
+      MustParse("q1(X) :- t(X, p, c)", &dict),
+      MustParse("q2(X) :- t(X, q, Y), t(Y, r, Z)", &dict),
+  };
+  Result<State> s0 = MakeInitialState(workload);
+  ASSERT_TRUE(s0.ok());
+  StateGraph g = StateGraph::Of(*s0);
+  EXPECT_EQ(g.selection_edges.size(), 4u);
+  EXPECT_EQ(g.join_edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfviews::vsel

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "engine/evaluator.h"
+#include "rdf/saturation.h"
+#include "rdf/vocabulary.h"
+#include "test_util.h"
+#include "workload/barton.h"
+#include "workload/generator.h"
+
+namespace rdfviews::workload {
+namespace {
+
+// ------------------------------------------------------------------- Barton
+
+TEST(BartonTest, SchemaMatchesPaperCounts) {
+  rdf::Dictionary dict;
+  BartonSchema barton = BuildBartonSchema(&dict);
+  EXPECT_EQ(barton.classes.size(), 39u);
+  EXPECT_EQ(barton.properties.size(), 61u);
+  EXPECT_EQ(barton.schema.num_statements(), 106u);
+}
+
+TEST(BartonTest, SchemaHierarchiesAreMeaningful) {
+  rdf::Dictionary dict;
+  BartonSchema barton = BuildBartonSchema(&dict);
+  rdf::TermId book = *dict.Find("bt:Book");
+  rdf::TermId item = *dict.Find("bt:Item");
+  EXPECT_TRUE(barton.schema.IsSubClassOf(book, item));
+  rdf::TermId isbn = *dict.Find("bt:isbn");
+  rdf::TermId identifier = *dict.Find("bt:identifier");
+  EXPECT_TRUE(barton.schema.IsSubPropertyOf(isbn, identifier));
+}
+
+TEST(BartonTest, DataGenerationIsDeterministic) {
+  rdf::Dictionary d1, d2;
+  BartonSchema b1 = BuildBartonSchema(&d1);
+  BartonSchema b2 = BuildBartonSchema(&d2);
+  BartonDataOptions opts;
+  opts.num_triples = 2000;
+  rdf::TripleStore s1 = GenerateBartonData(b1, &d1, opts);
+  rdf::TripleStore s2 = GenerateBartonData(b2, &d2, opts);
+  EXPECT_EQ(s1.size(), s2.size());
+  EXPECT_EQ(s1.triples(), s2.triples());
+}
+
+TEST(BartonTest, DataHasTypesAndSaturationGrowsIt) {
+  rdf::Dictionary dict;
+  BartonSchema barton = BuildBartonSchema(&dict);
+  BartonDataOptions opts;
+  opts.num_triples = 3000;
+  rdf::TripleStore store = GenerateBartonData(barton, &dict, opts);
+  EXPECT_GE(store.size(), opts.num_triples * 9 / 10);
+  EXPECT_GT(store.Count(rdf::Pattern{rdf::kAnyTerm, rdf::kRdfType,
+                                     rdf::kAnyTerm}),
+            0u);
+  rdf::TripleStore saturated = rdf::Saturate(store, barton.schema);
+  EXPECT_GT(saturated.size(), store.size());
+}
+
+TEST(BartonTest, ScalesWithRequestedSize) {
+  rdf::Dictionary dict;
+  BartonSchema barton = BuildBartonSchema(&dict);
+  BartonDataOptions small;
+  small.num_triples = 1000;
+  BartonDataOptions large;
+  large.num_triples = 8000;
+  EXPECT_LT(GenerateBartonData(barton, &dict, small).size(),
+            GenerateBartonData(barton, &dict, large).size());
+}
+
+// ---------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, StarShapeSharesCentralSubject) {
+  rdf::Dictionary dict;
+  WorkloadSpec spec;
+  spec.shape = QueryShape::kStar;
+  spec.num_queries = 3;
+  spec.atoms_per_query = 5;
+  auto queries = GenerateWorkload(spec, &dict);
+  ASSERT_EQ(queries.size(), 3u);
+  for (const auto& q : queries) {
+    // All atoms share the same subject variable.
+    ASSERT_GE(q.len(), 1u);
+    cq::Term center = q.atoms()[0].s;
+    for (const cq::Atom& a : q.atoms()) {
+      EXPECT_EQ(a.s, center);
+    }
+  }
+}
+
+TEST(GeneratorTest, ChainShapeLinksObjectsToSubjects) {
+  rdf::Dictionary dict;
+  WorkloadSpec spec;
+  spec.shape = QueryShape::kChain;
+  spec.num_queries = 2;
+  spec.atoms_per_query = 4;
+  spec.object_constant_share = 0.0;
+  auto queries = GenerateWorkload(spec, &dict);
+  for (const auto& q : queries) {
+    for (size_t i = 0; i + 1 < q.len(); ++i) {
+      EXPECT_EQ(q.atoms()[i].o, q.atoms()[i + 1].s);
+    }
+  }
+}
+
+TEST(GeneratorTest, RequestedSizes) {
+  rdf::Dictionary dict;
+  WorkloadSpec spec;
+  spec.shape = QueryShape::kMixed;
+  spec.num_queries = 10;
+  spec.atoms_per_query = 6;
+  auto queries = GenerateWorkload(spec, &dict);
+  EXPECT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    // Minimization may shave an atom or two but not collapse the query.
+    EXPECT_GE(q.len(), 3u);
+    EXPECT_LE(q.len(), 6u);
+    EXPECT_TRUE(q.Validate().ok());
+    EXPECT_FALSE(q.HasCartesianProduct());
+  }
+}
+
+TEST(GeneratorTest, HighCommonalitySharesConstants) {
+  rdf::Dictionary dict;
+  WorkloadSpec spec;
+  spec.num_queries = 8;
+  spec.atoms_per_query = 5;
+  spec.shape = QueryShape::kChain;
+
+  auto count_distinct_constants = [](const auto& queries) {
+    std::unordered_set<rdf::TermId> constants;
+    for (const auto& q : queries) {
+      for (const cq::Atom& a : q.atoms()) {
+        if (a.p.is_const()) constants.insert(a.p.constant());
+        if (a.o.is_const()) constants.insert(a.o.constant());
+      }
+    }
+    return constants.size();
+  };
+
+  spec.commonality = Commonality::kHigh;
+  size_t high = count_distinct_constants(GenerateWorkload(spec, &dict));
+  spec.commonality = Commonality::kLow;
+  spec.seed = 2;
+  size_t low = count_distinct_constants(GenerateWorkload(spec, &dict));
+  EXPECT_LT(high, low);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  rdf::Dictionary d1, d2;
+  WorkloadSpec spec;
+  spec.num_queries = 4;
+  auto a = GenerateWorkload(spec, &d1);
+  auto b = GenerateWorkload(spec, &d2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+class SatisfiableWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatisfiableWorkloadTest, AllQueriesHaveAnswers) {
+  rdf::Dictionary dict;
+  BartonSchema barton = BuildBartonSchema(&dict);
+  BartonDataOptions dopts;
+  dopts.num_triples = 4000;
+  dopts.seed = GetParam();
+  rdf::TripleStore store = GenerateBartonData(barton, &dict, dopts);
+  WorkloadSpec spec;
+  spec.num_queries = 5;
+  spec.atoms_per_query = 4;
+  spec.shape = GetParam() % 2 == 0 ? QueryShape::kStar : QueryShape::kChain;
+  spec.seed = GetParam();
+  auto queries = GenerateSatisfiableWorkload(spec, store, &dict);
+  ASSERT_EQ(queries.size(), 5u);
+  for (const auto& q : queries) {
+    EXPECT_GT(engine::EvaluateQuery(q, store).NumRows(), 0u)
+        << q.ToString(&dict);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfiableWorkloadTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(GeneratorTest, ProfileCountsAtomsAndConstants) {
+  rdf::Dictionary dict;
+  WorkloadSpec spec;
+  spec.num_queries = 5;
+  spec.atoms_per_query = 5;
+  auto queries = GenerateWorkload(spec, &dict);
+  WorkloadProfile p = ProfileWorkload(queries);
+  EXPECT_EQ(p.num_queries, 5u);
+  EXPECT_GT(p.total_atoms, 10u);
+  EXPECT_GT(p.total_constants, 10u);
+}
+
+}  // namespace
+}  // namespace rdfviews::workload
