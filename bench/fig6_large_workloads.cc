@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
       "workloads (10 atoms per query, stop_time = %.2fs x num_queries).\n\n",
       base_budget);
   bench::PrintRow({"strategy", "commonality", "shape", "queries", "rcr",
-                   "atoms/view"});
-  bench::PrintRule(6);
+                   "atoms/view", "states/s", "est/state"});
+  bench::PrintRule(8);
 
   double dfs_atoms_per_view = 0;
   double gstr_atoms_per_view = 0;
@@ -97,11 +97,16 @@ int main(int argc, char** argv) {
                         s0.status().ToString().c_str());
             continue;
           }
-          vsel::CostModel model(&stats, vsel::CostWeights{});
-          vsel::CostBreakdown b = model.Breakdown(*s0);
+          // Calibrate on a throwaway model: warming the real model's
+          // interner with s0's views would make est/state under-report the
+          // search's own estimator traffic.
           vsel::CostWeights w;
-          w.cm = vsel::CostModel::CalibrateCm(b, w);
-          model.set_weights(w);
+          {
+            vsel::CostModel calibration(&stats, vsel::CostWeights{});
+            vsel::CostBreakdown b = calibration.Breakdown(*s0);
+            w.cm = vsel::CostModel::CalibrateCm(b, w);
+          }
+          vsel::CostModel model(&stats, w);
           vsel::HeuristicOptions heur;
           heur.avf = true;
           heur.stop_var = true;
@@ -123,12 +128,22 @@ int main(int argc, char** argv) {
             gstr_atoms_per_view += atoms_per_view;
             ++gstr_runs;
           }
+          // Cost-model estimation traffic: raw cardinality estimator runs
+          // per created state (O(distinct views) per run when memoized,
+          // O(states x views) before the incremental refactor).
+          double est_per_state =
+              result->stats.created > 0
+                  ? static_cast<double>(model.counters().card_raw) /
+                        static_cast<double>(result->stats.created)
+                  : 0;
           bench::PrintRow(
               {vsel::StrategyName(strategy),
                workload::CommonalityName(commonality),
                workload::QueryShapeName(shape), std::to_string(num_queries),
                FormatDouble(result->stats.RelativeCostReduction(), 3),
-               FormatDouble(atoms_per_view, 2)});
+               FormatDouble(atoms_per_view, 2),
+               FormatDouble(result->stats.StatesPerSecond(), 0),
+               FormatDouble(est_per_state, 2)});
         }
       }
     }

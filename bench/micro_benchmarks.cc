@@ -11,7 +11,9 @@
 #include "rdf/saturation.h"
 #include "rdf/statistics.h"
 #include "reform/reformulate.h"
+#include "search_probe.h"
 #include "vsel/cost_model.h"
+#include "vsel/search.h"
 #include "vsel/state.h"
 #include "vsel/transitions.h"
 #include "workload/barton.h"
@@ -149,11 +151,20 @@ void BM_StateSignature(benchmark::State& state) {
   BartonFixture& fx = BartonFixture::Get();
   vsel::State s0 = *vsel::MakeInitialState(fx.queries);
   for (auto _ : state) {
-    s0.Touch();
     benchmark::DoNotOptimize(s0.Signature().size());
   }
 }
 BENCHMARK(BM_StateSignature);
+
+void BM_StateFingerprintRecompute(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  for (auto _ : state) {
+    vsel::StateFingerprint fp = s0.RecomputeFingerprint();
+    benchmark::DoNotOptimize(fp);
+  }
+}
+BENCHMARK(BM_StateFingerprintRecompute);
 
 void BM_StateCost(benchmark::State& state) {
   BartonFixture& fx = BartonFixture::Get();
@@ -165,6 +176,71 @@ void BM_StateCost(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StateCost);
+
+void BM_StateCostUncached(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  rdf::Statistics stats(&fx.store);
+  vsel::CostModel model(&stats, vsel::CostWeights{});
+  model.set_memoization(false);
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.StateCost(s0));
+  }
+}
+BENCHMARK(BM_StateCostUncached);
+
+/// The headline micro-benchmark of the incremental search core: a
+/// time-boxed search over the Barton workload. Reports states/sec
+/// (items/sec) plus the cost-model estimation traffic per state; flip
+/// `memoized` to compare against the full-recomputation reference.
+void SearchThroughput(benchmark::State& state, vsel::StrategyKind strategy,
+                      bool memoized) {
+  BartonFixture& fx = BartonFixture::Get();
+  rdf::Statistics stats(&fx.store);
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  uint64_t created = 0;
+  uint64_t card_estimations = 0;
+  double elapsed = 0;
+  for (auto _ : state) {
+    std::optional<bench::SearchProbeResult> r =
+        bench::RunSearchProbe(stats, s0, strategy, memoized,
+                              /*budget_sec=*/0.25);
+    if (!r.has_value()) {
+      state.SkipWithError("search failed");
+      return;
+    }
+    created += r->created;
+    elapsed += r->elapsed_sec;
+    card_estimations += r->card_estimations;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(created));
+  state.counters["states/sec"] =
+      elapsed > 0 ? static_cast<double>(created) / elapsed : 0;
+  state.counters["card_est/state"] =
+      created > 0
+          ? static_cast<double>(card_estimations) / static_cast<double>(created)
+          : 0;
+}
+
+void BM_SearchDfsMemoized(benchmark::State& state) {
+  SearchThroughput(state, vsel::StrategyKind::kDfs, /*memoized=*/true);
+}
+BENCHMARK(BM_SearchDfsMemoized)->Unit(benchmark::kMillisecond);
+
+void BM_SearchDfsUncached(benchmark::State& state) {
+  SearchThroughput(state, vsel::StrategyKind::kDfs, /*memoized=*/false);
+}
+BENCHMARK(BM_SearchDfsUncached)->Unit(benchmark::kMillisecond);
+
+void BM_SearchExstrMemoized(benchmark::State& state) {
+  SearchThroughput(state, vsel::StrategyKind::kExStr, /*memoized=*/true);
+}
+BENCHMARK(BM_SearchExstrMemoized)->Unit(benchmark::kMillisecond);
+
+void BM_SearchExstrUncached(benchmark::State& state) {
+  SearchThroughput(state, vsel::StrategyKind::kExStr, /*memoized=*/false);
+}
+BENCHMARK(BM_SearchExstrUncached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rdfviews

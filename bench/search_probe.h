@@ -1,0 +1,59 @@
+// Shared core of the search-throughput A/B measurement: run one strategy
+// over a prepared initial state, with or without cost-model memoization,
+// and derive the counters both harnesses (bench/search_throughput.cc and
+// the micro-benchmark suite) report. Keeping the derivation in one place
+// prevents the CI smoke numbers and the CHANGES.md-quoted numbers from
+// drifting apart.
+#ifndef RDFVIEWS_BENCH_SEARCH_PROBE_H_
+#define RDFVIEWS_BENCH_SEARCH_PROBE_H_
+
+#include <optional>
+
+#include "rdf/statistics.h"
+#include "vsel/cost_model.h"
+#include "vsel/search.h"
+
+namespace rdfviews::bench {
+
+struct SearchProbeResult {
+  uint64_t created = 0;        // candidate states generated
+  double elapsed_sec = 0;      // wall-clock spent in the search
+  uint64_t card_estimations = 0;  // raw cardinality-estimator runs
+  size_t distinct_views = 0;   // interned (distinct) views, memoized mode
+  double best_cost = 0;
+
+  double StatesPerSecond() const {
+    return elapsed_sec > 0 ? static_cast<double>(created) / elapsed_sec : 0;
+  }
+  double EstimationsPerState() const {
+    return created > 0
+               ? static_cast<double>(card_estimations) /
+                     static_cast<double>(created)
+               : 0;
+  }
+};
+
+/// Runs `strategy` from `s0` under `budget_sec` with a fresh cost model.
+/// Returns nullopt when the search itself fails.
+inline std::optional<SearchProbeResult> RunSearchProbe(
+    const rdf::Statistics& stats, const vsel::State& s0,
+    vsel::StrategyKind strategy, bool memoized, double budget_sec) {
+  vsel::CostModel model(&stats, vsel::CostWeights{});
+  model.set_memoization(memoized);
+  vsel::HeuristicOptions heur;
+  vsel::SearchLimits limits;
+  limits.time_budget_sec = budget_sec;
+  auto r = vsel::RunSearch(strategy, s0, model, heur, limits);
+  if (!r.ok()) return std::nullopt;
+  SearchProbeResult out;
+  out.created = r->stats.created;
+  out.elapsed_sec = r->stats.elapsed_sec;
+  out.card_estimations = model.counters().card_raw;
+  out.distinct_views = model.interner().NumDistinctViews();
+  out.best_cost = r->stats.best_cost;
+  return out;
+}
+
+}  // namespace rdfviews::bench
+
+#endif  // RDFVIEWS_BENCH_SEARCH_PROBE_H_

@@ -1,0 +1,58 @@
+// Search-core throughput probe: states/sec and cost-model estimation
+// traffic for a fixed Barton workload, with and without memoization. The
+// A/B numbers quoted in CHANGES.md come from this harness (the "before"
+// side built against the pre-refactor tree).
+//
+// Flags: --budget-sec=5 --triples=20000 --queries=5 --atoms=5
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rdf/statistics.h"
+#include "search_probe.h"
+#include "workload/barton.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace rdfviews;
+  bench::Flags flags(argc, argv);
+  const double budget = flags.GetDouble("budget-sec", 5);
+  const size_t triples = static_cast<size_t>(flags.GetInt("triples", 20000));
+
+  rdf::Dictionary dict;
+  workload::BartonSchema barton = workload::BuildBartonSchema(&dict);
+  workload::BartonDataOptions dopts;
+  dopts.num_triples = triples;
+  rdf::TripleStore store = workload::GenerateBartonData(barton, &dict, dopts);
+  workload::WorkloadSpec spec;
+  spec.num_queries = static_cast<size_t>(flags.GetInt("queries", 5));
+  spec.atoms_per_query = static_cast<size_t>(flags.GetInt("atoms", 5));
+  spec.shape = workload::QueryShape::kMixed;
+  std::vector<cq::ConjunctiveQuery> queries =
+      workload::GenerateSatisfiableWorkload(spec, store, &dict);
+
+  rdf::Statistics stats(&store);
+  vsel::State s0 = *vsel::MakeInitialState(queries);
+
+  bench::PrintRow({"strategy", "mode", "created", "states/sec", "card est",
+                   "est/state", "distinct"});
+  bench::PrintRule(7);
+  for (vsel::StrategyKind strategy :
+       {vsel::StrategyKind::kDfs, vsel::StrategyKind::kExStr}) {
+    for (bool memoized : {true, false}) {
+      std::optional<bench::SearchProbeResult> r =
+          bench::RunSearchProbe(stats, s0, strategy, memoized, budget);
+      if (!r.has_value()) {
+        std::printf("search failed\n");
+        return 1;
+      }
+      bench::PrintRow(
+          {vsel::StrategyName(strategy), memoized ? "memoized" : "uncached",
+           std::to_string(r->created),
+           bench::FormatDouble(r->StatesPerSecond(), 0),
+           std::to_string(r->card_estimations),
+           bench::FormatDouble(r->EstimationsPerState(), 2),
+           std::to_string(r->distinct_views)});
+    }
+  }
+  return 0;
+}

@@ -24,6 +24,63 @@ struct VectorHash {
   }
 };
 
+/// Finalizer of the splitmix64 generator: a cheap, well-mixed 64-bit
+/// permutation used to derive independent hash streams.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A 128-bit hash value with component-wise modular addition, so that sums
+/// of hashes form an order-independent *multiset* digest: adding the same
+/// element twice yields a different digest than adding it once (unlike XOR),
+/// and removal is exact subtraction. Collisions require two multisets whose
+/// 128-bit sums coincide — negligible at the scale of a search run.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+
+  Hash128& operator+=(const Hash128& o) {
+    lo += o.lo;
+    hi += o.hi;
+    return *this;
+  }
+  Hash128& operator-=(const Hash128& o) {
+    lo -= o.lo;
+    hi -= o.hi;
+    return *this;
+  }
+};
+
+/// Hashes a byte string into 128 bits: two independently-seeded FNV-1a
+/// streams, each finalized through Mix64.
+inline Hash128 HashBytes128(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t a = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  uint64_t b = 0x2545f4914f6cdd1dULL;  // independent stream
+  for (size_t i = 0; i < size; ++i) {
+    a = (a ^ bytes[i]) * 0x100000001b3ULL;
+    b = (b ^ bytes[i]) * 0xc6a4a7935bd1e995ULL;
+  }
+  return Hash128{Mix64(a), Mix64(b ^ size)};
+}
+
+/// std::unordered_map hasher for Hash128 keys (already uniform; fold).
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
 }  // namespace rdfviews
 
 #endif  // RDFVIEWS_COMMON_HASH_H_

@@ -102,6 +102,32 @@ std::vector<ConjunctiveQuery> OneStep(const ConjunctiveQuery& q,
   return out;
 }
 
+/// Exact order-sensitive serialization of a query (head + body, raw term
+/// ids). Two queries with equal keys are literally identical — a far
+/// stronger condition than the canonical (renaming-insensitive) equality
+/// UnionOfQueries::Add tests, but linear to compute instead of requiring a
+/// backtracking canonicalization. Used as a cheap pre-filter: the BFS
+/// re-derives the same literal query along many rule-application orders
+/// (the exponential blowup of Tab. 3), and every re-derivation short of
+/// the first can be dropped before it pays for canonicalization.
+std::string LiteralKey(const ConjunctiveQuery& q) {
+  std::string key;
+  key.reserve(8 + q.atoms().size() * 16);
+  auto append_term = [&key](const Term& t) {
+    key.push_back(t.is_var() ? 'v' : 'c');
+    uint64_t value = t.is_var() ? t.var() : t.constant();
+    key.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  for (const Term& t : q.head()) append_term(t);
+  key.push_back('|');
+  for (const Atom& a : q.atoms()) {
+    append_term(a.s);
+    append_term(a.p);
+    append_term(a.o);
+  }
+  return key;
+}
+
 }  // namespace
 
 ReformulationResult Reformulate(const cq::ConjunctiveQuery& q,
@@ -109,12 +135,18 @@ ReformulationResult Reformulate(const cq::ConjunctiveQuery& q,
                                 const ReformulationOptions& options) {
   ReformulationResult result;
   result.ucq = cq::UnionOfQueries(q.name());
-  std::deque<ConjunctiveQuery> worklist;
+  // Literal-form visited set: OneStep products that re-derive an
+  // already-seen query (same rule applications in a different order) are
+  // dropped here without being re-canonicalized or re-enqueued.
+  std::unordered_set<std::string> visited;
+  std::deque<size_t> worklist;  // indices into result.ucq.disjuncts()
   result.ucq.Add(q);
-  worklist.push_back(q);
+  visited.insert(LiteralKey(q));
+  worklist.push_back(0);
 
   while (!worklist.empty()) {
-    ConjunctiveQuery cur = std::move(worklist.front());
+    // Copy: OneStep products may grow the disjunct vector under us.
+    ConjunctiveQuery cur = result.ucq.disjuncts()[worklist.front()];
     worklist.pop_front();
     for (ConjunctiveQuery& next :
          OneStep(cur, schema, &result.rule_applications)) {
@@ -122,9 +154,10 @@ ReformulationResult Reformulate(const cq::ConjunctiveQuery& q,
         result.complete = false;
         return result;
       }
+      if (!visited.insert(LiteralKey(next)).second) continue;
       next.set_name(q.name());
       if (result.ucq.Add(next)) {
-        worklist.push_back(result.ucq.disjuncts().back());
+        worklist.push_back(result.ucq.size() - 1);
       }
     }
   }

@@ -31,15 +31,15 @@ State ExtractSingleQueryState(const State& s0, size_t qi) {
   std::unordered_set<uint32_t> used;
   s0.rewritings()[qi]->ForEachScan(
       [&](const engine::Expr& scan) { used.insert(scan.view_id()); });
-  for (const View& v : s0.views()) {
-    if (used.contains(v.id)) out.mutable_views()->push_back(v);
+  for (size_t i = 0; i < s0.views().size(); ++i) {
+    // Shares the View object with s0 (copy-on-write).
+    if (used.contains(s0.views()[i].id)) out.AddView(s0.views().ptr(i));
   }
   out.mutable_rewritings()->push_back(s0.rewritings()[qi]);
   // Disjoint allocation ranges so that merged states never collide.
   out.set_next_var(s0.next_var() + static_cast<cq::VarId>(qi) * 1000000u);
   out.set_next_view_id(s0.next_view_id() +
                        static_cast<uint32_t>(qi) * 100000u);
-  out.Touch();
   return out;
 }
 
@@ -58,8 +58,8 @@ bool ClosePerQuerySpace(SearchContext* ctx, const State& start,
   topts.vb_overlap = 0;
   topts.jc_both_orientations = false;
 
-  std::unordered_set<std::string> local_seen;
-  local_seen.insert(start.Signature());
+  std::unordered_set<StateFingerprint, Hash128Hasher> local_seen;
+  local_seen.insert(start.fingerprint());
   out->push_back(start);
 
   const TransitionKind stages[3] = {TransitionKind::kSC, TransitionKind::kJC,
@@ -77,12 +77,12 @@ bool ClosePerQuerySpace(SearchContext* ctx, const State& start,
         State next = ApplyTransition(s, t);
         ++ctx->stats.created;
         ++ctx->stats.transitions_applied;
-        if (!local_seen.insert(next.Signature()).second) {
+        if (!local_seen.insert(next.fingerprint()).second) {
           ++ctx->stats.duplicates;
           continue;
         }
         // The global `seen` map is the memory ledger.
-        ctx->seen.emplace(next.Signature(), 0);
+        ctx->seen.emplace(next.fingerprint(), 0);
         out->push_back(next);
         frontier.push_back(std::move(next));
       }
@@ -94,13 +94,14 @@ bool ClosePerQuerySpace(SearchContext* ctx, const State& start,
 
 State MergeStates(const State& a, const State& b) {
   State out = a;
-  for (const View& v : b.views()) out.mutable_views()->push_back(v);
+  for (size_t i = 0; i < b.views().size(); ++i) {
+    out.AddView(b.views().ptr(i));  // shared, not copied
+  }
   for (const engine::ExprPtr& r : b.rewritings()) {
     out.mutable_rewritings()->push_back(r);
   }
   out.set_next_var(std::max(a.next_var(), b.next_var()));
   out.set_next_view_id(std::max(a.next_view_id(), b.next_view_id()));
-  out.Touch();
   return out;
 }
 
@@ -165,8 +166,7 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
         }
       }
       for (const View& v : per_query[qi][min_idx[qi]].views()) {
-        min_bodies[qi].insert(
-            cq::CanonicalString(v.def, /*include_head=*/false));
+        min_bodies[qi].insert(v.BodyKey());
       }
     }
     for (size_t qi = 0; qi < num_queries; ++qi) {
@@ -179,8 +179,7 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
       for (size_t i = 0; i < per_query[qi].size(); ++i) {
         bool fusable = false;
         for (const View& v : per_query[qi][i].views()) {
-          if (others.contains(
-                  cq::CanonicalString(v.def, /*include_head=*/false))) {
+          if (others.contains(v.BodyKey())) {
             fusable = true;
             break;
           }
@@ -214,14 +213,14 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
         }
         State merged = MergeStates(partial.state, piece);
         ++ctx.stats.created;
-        ctx.seen.emplace(merged.Signature(), 0);
+        ctx.seen.emplace(merged.fingerprint(), 0);
         next.push_back(Scored{merged, cost_model.StateCost(merged)});
         // Fusion opportunities: the VF closure of the merged state.
         size_t steps = 0;
         State fused = AvfClosure(merged, ctx.topts, &steps);
         if (steps > 0) {
           ctx.stats.created += steps;
-          ctx.seen.emplace(fused.Signature(), 0);
+          ctx.seen.emplace(fused.fingerprint(), 0);
           double c = cost_model.StateCost(fused);
           next.push_back(Scored{std::move(fused), c});
         }

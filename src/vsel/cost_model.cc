@@ -28,6 +28,7 @@ std::unordered_map<cq::VarId, rdf::Column> FirstColumns(
 }  // namespace
 
 double CostModel::ViewCardinality(const cq::ConjunctiveQuery& def) const {
+  ++counters_.card_raw;
   if (def.atoms().empty()) return 0;
 
   // Per-atom exact counts and per-occurrence distinct estimates.
@@ -73,16 +74,37 @@ double CostModel::ViewCardinality(const cq::ConjunctiveQuery& def) const {
   return card;
 }
 
-double CostModel::ViewBytes(const View& view) const {
-  double card = ViewCardinality(view.def);
+namespace {
+
+/// Summed average width of the head columns.
+double HeadWidth(const View& view, const rdf::Statistics& stats) {
   std::unordered_map<cq::VarId, rdf::Column> cols = FirstColumns(view.def);
   double width = 0;
   for (const cq::Term& t : view.def.head()) {
     auto it = cols.find(t.var());
-    double w = it != cols.end() ? stats_->AvgWidth(it->second) : 8.0;
+    double w = it != cols.end() ? stats.AvgWidth(it->second) : 8.0;
     width += w;
   }
-  return card * width;
+  return width;
+}
+
+}  // namespace
+
+double CostModel::ViewBytes(const View& view) const {
+  return ViewCardinality(view.def) * HeadWidth(view, *stats_);
+}
+
+double CostModel::CachedViewCardinality(const View& view) const {
+  if (!memoize_) return ViewCardinality(view.def);
+  return interner_.Cardinality(view,
+                               [&] { return ViewCardinality(view.def); });
+}
+
+double CostModel::CachedViewBytes(const View& view) const {
+  if (!memoize_) return ViewBytes(view);
+  return interner_.Bytes(view, [&] {
+    return CachedViewCardinality(view) * HeadWidth(view, *stats_);
+  });
 }
 
 double CostModel::Vso(const State& state) const {
@@ -92,7 +114,8 @@ double CostModel::Vso(const State& state) const {
 }
 
 CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
-                                                const State& state) const {
+                                                const State& state,
+                                                bool cached) const {
   using Kind = engine::Expr::Kind;
   NodeEstimate out;
   switch (expr.kind()) {
@@ -101,7 +124,7 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
       RDFVIEWS_CHECK_MSG(idx >= 0, "rewriting scans unknown view v"
                                        << expr.view_id());
       const View& v = state.views()[static_cast<size_t>(idx)];
-      out.card = ViewCardinality(v.def);
+      out.card = cached ? CachedViewCardinality(v) : ViewCardinality(v.def);
       out.io = out.card;
       std::unordered_map<cq::VarId, rdf::Column> cols = FirstColumns(v.def);
       for (cq::VarId name : expr.scan_columns()) {
@@ -121,7 +144,7 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
       break;
     }
     case Kind::kSelect: {
-      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      NodeEstimate child = EstimateExpr(*expr.child(), state, cached);
       double selectivity = 1.0;
       for (const engine::Condition& c : expr.conditions()) {
         auto it = child.distinct.find(c.lhs);
@@ -142,12 +165,12 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
       break;
     }
     case Kind::kProject: {
-      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      NodeEstimate child = EstimateExpr(*expr.child(), state, cached);
       out = child;  // projection is free (see header)
       break;
     }
     case Kind::kRename: {
-      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      NodeEstimate child = EstimateExpr(*expr.child(), state, cached);
       out.card = child.card;
       out.io = child.io;
       out.cpu = child.cpu;
@@ -158,8 +181,8 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
       break;
     }
     case Kind::kJoin: {
-      NodeEstimate l = EstimateExpr(*expr.left(), state);
-      NodeEstimate r = EstimateExpr(*expr.right(), state);
+      NodeEstimate l = EstimateExpr(*expr.left(), state, cached);
+      NodeEstimate r = EstimateExpr(*expr.right(), state, cached);
       out.io = l.io + r.io;
       out.cpu = l.cpu + r.cpu;
       double card = l.card * r.card;
@@ -186,7 +209,7 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
     }
     case Kind::kUnion: {
       for (const engine::ExprPtr& c : expr.children()) {
-        NodeEstimate child = EstimateExpr(*c, state);
+        NodeEstimate child = EstimateExpr(*c, state, cached);
         out.card += child.card;
         out.io += child.io;
         out.cpu += child.cpu;
@@ -194,7 +217,7 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
       break;
     }
     case Kind::kArrange: {
-      NodeEstimate child = EstimateExpr(*expr.child(), state);
+      NodeEstimate child = EstimateExpr(*expr.child(), state, cached);
       out.card = child.card;
       out.io = child.io;
       out.cpu = child.cpu;
@@ -211,11 +234,16 @@ CostModel::NodeEstimate CostModel::EstimateExpr(const engine::Expr& expr,
   return out;
 }
 
+double CostModel::RecTerm(const engine::Expr& expr, const State& state,
+                          bool cached) const {
+  NodeEstimate e = EstimateExpr(expr, state, cached);
+  return weights_.c1 * e.io + weights_.c2 * e.cpu;
+}
+
 double CostModel::Rec(const State& state) const {
   double total = 0;
   for (const engine::ExprPtr& r : state.rewritings()) {
-    NodeEstimate e = EstimateExpr(*r, state);
-    total += weights_.c1 * e.io + weights_.c2 * e.cpu;
+    total += RecTerm(*r, state, /*cached=*/false);
   }
   return total;
 }
@@ -228,12 +256,117 @@ double CostModel::Vmc(const State& state) const {
   return total;
 }
 
-CostBreakdown CostModel::Breakdown(const State& state) const {
+CostBreakdown CostModel::BreakdownUncached(const State& state) const {
   CostBreakdown b;
   b.vso = Vso(state);
   b.rec = Rec(state);
   b.vmc = Vmc(state);
   b.total = weights_.cs * b.vso + weights_.cr * b.rec + weights_.cm * b.vmc;
+  return b;
+}
+
+uint64_t CostModel::NextCacheKey() {
+  static uint64_t next = 0;
+  return ++next;
+}
+
+CostBreakdown CostModel::Breakdown(const State& state) const {
+  ++counters_.state_costs;
+  if (!memoize_) return BreakdownUncached(state);
+
+  State::CostCache& cache = state.cost_cache();
+  // Terms cached under a different (model, weights) key cannot be reused.
+  const bool reuse = cache.valid && cache.model_key == cache_key_;
+  const ViewList& views = state.views();
+
+  // Fast path: every term still valid — an identity sweep, no allocation.
+  if (reuse && cache.view_keys.size() == views.size() &&
+      cache.rec_keys.size() == state.rewritings().size()) {
+    bool all_valid = true;
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (cache.view_keys[i] != views.ptr(i)) {
+        all_valid = false;
+        break;
+      }
+    }
+    for (size_t i = 0; all_valid && i < state.rewritings().size(); ++i) {
+      if (cache.rec_keys[i] != state.rewritings()[i]) all_valid = false;
+    }
+    if (all_valid) {
+      counters_.view_terms_reused += views.size();
+      counters_.rec_reused += state.rewritings().size();
+      CostBreakdown b;
+      b.vso = cache.vso;
+      b.rec = cache.rec;
+      b.vmc = cache.vmc;
+      b.total = cache.total;
+      return b;
+    }
+  }
+
+  CostBreakdown b;
+  std::vector<ViewPtr> view_keys;
+  std::vector<double> bytes_terms;
+  std::vector<double> vmc_terms;
+  view_keys.reserve(views.size());
+  bytes_terms.reserve(views.size());
+  vmc_terms.reserve(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    const ViewPtr& vp = views.ptr(i);
+    double bytes;
+    double vmc;
+    if (reuse && i < cache.view_keys.size() && cache.view_keys[i] == vp) {
+      bytes = cache.bytes_terms[i];
+      vmc = cache.vmc_terms[i];
+      ++counters_.view_terms_reused;
+    } else {
+      bytes = CachedViewBytes(*vp);
+      vmc = std::pow(weights_.f, static_cast<double>(vp->def.len()));
+      ++counters_.view_terms_computed;
+    }
+    b.vso += bytes;
+    b.vmc += vmc;
+    view_keys.push_back(vp);
+    bytes_terms.push_back(bytes);
+    vmc_terms.push_back(vmc);
+  }
+
+  const std::vector<engine::ExprPtr>& rewritings = state.rewritings();
+  std::vector<engine::ExprPtr> rec_keys;
+  std::vector<double> rec_terms;
+  rec_keys.reserve(rewritings.size());
+  rec_terms.reserve(rewritings.size());
+  for (size_t i = 0; i < rewritings.size(); ++i) {
+    const engine::ExprPtr& r = rewritings[i];
+    double term;
+    // Transitions rebuild only the rewritings that scanned a replaced view
+    // (Expr::ReplaceScans returns the identical subtree otherwise), so
+    // pointer equality certifies the parent's cached term is still right.
+    if (reuse && i < cache.rec_keys.size() && cache.rec_keys[i] == r) {
+      term = cache.rec_terms[i];
+      ++counters_.rec_reused;
+    } else {
+      term = RecTerm(*r, state, /*cached=*/true);
+      ++counters_.rec_computed;
+    }
+    b.rec += term;
+    rec_keys.push_back(r);
+    rec_terms.push_back(term);
+  }
+
+  b.total = weights_.cs * b.vso + weights_.cr * b.rec + weights_.cm * b.vmc;
+
+  cache.model_key = cache_key_;
+  cache.view_keys = std::move(view_keys);
+  cache.bytes_terms = std::move(bytes_terms);
+  cache.vmc_terms = std::move(vmc_terms);
+  cache.rec_keys = std::move(rec_keys);
+  cache.rec_terms = std::move(rec_terms);
+  cache.valid = true;
+  cache.vso = b.vso;
+  cache.rec = b.rec;
+  cache.vmc = b.vmc;
+  cache.total = b.total;
   return b;
 }
 

@@ -9,6 +9,14 @@
 //
 // Projection CPU is priced at zero so that the paper's monotonicity claims
 // hold exactly: SC never decreases the state cost, VF never increases it.
+//
+// The model is memoized at two levels. Per *distinct view* (up to variable
+// renaming), estimated cardinalities and byte sizes live in a ViewInterner,
+// so each distinct view is costed exactly once per run. Per *state*, the
+// cost is a cached sum of per-view and per-rewriting terms tagged with the
+// shared object they were computed for (State::CostCache): a transition's
+// successor state re-derives only the terms of the views and rewritings the
+// transition touched, every other term is reused from the parent.
 #ifndef RDFVIEWS_VSEL_COST_MODEL_H_
 #define RDFVIEWS_VSEL_COST_MODEL_H_
 
@@ -17,6 +25,7 @@
 #include "rdf/statistics.h"
 #include "vsel/options.h"
 #include "vsel/state.h"
+#include "vsel/view_interner.h"
 
 namespace rdfviews::vsel {
 
@@ -31,32 +40,77 @@ struct CostBreakdown {
 class CostModel {
  public:
   CostModel(const rdf::Statistics* stats, const CostWeights& weights)
-      : stats_(stats), weights_(weights) {}
+      : stats_(stats), weights_(weights), cache_key_(NextCacheKey()) {}
 
   const CostWeights& weights() const { return weights_; }
-  void set_weights(const CostWeights& w) { weights_ = w; }
+  void set_weights(const CostWeights& w) {
+    weights_ = w;
+    // REC terms bake in c1/c2 and VMC terms bake in f; cached sums from the
+    // previous weights must not be reused.
+    cache_key_ = NextCacheKey();
+  }
+
+  /// Disables (or re-enables) all memoization; with memoization off, every
+  /// call takes the pre-refactor full-recomputation path. The reference
+  /// mode for equivalence tests and A/B benchmarks.
+  void set_memoization(bool on) { memoize_ = on; }
+  bool memoization() const { return memoize_; }
 
   /// |v|e: estimated cardinality of a view body (Sec. 3.3, View space
   /// occupancy): exact per-atom counts, then per-shared-variable reduction
   /// factors 1/max(d1, d2) over a spanning structure of each variable's
-  /// occurrence clique.
+  /// occurrence clique. Uncached: the raw estimator.
   double ViewCardinality(const cq::ConjunctiveQuery& def) const;
 
   /// Estimated storage bytes: |v|e times the summed average width of the
   /// head columns (widths by triple-table column of first occurrence).
+  /// Uncached: the raw estimator.
   double ViewBytes(const View& view) const;
+
+  /// Memoized variants: served from the interner after the first sight of
+  /// the view's canonical form.
+  double CachedViewCardinality(const View& view) const;
+  double CachedViewBytes(const View& view) const;
 
   double Vso(const State& state) const;
   double Rec(const State& state) const;
   double Vmc(const State& state) const;
 
+  /// Memoized state cost: reuses the per-view / per-rewriting terms cached
+  /// in `state` (carried over from the parent state by the copy-on-write
+  /// transition machinery) and recomputes only invalidated terms.
   CostBreakdown Breakdown(const State& state) const;
   double StateCost(const State& state) const { return Breakdown(state).total; }
+
+  /// Full recomputation without touching any cache; the pre-refactor
+  /// reference implementation.
+  CostBreakdown BreakdownUncached(const State& state) const;
 
   /// Sec. 6 "Weights of cost components": picks cm so that cm*VMC(S0) is
   /// within two orders of magnitude of the other components.
   static double CalibrateCm(const CostBreakdown& s0_breakdown,
                             const CostWeights& weights);
+
+  /// The interner backing the per-distinct-view caches (cache-traffic
+  /// counters, distinct-view counts).
+  const ViewInterner& interner() const { return interner_; }
+  ViewInterner& interner() { return interner_; }
+
+  /// Counters for benchmarks: how often state costs and rewriting estimates
+  /// were computed vs. reused.
+  struct Counters {
+    uint64_t state_costs = 0;    // Breakdown() calls
+    uint64_t card_raw = 0;       // raw ViewCardinality estimator runs
+    uint64_t rec_computed = 0;   // per-rewriting estimates from scratch
+    uint64_t rec_reused = 0;     // per-rewriting terms reused from cache
+    uint64_t view_terms_computed = 0;
+    uint64_t view_terms_reused = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() {
+    counters_ = Counters{};
+    interner_.ResetCounters();
+  }
 
  private:
   struct NodeEstimate {
@@ -66,11 +120,24 @@ class CostModel {
     std::unordered_map<cq::VarId, double> distinct;
   };
 
-  NodeEstimate EstimateExpr(const engine::Expr& expr,
-                            const State& state) const;
+  NodeEstimate EstimateExpr(const engine::Expr& expr, const State& state,
+                            bool cached) const;
+
+  /// REC contribution of one rewriting: c1 * io + c2 * cpu.
+  double RecTerm(const engine::Expr& expr, const State& state,
+                 bool cached) const;
+
+  /// Process-unique id for a (model instance, weight configuration); the
+  /// validity tag of State::CostCache entries. Never reused, so stale
+  /// caches can not alias a new model at a recycled address.
+  static uint64_t NextCacheKey();
 
   const rdf::Statistics* stats_;
   CostWeights weights_;
+  uint64_t cache_key_ = 0;
+  bool memoize_ = true;
+  mutable ViewInterner interner_;
+  mutable Counters counters_;
 };
 
 }  // namespace rdfviews::vsel

@@ -82,6 +82,12 @@ struct SearchStats {
     if (initial_cost <= 0) return 0;
     return (initial_cost - best_cost) / initial_cost;
   }
+
+  /// Search throughput: candidate states generated per second.
+  double StatesPerSecond() const {
+    if (elapsed_sec <= 0) return 0;
+    return static_cast<double>(created) / elapsed_sec;
+  }
 };
 
 }  // namespace rdfviews::vsel

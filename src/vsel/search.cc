@@ -64,7 +64,7 @@ void SearchContext::Init(const State& s0) {
   stats.initial_cost = best_cost;
   stats.best_cost = best_cost;
   stats.best_trace.emplace_back(0.0, best_cost);
-  seen.emplace(s0.Signature(), 0);
+  seen.emplace(s0.fingerprint(), 0);
   start = s0;
   if (heur.avf) {
     size_t steps = 0;
@@ -72,7 +72,7 @@ void SearchContext::Init(const State& s0) {
     if (steps > 0) {
       stats.created += steps;
       stats.discarded += steps - 1;  // intermediates; the fixpoint is kept
-      seen.emplace(closed.Signature(), 0);
+      seen.emplace(closed.fingerprint(), 0);
       double c = cost->StateCost(closed);
       if (c < best_cost) {
         best = closed;
@@ -111,7 +111,7 @@ std::optional<SearchContext::Admitted> SearchContext::Admit(State s,
     ++stats.discarded;
     return std::nullopt;
   }
-  auto [it, inserted] = seen.try_emplace(s.Signature(), phase);
+  auto [it, inserted] = seen.try_emplace(s.fingerprint(), phase);
   if (!inserted) {
     ++stats.duplicates;
     if (it->second <= phase) return std::nullopt;

@@ -4,9 +4,9 @@
 #define RDFVIEWS_VSEL_SEARCH_INTERNAL_H_
 
 #include <optional>
-#include <string>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/timer.h"
 #include "vsel/cost_model.h"
 #include "vsel/options.h"
@@ -21,9 +21,10 @@ namespace internal {
 
 extern const int kNumPhases;
 
-/// Bookkeeping shared by all strategies: duplicate detection (by state
-/// signature, with stratum re-opening), AVF closure, stop conditions, best
-/// state tracking and budget enforcement.
+/// Bookkeeping shared by all strategies: duplicate detection (by the
+/// incrementally maintained 128-bit state fingerprint, with stratum
+/// re-opening), AVF closure, stop conditions, best state tracking and
+/// budget enforcement.
 class SearchContext {
  public:
   SearchContext(const CostModel* cost_model,
@@ -55,7 +56,8 @@ class SearchContext {
   TransitionOptions topts;
   Deadline deadline;
   SearchStats stats;
-  std::unordered_map<std::string, int> seen;  // signature -> min stratum
+  // fingerprint -> min stratum at which the state was reached
+  std::unordered_map<StateFingerprint, int, Hash128Hasher> seen;
   State best;
   /// The state the strategies explore from: S0, or its AVF closure when
   /// aggressive view fusion is on (VF only ever improves the cost, so the

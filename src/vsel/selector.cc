@@ -118,6 +118,9 @@ Result<Recommendation> ViewSelector::Recommend(
 
   rec.best_state = search->best;
   rec.stats = search->stats;
+  rec.cost_counters = cost_model.counters();
+  rec.cost_cache_counters = cost_model.interner().counters();
+  rec.distinct_views_interned = cost_model.interner().NumDistinctViews();
 
   // --- Final view definitions (post-reformulation happens here). ----------
   for (const View& v : rec.best_state.views()) {

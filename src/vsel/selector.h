@@ -59,6 +59,13 @@ struct Recommendation {
   SearchStats stats;
   EntailmentMode entailment = EntailmentMode::kNone;
 
+  /// Cost-model memoization observability for the run: interner cache
+  /// traffic, per-term reuse counts, and the number of distinct views the
+  /// search ever created (the O(distinct views) bound on estimations).
+  ViewInterner::Counters cost_cache_counters;
+  CostModel::Counters cost_counters;
+  size_t distinct_views_interned = 0;
+
   /// The store the views must be materialized over: the saturated store for
   /// kSaturate, the original store otherwise (owned when saturated).
   std::shared_ptr<const rdf::TripleStore> materialization_store;

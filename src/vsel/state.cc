@@ -10,12 +10,50 @@
 
 namespace rdfviews::vsel {
 
-const std::string& State::Signature() const {
-  if (!signature_.empty()) return signature_;
+void State::AddView(ViewPtr v) {
+  RDFVIEWS_DCHECK(v != nullptr);
+  fingerprint_ += v->StructuralHash();
+  view_index_.emplace(v->id, static_cast<uint32_t>(views_.items_.size()));
+  views_.items_.push_back(std::move(v));
+}
+
+void State::ReplaceView(size_t idx, ViewPtr v) {
+  RDFVIEWS_DCHECK(idx < views_.items_.size() && v != nullptr);
+  ViewPtr& slot = views_.items_[idx];
+  fingerprint_ -= slot->StructuralHash();
+  fingerprint_ += v->StructuralHash();
+  view_index_.erase(slot->id);
+  view_index_[v->id] = static_cast<uint32_t>(idx);
+  slot = std::move(v);
+}
+
+void State::RemoveView(size_t idx) {
+  RDFVIEWS_DCHECK(idx < views_.items_.size());
+  fingerprint_ -= views_.items_[idx]->StructuralHash();
+  view_index_.erase(views_.items_[idx]->id);
+  views_.items_.erase(views_.items_.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+  // Slots above the erased one shift down by one.
+  for (size_t i = idx; i < views_.items_.size(); ++i) {
+    view_index_[views_.items_[i]->id] = static_cast<uint32_t>(i);
+  }
+}
+
+StateFingerprint State::RecomputeFingerprint() const {
+  StateFingerprint fp;
+  for (const View& v : views_) {
+    const std::string& key =
+        cq::CanonicalString(v.def, /*include_head=*/true);
+    fp += HashBytes128(key.data(), key.size());
+  }
+  return fp;
+}
+
+std::string State::Signature() const {
   std::vector<std::string> parts;
   parts.reserve(views_.size());
   for (const View& v : views_) {
-    parts.push_back(cq::CanonicalString(v.def, /*include_head=*/true));
+    parts.push_back(v.CanonicalKey());
   }
   std::sort(parts.begin(), parts.end());
   std::string sig;
@@ -23,8 +61,7 @@ const std::string& State::Signature() const {
     sig += p;
     sig += '\n';
   }
-  signature_ = std::move(sig);
-  return signature_;
+  return sig;
 }
 
 std::string State::ToString(const rdf::Dictionary* dict) const {
@@ -101,7 +138,7 @@ InstalledQuery InstallQueryAsViews(const cq::ConjunctiveQuery& minimized,
     component.set_name("v" + std::to_string(view.id));
     view.def = std::move(component);
     out.scans.push_back(engine::Expr::Scan(view.id, view.Columns()));
-    state->mutable_views()->push_back(std::move(view));
+    state->AddView(MakeView(std::move(view)));
   }
   return out;
 }
@@ -130,7 +167,6 @@ Result<State> MakeInitialState(
     InstalledQuery installed = InstallQueryAsViews(minimized, &state);
     state.mutable_rewritings()->push_back(ComposeQueryExpr(installed));
   }
-  state.Touch();
   return state;
 }
 
@@ -201,7 +237,6 @@ Result<State> MakeReformulatedInitialState(
         children.size() == 1 ? children[0]
                              : engine::Expr::Union(std::move(children)));
   }
-  state.Touch();
   return state;
 }
 

@@ -4,8 +4,10 @@
 #define RDFVIEWS_VSEL_STATE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "cq/ucq.h"
 #include "engine/expr.h"
@@ -13,13 +15,71 @@
 
 namespace rdfviews::vsel {
 
-/// A candidate view set <V, R> (Def. 2.3). Immutable by convention:
-/// transitions copy the state. Variable ids and view ids are allocated from
-/// per-state counters so they stay globally unique across views.
+/// Order-independent 128-bit digest of a state's view multiset: the
+/// component-wise sum of every view's StructuralHash. Maintained
+/// incrementally by the state mutators, so transitions pay only for the
+/// views they touch instead of re-canonicalizing the whole state.
+using StateFingerprint = Hash128;
+
+/// Read-only facade over the copy-on-write view storage: iteration and
+/// indexing dereference the shared pointers, so the call sites that only
+/// *read* views see plain `const View&`s.
+class ViewList {
+ public:
+  class const_iterator {
+   public:
+    using inner = std::vector<ViewPtr>::const_iterator;
+    explicit const_iterator(inner it) : it_(it) {}
+    const View& operator*() const { return **it_; }
+    const View* operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.it_ == b.it_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.it_ != b.it_;
+    }
+
+   private:
+    inner it_;
+  };
+
+  const View& operator[](size_t i) const { return *items_[i]; }
+  const ViewPtr& ptr(size_t i) const { return items_[i]; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const_iterator begin() const { return const_iterator(items_.begin()); }
+  const_iterator end() const { return const_iterator(items_.end()); }
+
+ private:
+  friend class State;
+  std::vector<ViewPtr> items_;
+};
+
+/// A candidate view set <V, R> (Def. 2.3). Views are stored copy-on-write:
+/// a state copy shares every View object with its parent, and transitions
+/// replace only the touched slots through the mutators below, which keep
+/// the incremental fingerprint and the id->index map in sync. Variable ids
+/// and view ids are allocated from per-state counters so they stay globally
+/// unique across views.
 class State {
  public:
-  const std::vector<View>& views() const { return views_; }
-  std::vector<View>* mutable_views() { return &views_; }
+  const ViewList& views() const { return views_; }
+
+  /// O(1) lookup of a view's slot by its id; -1 when absent.
+  int ViewIndexById(uint32_t id) const {
+    auto it = view_index_.find(id);
+    return it == view_index_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  // ---- Copy-on-write mutators (fingerprint- and index-preserving) ----
+
+  void AddView(ViewPtr v);
+  void ReplaceView(size_t idx, ViewPtr v);
+  void RemoveView(size_t idx);
 
   const std::vector<engine::ExprPtr>& rewritings() const {
     return rewritings_;
@@ -33,29 +93,54 @@ class State {
   uint32_t next_view_id() const { return next_view_id_; }
   void set_next_view_id(uint32_t v) { next_view_id_ = v; }
 
-  int ViewIndexById(uint32_t id) const {
-    for (size_t i = 0; i < views_.size(); ++i) {
-      if (views_[i].id == id) return static_cast<int>(i);
-    }
-    return -1;
-  }
+  /// The incrementally maintained fingerprint. Two states are equivalent
+  /// iff they have the same view sets (Sec. 3.1); equal fingerprints
+  /// identify duplicate states (up to 128-bit multiset-hash collisions).
+  const StateFingerprint& fingerprint() const { return fingerprint_; }
 
-  /// Canonical signature: the sorted canonical strings of all views. Two
-  /// states are equivalent iff they have the same view sets (Sec. 3.1), so
-  /// equal signatures identify duplicate states.
-  const std::string& Signature() const;
+  /// Full recomputation of the fingerprint from scratch; the debug-mode
+  /// cross-check for the incremental maintenance (see ApplyTransition).
+  StateFingerprint RecomputeFingerprint() const;
 
-  /// Invalidates the cached signature; called by transitions after edits.
-  void Touch() { signature_.clear(); }
+  /// Canonical signature: the sorted canonical strings of all views. The
+  /// human-readable (and collision-free) form of the fingerprint; used by
+  /// tests and debugging, not on the search hot path.
+  std::string Signature() const;
 
   std::string ToString(const rdf::Dictionary* dict = nullptr) const;
 
+  /// Per-state cost-model cache, owned by the state but interpreted by
+  /// CostModel::Breakdown: per-view and per-rewriting cost terms tagged
+  /// with the identity (shared pointer) they were computed for. Because a
+  /// state copy shares those objects with its parent, a transition's child
+  /// state reuses every term whose view/rewriting it did not touch.
+  struct CostCache {
+    /// Identity of the (model instance, weight configuration) the terms
+    /// were computed under: a process-unique id, never reused, so a state
+    /// that outlives its model can not falsely revalidate against a new
+    /// model allocated at the same address.
+    uint64_t model_key = 0;
+    std::vector<ViewPtr> view_keys;
+    std::vector<double> bytes_terms;  // per-view VSO contribution
+    std::vector<double> vmc_terms;    // per-view VMC contribution
+    std::vector<engine::ExprPtr> rec_keys;
+    std::vector<double> rec_terms;  // per-rewriting REC contribution
+    bool valid = false;
+    double vso = 0;  // cached component sums for the all-terms-valid case
+    double rec = 0;
+    double vmc = 0;
+    double total = 0;
+  };
+  CostCache& cost_cache() const { return cost_cache_; }
+
  private:
-  std::vector<View> views_;
+  ViewList views_;
+  std::unordered_map<uint32_t, uint32_t> view_index_;  // view id -> slot
+  StateFingerprint fingerprint_;
   std::vector<engine::ExprPtr> rewritings_;
   cq::VarId next_var_ = 0;
   uint32_t next_view_id_ = 0;
-  mutable std::string signature_;
+  mutable CostCache cost_cache_;
 };
 
 /// Builds the initial state S0: one view per workload query (queries are

@@ -91,7 +91,7 @@ cq::ConjunctiveQuery MakeSubView(const cq::ConjunctiveQuery& parent,
 
 State ApplySc(const State& in, const Transition& t) {
   State out = in;
-  View& v = (*out.mutable_views())[t.view_idx];
+  const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
 
@@ -112,15 +112,14 @@ State ApplySc(const State& in, const Transition& t) {
       Expr::Select(Expr::Scan(nv.id, nv.Columns()),
                    {engine::Condition::Eq(w, constant)}),
       old_cols);
-  v = std::move(nv);
+  out.ReplaceView(t.view_idx, MakeView(std::move(nv)));
   SubstituteView(&out, old_id, repl);
-  out.Touch();
   return out;
 }
 
 State ApplyJc(const State& in, const Transition& t) {
   State out = in;
-  const View v = out.views()[t.view_idx];
+  const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
 
@@ -149,9 +148,8 @@ State ApplyJc(const State& in, const Transition& t) {
         Expr::Select(Expr::Scan(nv.id, nv.Columns()),
                      {engine::Condition::EqVar(x, xp)}),
         old_cols);
-    (*out.mutable_views())[t.view_idx] = std::move(nv);
+    out.ReplaceView(t.view_idx, MakeView(std::move(nv)));
     SubstituteView(&out, old_id, repl);
-    out.Touch();
     return out;
   }
 
@@ -188,16 +186,15 @@ State ApplyJc(const State& in, const Transition& t) {
       Expr::Join(Expr::Scan(va.id, va.Columns()),
                  Expr::Scan(vb.id, vb.Columns()), {pair}),
       old_cols);
-  (*out.mutable_views())[t.view_idx] = std::move(va);
-  out.mutable_views()->push_back(std::move(vb));
+  out.ReplaceView(t.view_idx, MakeView(std::move(va)));
+  out.AddView(MakeView(std::move(vb)));
   SubstituteView(&out, old_id, repl);
-  out.Touch();
   return out;
 }
 
 State ApplyVb(const State& in, const Transition& t) {
   State out = in;
-  const View v = out.views()[t.view_idx];
+  const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
 
@@ -222,17 +219,16 @@ State ApplyVb(const State& in, const Transition& t) {
       Expr::Join(Expr::Scan(va.id, va.Columns()),
                  Expr::Scan(vb.id, vb.Columns()), {}),
       old_cols);
-  (*out.mutable_views())[t.view_idx] = std::move(va);
-  out.mutable_views()->push_back(std::move(vb));
+  out.ReplaceView(t.view_idx, MakeView(std::move(va)));
+  out.AddView(MakeView(std::move(vb)));
   SubstituteView(&out, old_id, repl);
-  out.Touch();
   return out;
 }
 
 State ApplyVf(const State& in, const Transition& t) {
   State out = in;
-  const View v1 = out.views()[t.view_idx];
-  const View v2 = out.views()[t.view_idx2];
+  const View& v1 = in.views()[t.view_idx];
+  const View& v2 = in.views()[t.view_idx2];
 
   cq::CanonicalForm c1 = cq::Canonicalize(v1.def, /*include_head=*/false);
   cq::CanonicalForm c2 = cq::Canonicalize(v2.def, /*include_head=*/false);
@@ -272,12 +268,14 @@ State ApplyVf(const State& in, const Transition& t) {
   ExprPtr repl2 = Expr::Project(
       Expr::Rename(Expr::Scan(v3.id, v3.Columns()), rename), v2.Columns());
 
-  // Replace v1's slot with v3 and erase v2.
-  (*out.mutable_views())[t.view_idx] = std::move(v3);
-  out.mutable_views()->erase(out.mutable_views()->begin() + t.view_idx2);
-  SubstituteView(&out, v1.id, repl1);
-  SubstituteView(&out, v2.id, repl2);
-  out.Touch();
+  // Replace v1's slot with v3 and erase v2. The substitutions read v1/v2's
+  // ids, so grab them before the slots change.
+  const uint32_t v1_id = v1.id;
+  const uint32_t v2_id = v2.id;
+  out.ReplaceView(t.view_idx, MakeView(std::move(v3)));
+  out.RemoveView(t.view_idx2);
+  SubstituteView(&out, v1_id, repl1);
+  SubstituteView(&out, v2_id, repl2);
   return out;
 }
 
@@ -329,11 +327,11 @@ void EnumerateVb(const State& state, const TransitionOptions& options,
 }
 
 void EnumerateVf(const State& state, std::vector<Transition>* out) {
+  // Bucket by the memoized body-only canonical key: shared View objects are
+  // canonicalized once ever, not once per state that holds them.
   std::unordered_map<std::string, std::vector<uint32_t>> by_body;
   for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-    by_body[cq::CanonicalString(state.views()[vi].def,
-                                /*include_head=*/false)]
-        .push_back(vi);
+    by_body[state.views()[vi].BodyKey()].push_back(vi);
   }
   for (const auto& [body, group] : by_body) {
     for (size_t i = 0; i < group.size(); ++i) {
@@ -433,14 +431,21 @@ std::vector<Transition> EnumerateTransitions(
 }
 
 State ApplyTransition(const State& state, const Transition& t) {
-  switch (t.kind) {
-    case TransitionKind::kSC: return ApplySc(state, t);
-    case TransitionKind::kJC: return ApplyJc(state, t);
-    case TransitionKind::kVB: return ApplyVb(state, t);
-    case TransitionKind::kVF: return ApplyVf(state, t);
-  }
-  RDFVIEWS_CHECK_MSG(false, "unreachable");
-  return state;
+  auto apply = [&]() -> State {
+    switch (t.kind) {
+      case TransitionKind::kSC: return ApplySc(state, t);
+      case TransitionKind::kJC: return ApplyJc(state, t);
+      case TransitionKind::kVB: return ApplyVb(state, t);
+      case TransitionKind::kVF: return ApplyVf(state, t);
+    }
+    RDFVIEWS_CHECK_MSG(false, "unreachable");
+    return state;
+  };
+  State out = apply();
+  // Debug cross-check: the incrementally maintained fingerprint must equal
+  // a from-scratch recomputation over the successor's views.
+  RDFVIEWS_DCHECK(out.fingerprint() == out.RecomputeFingerprint());
+  return out;
 }
 
 State AvfClosure(const State& state, const TransitionOptions& options,

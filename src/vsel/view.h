@@ -2,9 +2,12 @@
 #ifndef RDFVIEWS_VSEL_VIEW_H_
 #define RDFVIEWS_VSEL_VIEW_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
+#include "cq/canonical.h"
 #include "cq/query.h"
 
 namespace rdfviews::vsel {
@@ -12,6 +15,13 @@ namespace rdfviews::vsel {
 /// A materializable view: a conjunctive query whose head consists of
 /// distinct variables. The view's relation columns are named by those
 /// variables, which are globally unique within a state.
+///
+/// Views are shared immutably between states (copy-on-write: transitions
+/// clone only the views they touch), so the canonical identity of a view —
+/// its head-inclusive canonical string, the body-only canonical string, and
+/// their 128-bit hashes — is computed at most once per View object and then
+/// reused by every state holding it. State fingerprints and the view
+/// interner are built from these memoized keys.
 struct View {
   uint32_t id = 0;
   cq::ConjunctiveQuery def;
@@ -25,7 +35,102 @@ struct View {
   }
 
   std::string Name() const { return "v" + std::to_string(id); }
+
+  /// Head-inclusive canonical string: equal keys <=> views identical up to
+  /// variable renaming (the per-view unit of the state signature).
+  const std::string& CanonicalKey() const {
+    if (!canonical_ready_) {
+      canon_ = cq::CanonicalString(def, /*include_head=*/true);
+      canonical_ready_ = true;
+    }
+    return canon_;
+  }
+
+  /// Body-only canonical string: equal keys <=> isomorphic bodies (the View
+  /// Fusion compatibility test, Def. 3.5).
+  const std::string& BodyKey() const {
+    if (!body_ready_) {
+      body_canon_ = cq::CanonicalString(def, /*include_head=*/false);
+      body_ready_ = true;
+    }
+    return body_canon_;
+  }
+
+  /// 128-bit hash of CanonicalKey(); summed into the state fingerprint.
+  const Hash128& StructuralHash() const {
+    if (!hash_ready_) {
+      const std::string& key = CanonicalKey();
+      hash_ = HashBytes128(key.data(), key.size());
+      hash_ready_ = true;
+    }
+    return hash_;
+  }
+
+  /// Cost-model cache keys. Unlike the canonical identity above, these are
+  /// *atom-order-sensitive*: the estimators anchor join-reduction factors
+  /// and column widths on literal first occurrences, so two views whose
+  /// bodies are isomorphic only up to atom reordering can have different
+  /// raw estimates. The keys rename variables to dense indices by first
+  /// occurrence (renaming-insensitive) but keep atoms in literal order, so
+  /// a cache hit is guaranteed to return the exact raw-estimator value.
+  /// CostBodyHash keys the cardinality cache (body-only); CostHash
+  /// additionally covers the head (byte estimates depend on head widths).
+  const Hash128& CostBodyHash() const {
+    if (!cost_hash_ready_) ComputeCostHashes();
+    return cost_body_hash_;
+  }
+  const Hash128& CostHash() const {
+    if (!cost_hash_ready_) ComputeCostHashes();
+    return cost_hash_;
+  }
+
+ private:
+  void ComputeCostHashes() const {
+    std::string key;
+    key.reserve(def.atoms().size() * 15 + def.head().size() * 5 + 1);
+    std::unordered_map<cq::VarId, uint32_t> index;
+    auto append_term = [&key, &index](const cq::Term& t) {
+      if (t.is_const()) {
+        key.push_back('c');
+        uint64_t c = t.constant();
+        key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+      } else {
+        key.push_back('v');
+        uint32_t idx = static_cast<uint32_t>(
+            index.try_emplace(t.var(), index.size()).first->second);
+        key.append(reinterpret_cast<const char*>(&idx), sizeof(idx));
+      }
+    };
+    for (const cq::Atom& a : def.atoms()) {
+      append_term(a.s);
+      append_term(a.p);
+      append_term(a.o);
+    }
+    cost_body_hash_ = HashBytes128(key.data(), key.size());
+    key.push_back('|');
+    for (const cq::Term& t : def.head()) append_term(t);
+    cost_hash_ = HashBytes128(key.data(), key.size());
+    cost_hash_ready_ = true;
+  }
+
+  // Memoized canonical identity. Views are logically immutable once wrapped
+  // in a ViewPtr, so lazy single-fill is safe (single-threaded search).
+  mutable std::string canon_;
+  mutable std::string body_canon_;
+  mutable Hash128 hash_;
+  mutable Hash128 cost_hash_;
+  mutable Hash128 cost_body_hash_;
+  mutable bool canonical_ready_ = false;
+  mutable bool body_ready_ = false;
+  mutable bool hash_ready_ = false;
+  mutable bool cost_hash_ready_ = false;
 };
+
+using ViewPtr = std::shared_ptr<const View>;
+
+inline ViewPtr MakeView(View v) {
+  return std::make_shared<const View>(std::move(v));
+}
 
 }  // namespace rdfviews::vsel
 

@@ -1,0 +1,87 @@
+// Hash-consing of view definitions with per-view cost-model memoization.
+//
+// Every distinct view the search ever creates — distinct up to variable
+// renaming, with literal atom order preserved — is registered here exactly
+// once, identified by its 128-bit cost hash (View::CostHash). The interner
+// owns the per-view cost caches: estimated cardinality (keyed by the
+// body-only cost hash, since |v|e depends only on the body) and estimated
+// storage bytes (keyed by the full cost hash, since widths depend on the
+// head). The keys are deliberately atom-order-sensitive because the raw
+// estimators are (join-reduction anchors and first-occurrence widths), so
+// a cache hit always returns the exact value the estimator would produce.
+// With these caches the number of cost-model estimations per search run
+// drops from O(states x views) to O(distinct views).
+//
+// (A dense stable id per entry was considered and dropped as having no
+// consumer yet; see ROADMAP "Interner-backed transition enumeration".)
+#ifndef RDFVIEWS_VSEL_VIEW_INTERNER_H_
+#define RDFVIEWS_VSEL_VIEW_INTERNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "vsel/view.h"
+
+namespace rdfviews::vsel {
+
+class ViewInterner {
+ public:
+  /// Counters of cache traffic, for benchmarks and regression tests.
+  struct Counters {
+    uint64_t card_computed = 0;  // cardinality estimated from scratch
+    uint64_t card_hits = 0;      // cardinality served from the cache
+    uint64_t bytes_computed = 0;
+    uint64_t bytes_hits = 0;
+  };
+
+  /// Number of distinct view definitions (up to renaming, literal atom
+  /// order preserved) whose storage estimate was interned so far.
+  size_t NumDistinctViews() const { return bytes_.size(); }
+
+  /// Memoized estimated cardinality of the view's body; `compute` runs only
+  /// on the first sight of this body shape.
+  template <typename Fn>
+  double Cardinality(const View& view, Fn&& compute) {
+    auto [it, inserted] = cards_.try_emplace(view.CostBodyHash(), 0.0);
+    if (inserted) {
+      ++counters_.card_computed;
+      it->second = compute();
+    } else {
+      ++counters_.card_hits;
+    }
+    return it->second;
+  }
+
+  /// Memoized estimated storage bytes of the view.
+  template <typename Fn>
+  double Bytes(const View& view, Fn&& compute) {
+    auto [it, inserted] = bytes_.try_emplace(view.CostHash(), 0.0);
+    if (inserted) {
+      ++counters_.bytes_computed;
+      it->second = compute();
+    } else {
+      ++counters_.bytes_hits;
+    }
+    return it->second;
+  }
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters{}; }
+
+  /// Drops every cached estimate (e.g., when the underlying statistics
+  /// change).
+  void Clear() {
+    cards_.clear();
+    bytes_.clear();
+  }
+
+ private:
+  std::unordered_map<Hash128, double, Hash128Hasher> cards_;
+  std::unordered_map<Hash128, double, Hash128Hasher> bytes_;
+  Counters counters_;
+};
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_VIEW_INTERNER_H_

@@ -42,12 +42,17 @@ class StrategyEquivalenceTest : public ::testing::TestWithParam<int> {
   }
 
   StrategyOutcome Run(StrategyKind kind, bool avf) {
+    return RunWith(*model_, kind, avf);
+  }
+
+  StrategyOutcome RunWith(const CostModel& model, StrategyKind kind,
+                          bool avf) {
     State s0 = *MakeInitialState(workload_);
     HeuristicOptions heur;
     heur.avf = avf;
     SearchLimits limits;
     limits.time_budget_sec = 30;
-    auto r = RunSearch(kind, s0, *model_, heur, limits);
+    auto r = RunSearch(kind, s0, model, heur, limits);
     EXPECT_TRUE(r.ok());
     StrategyOutcome out;
     out.distinct =
@@ -86,6 +91,34 @@ TEST_P(StrategyEquivalenceTest, AvfKeepsOptimumAndShrinksSpace) {
   ASSERT_TRUE(plain.completed && avf.completed);
   EXPECT_DOUBLE_EQ(plain.best_cost, avf.best_cost);
   EXPECT_LE(avf.distinct, plain.distinct);
+}
+
+// The memoized search core (view interner, per-state cached cost sums,
+// incremental fingerprints) must be observationally identical to the
+// pre-refactor full-recomputation reference: same distinct state space,
+// same number of applied transitions, same optimum.
+TEST_P(StrategyEquivalenceTest, MemoizedSearchMatchesUncachedReference) {
+  SetUpWorkload(GetParam());
+  CostModel reference(stats_.get(), CostWeights{});
+  reference.set_memoization(false);
+  for (StrategyKind kind :
+       {StrategyKind::kExNaive, StrategyKind::kDfs, StrategyKind::kGstr}) {
+    for (bool avf : {false, true}) {
+      StrategyOutcome memoized = RunWith(*model_, kind, avf);
+      StrategyOutcome uncached = RunWith(reference, kind, avf);
+      ASSERT_TRUE(memoized.completed && uncached.completed);
+      EXPECT_EQ(memoized.distinct, uncached.distinct);
+      EXPECT_EQ(memoized.transitions, uncached.transitions);
+      EXPECT_DOUBLE_EQ(memoized.best_cost, uncached.best_cost);
+    }
+  }
+  // Each distinct view is costed exactly once per model: byte estimates
+  // equal the number of interned (distinct) views, and cardinality
+  // estimates are bounded by it (several heads can share one body).
+  const ViewInterner::Counters& c = model_->interner().counters();
+  EXPECT_EQ(c.bytes_computed, model_->interner().NumDistinctViews());
+  EXPECT_LE(c.card_computed, c.bytes_computed);
+  EXPECT_GT(c.card_hits, 0u);
 }
 
 TEST_P(StrategyEquivalenceTest, GstrNeverBeatsExhaustive) {
