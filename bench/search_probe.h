@@ -21,6 +21,7 @@ struct SearchProbeResult {
   uint64_t card_estimations = 0;  // raw cardinality-estimator runs
   size_t distinct_views = 0;   // interned (distinct) views, memoized mode
   double best_cost = 0;
+  vsel::StateFingerprint best_fingerprint;
 
   double StatesPerSecond() const {
     return elapsed_sec > 0 ? static_cast<double>(created) / elapsed_sec : 0;
@@ -33,16 +34,19 @@ struct SearchProbeResult {
   }
 };
 
-/// Runs `strategy` from `s0` under `budget_sec` with a fresh cost model.
-/// Returns nullopt when the search itself fails.
+/// Runs `strategy` from `s0` under `budget_sec` with a fresh cost model,
+/// over `num_threads` workers (1 = the serial engine). Returns nullopt when
+/// the search itself fails.
 inline std::optional<SearchProbeResult> RunSearchProbe(
     const rdf::Statistics& stats, const vsel::State& s0,
-    vsel::StrategyKind strategy, bool memoized, double budget_sec) {
+    vsel::StrategyKind strategy, bool memoized, double budget_sec,
+    size_t num_threads = 1) {
   vsel::CostModel model(&stats, vsel::CostWeights{});
   model.set_memoization(memoized);
   vsel::HeuristicOptions heur;
   vsel::SearchLimits limits;
   limits.time_budget_sec = budget_sec;
+  limits.num_threads = num_threads;
   auto r = vsel::RunSearch(strategy, s0, model, heur, limits);
   if (!r.ok()) return std::nullopt;
   SearchProbeResult out;
@@ -51,6 +55,7 @@ inline std::optional<SearchProbeResult> RunSearchProbe(
   out.card_estimations = model.counters().card_raw;
   out.distinct_views = model.interner().NumDistinctViews();
   out.best_cost = r->stats.best_cost;
+  out.best_fingerprint = r->best.fingerprint();
   return out;
 }
 

@@ -1,16 +1,32 @@
 // Search-core throughput probe: states/sec and cost-model estimation
-// traffic for a fixed Barton workload, with and without memoization. The
-// A/B numbers quoted in CHANGES.md come from this harness (the "before"
-// side built against the pre-refactor tree).
+// traffic for a fixed Barton workload, with and without memoization, and
+// the parallel-engine scaling sweep (states/sec at 1/2/4/8 worker threads
+// with the best state's fingerprint, which must not drift across thread
+// counts on a budget generous enough to find the optimum). The A/B numbers
+// quoted in CHANGES.md come from this harness (the "before" side built
+// against the pre-refactor tree).
 //
 // Flags: --budget-sec=5 --triples=20000 --queries=5 --atoms=5
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "rdf/statistics.h"
 #include "search_probe.h"
 #include "workload/barton.h"
 #include "workload/generator.h"
+
+namespace {
+
+std::string FingerprintString(const rdfviews::Hash128& fp) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo));
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rdfviews;
@@ -52,6 +68,42 @@ int main(int argc, char** argv) {
            std::to_string(r->card_estimations),
            bench::FormatDouble(r->EstimationsPerState(), 2),
            std::to_string(r->distinct_views)});
+    }
+  }
+
+  // Parallel scaling sweep. Warm counts are shared across runs through a
+  // statistics snapshot so every thread count pays the same (zero) warm-up.
+  std::printf("\nparallel scaling (memoized, budget %.3gs)\n", budget);
+  stats.Precompute([&] {
+    std::vector<rdf::Pattern> patterns;
+    for (const auto& v : s0.views()) {
+      for (const auto& a : v.def.atoms()) patterns.push_back(a.ToPattern());
+    }
+    return patterns;
+  }());
+  rdf::StatisticsSnapshot snapshot = stats.Snapshot();
+  bench::PrintRow({"strategy", "threads", "created", "states/sec",
+                   "speedup", "best fingerprint"});
+  bench::PrintRule(6);
+  for (vsel::StrategyKind strategy :
+       {vsel::StrategyKind::kDfs, vsel::StrategyKind::kExStr}) {
+    double base_rate = 0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      rdf::Statistics run_stats(&store);
+      run_stats.Warm(snapshot);
+      std::optional<bench::SearchProbeResult> r = bench::RunSearchProbe(
+          run_stats, s0, strategy, /*memoized=*/true, budget, threads);
+      if (!r.has_value()) {
+        std::printf("search failed\n");
+        return 1;
+      }
+      double rate = r->StatesPerSecond();
+      if (threads == 1) base_rate = rate;
+      bench::PrintRow(
+          {vsel::StrategyName(strategy), std::to_string(threads),
+           std::to_string(r->created), bench::FormatDouble(rate, 0),
+           bench::FormatDouble(base_rate > 0 ? rate / base_rate : 0, 2) + "x",
+           FingerprintString(r->best_fingerprint)});
     }
   }
   return 0;

@@ -81,6 +81,14 @@ struct Hash128Hasher {
   }
 };
 
+/// A fixed total order on Hash128 values ((hi, lo) lexicographic). The
+/// search strategies break cost ties on it so the reported best state is a
+/// deterministic function of the explored set, independent of exploration
+/// order and thread count.
+inline bool Hash128Less(const Hash128& a, const Hash128& b) {
+  return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+}
+
 }  // namespace rdfviews
 
 #endif  // RDFVIEWS_COMMON_HASH_H_

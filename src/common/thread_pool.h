@@ -1,0 +1,93 @@
+// A fixed-size worker pool with a shared FIFO task queue.
+//
+// The pool is deliberately minimal: Submit() enqueues a closure, WaitIdle()
+// blocks until every submitted closure has finished, and the destructor
+// drains and joins. The parallel search engine submits one long-running
+// worker loop per thread (the loops coordinate through their own sharded
+// frontier), and barrier-style strategies (GSTR's per-stratum closures)
+// reuse the same threads across strata through WaitIdle() instead of
+// respawning them.
+#ifndef RDFVIEWS_COMMON_THREAD_POOL_H_
+#define RDFVIEWS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfviews {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some pool thread.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++outstanding_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;  // queued + running
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_THREAD_POOL_H_

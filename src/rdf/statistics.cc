@@ -1,13 +1,22 @@
 #include "rdf/statistics.h"
 
+#include <mutex>
+
 namespace rdfviews::rdf {
 
 uint64_t Statistics::CountPattern(const Pattern& pattern) const {
-  auto it = cache_.find(pattern);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(pattern);
+    if (it != cache_.end()) return it->second;
+  }
+  // Counting runs unlocked: it can be expensive (index scans, and the
+  // reformulated subclass recurses into whole atom reformulations), and it
+  // is deterministic, so a racing duplicate count is wasted work, not an
+  // inconsistency.
   uint64_t count = CountPatternUncached(pattern);
-  cache_.emplace(pattern, count);
-  return count;
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  return cache_.try_emplace(pattern, count).first->second;
 }
 
 uint64_t Statistics::CountPatternUncached(const Pattern& pattern) const {
@@ -30,6 +39,25 @@ void Statistics::CollectWithRelaxations(const Pattern& pattern) const {
     }
     CountPattern(relaxed);
   }
+}
+
+void Statistics::Precompute(const std::vector<Pattern>& patterns) const {
+  for (const Pattern& p : patterns) CollectWithRelaxations(p);
+}
+
+StatisticsSnapshot Statistics::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  return StatisticsSnapshot{cache_};
+}
+
+void Statistics::Warm(const StatisticsSnapshot& snapshot) const {
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  cache_.insert(snapshot.counts.begin(), snapshot.counts.end());
+}
+
+size_t Statistics::cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  return cache_.size();
 }
 
 }  // namespace rdfviews::rdf

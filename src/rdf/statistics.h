@@ -6,14 +6,37 @@
 // store-wide per-column distinct counts, min/max and average widths, which
 // the cost model combines with the textbook uniformity/independence
 // assumptions.
+//
+// Thread safety: CountPattern's lazy cache is guarded by a shared mutex, so
+// one Statistics instance may serve any number of search workers. A count
+// miss runs the (deterministic) uncached counter outside the lock; racing
+// workers may both count the same pattern, but the first insert wins and
+// every reader sees one consistent value. To avoid even that warm-up race,
+// Precompute() fills the cache up front — every view the search can create
+// only relaxes workload atoms (SC replaces constants by variables; VB/JC/VF
+// reshuffle atoms), so precomputing the workload atoms' relaxations makes
+// the cache effectively read-only for the whole run. Snapshot() captures
+// the warm cache as a copyable value that Warm() replays into another
+// instance over the same store, so repeated tuning runs skip the scans.
 #ifndef RDFVIEWS_RDF_STATISTICS_H_
 #define RDFVIEWS_RDF_STATISTICS_H_
 
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/triple_store.h"
 
 namespace rdfviews::rdf {
+
+/// A copyable capture of a warm pattern-count cache (see
+/// Statistics::Snapshot). Counts are only meaningful for the store (and
+/// entailment mode) they were measured on.
+struct StatisticsSnapshot {
+  std::unordered_map<Pattern, uint64_t, PatternHash> counts;
+
+  size_t size() const { return counts.size(); }
+};
 
 /// Base statistics provider, measuring the store it is given. Subclasses
 /// may override CountPatternUncached to reflect implicit triples without
@@ -23,7 +46,7 @@ class Statistics {
   explicit Statistics(const TripleStore* store) : store_(store) {}
   virtual ~Statistics() = default;
 
-  /// Exact count of triples matching the pattern, cached.
+  /// Exact count of triples matching the pattern, cached. Thread-safe.
   uint64_t CountPattern(const Pattern& pattern) const;
 
   /// Total triples in the (virtual) measured database.
@@ -44,13 +67,28 @@ class Statistics {
   /// statistics-gathering phase does for every workload atom.
   void CollectWithRelaxations(const Pattern& pattern) const;
 
-  size_t cache_size() const { return cache_.size(); }
+  /// Batch warm-up: CollectWithRelaxations for every pattern. After this,
+  /// a search whose initial state's atoms are drawn from `patterns` never
+  /// misses the cache, so parallel workers share warm counts instead of
+  /// racing on the lazy fill.
+  void Precompute(const std::vector<Pattern>& patterns) const;
+
+  /// Captures the current cache contents as a copyable value.
+  StatisticsSnapshot Snapshot() const;
+
+  /// Replays a snapshot into this instance's cache (entries already present
+  /// are kept). The snapshot must come from the same store and entailment
+  /// mode; counts are trusted, not re-verified.
+  void Warm(const StatisticsSnapshot& snapshot) const;
+
+  size_t cache_size() const;
 
  protected:
   virtual uint64_t CountPatternUncached(const Pattern& pattern) const;
 
  private:
   const TripleStore* store_;
+  mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<Pattern, uint64_t, PatternHash> cache_;
 };
 

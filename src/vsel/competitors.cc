@@ -110,15 +110,24 @@ struct Scored {
   double cost;
 };
 
-/// Keeps the `keep` cheapest states within `factor` of the best.
+/// Keeps the `keep` cheapest states within `factor` of the best. Only the
+/// surviving prefix is ever needed in cost order, so this selects it with a
+/// bounded heap (std::partial_sort over the first `keep` slots, O(n log
+/// keep)) instead of deep-sorting the whole per-round Scored vector.
 void PruneScored(std::vector<Scored>* states, size_t keep, double factor) {
   if (states->empty()) return;
-  std::sort(states->begin(), states->end(),
-            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+  auto by_cost = [](const Scored& a, const Scored& b) {
+    return a.cost < b.cost;
+  };
+  size_t keep_n = std::min(keep, states->size());
+  std::partial_sort(states->begin(),
+                    states->begin() + static_cast<std::ptrdiff_t>(keep_n),
+                    states->end(), by_cost);
+  states->resize(keep_n);
   double limit = states->front().cost * factor;
   size_t cut = states->size();
   for (size_t i = 0; i < states->size(); ++i) {
-    if (i >= keep || (*states)[i].cost > limit) {
+    if ((*states)[i].cost > limit) {
       cut = i;
       break;
     }

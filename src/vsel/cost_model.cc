@@ -266,7 +266,7 @@ CostBreakdown CostModel::BreakdownUncached(const State& state) const {
 }
 
 uint64_t CostModel::NextCacheKey() {
-  static uint64_t next = 0;
+  static std::atomic<uint64_t> next{0};
   return ++next;
 }
 

@@ -17,9 +17,17 @@
 // shared object they were computed for (State::CostCache): a transition's
 // successor state re-derives only the terms of the views and rewritings the
 // transition touched, every other term is reused from the parent.
+//
+// Thread safety: one CostModel may be shared by all search workers. The
+// interner is sharded, the counters are atomic, and the statistics cache is
+// internally synchronized. The only non-shared piece is the *per-state*
+// cache: Breakdown writes state.cost_cache(), so each State object must be
+// costed by one thread at a time (the parallel engine guarantees this —
+// states are owned by exactly one worker between frontier handoffs).
 #ifndef RDFVIEWS_VSEL_COST_MODEL_H_
 #define RDFVIEWS_VSEL_COST_MODEL_H_
 
+#include <atomic>
 #include <unordered_map>
 
 #include "rdf/statistics.h"
@@ -92,19 +100,42 @@ class CostModel {
                             const CostWeights& weights);
 
   /// The interner backing the per-distinct-view caches (cache-traffic
-  /// counters, distinct-view counts).
-  const ViewInterner& interner() const { return interner_; }
-  ViewInterner& interner() { return interner_; }
+  /// counters, distinct-view counts). Const-qualified because costing is
+  /// logically read-only: the interner is internally synchronized.
+  ViewInterner& interner() const { return interner_; }
+
+  /// The statistics provider the estimators read. Exposed so callers (the
+  /// parallel engine, benches) can pre-warm its pattern-count cache before
+  /// fanning out workers.
+  const rdf::Statistics& stats() const { return *stats_; }
 
   /// Counters for benchmarks: how often state costs and rewriting estimates
-  /// were computed vs. reused.
+  /// were computed vs. reused. Relaxed atomics so concurrent search workers
+  /// can share one model; totals are exact, per-event ordering is not.
   struct Counters {
-    uint64_t state_costs = 0;    // Breakdown() calls
-    uint64_t card_raw = 0;       // raw ViewCardinality estimator runs
-    uint64_t rec_computed = 0;   // per-rewriting estimates from scratch
-    uint64_t rec_reused = 0;     // per-rewriting terms reused from cache
-    uint64_t view_terms_computed = 0;
-    uint64_t view_terms_reused = 0;
+    std::atomic<uint64_t> state_costs{0};   // Breakdown() calls
+    std::atomic<uint64_t> card_raw{0};      // raw ViewCardinality runs
+    std::atomic<uint64_t> rec_computed{0};  // per-rewriting from scratch
+    std::atomic<uint64_t> rec_reused{0};    // per-rewriting reused
+    std::atomic<uint64_t> view_terms_computed{0};
+    std::atomic<uint64_t> view_terms_reused{0};
+
+    Counters() = default;
+    Counters(const Counters& o) { *this = o; }
+    Counters& operator=(const Counters& o) {
+      auto copy = [](std::atomic<uint64_t>* dst,
+                     const std::atomic<uint64_t>& src) {
+        dst->store(src.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      };
+      copy(&state_costs, o.state_costs);
+      copy(&card_raw, o.card_raw);
+      copy(&rec_computed, o.rec_computed);
+      copy(&rec_reused, o.rec_reused);
+      copy(&view_terms_computed, o.view_terms_computed);
+      copy(&view_terms_reused, o.view_terms_reused);
+      return *this;
+    }
   };
   const Counters& counters() const { return counters_; }
   void ResetCounters() {

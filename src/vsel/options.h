@@ -46,6 +46,14 @@ struct SearchLimits {
   /// Cap on the number of distinct states remembered; exceeding it aborts
   /// the search reporting memory exhaustion (the paper's JVM OOM analogue).
   size_t max_states = 5000000;
+  /// Search worker threads. 1 (or 0) runs the serial engine unchanged;
+  /// > 1 routes EXNAIVE/EXSTR/DFS/GSTR through the parallel frontier
+  /// engine (src/vsel/parallel/): sharded frontiers, a concurrent
+  /// fingerprint-keyed seen-set, and a deterministically tie-broken global
+  /// best, so a run that exhausts the space reports the same best state at
+  /// any thread count. The [21] competitor strategies are inherently
+  /// sequential (query-by-query combination) and always run serial.
+  size_t num_threads = 1;
 };
 
 /// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost

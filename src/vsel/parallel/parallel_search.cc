@@ -1,0 +1,263 @@
+#include "vsel/parallel/parallel_search.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "vsel/parallel/parallel_context.h"
+#include "vsel/parallel/sharded_frontier.h"
+#include "vsel/search.h"
+#include "vsel/search_internal.h"
+#include "vsel/transitions.h"
+
+namespace rdfviews::vsel::parallel {
+
+namespace {
+
+/// Entries processed per frontier lock acquisition.
+constexpr size_t kExpandBatch = 8;
+
+size_t FrontierShards(size_t workers) {
+  return std::max<size_t>(16, workers * 4);
+}
+
+/// Frontier home of a state: fingerprint-shard addressing, so a state's
+/// queue placement is a deterministic function of its identity.
+size_t ShardHint(const StateFingerprint& fp) {
+  return static_cast<size_t>(fp.lo);
+}
+
+// ---- EXNAIVE / EXSTR: sharded round-robin candidate set ------------------
+
+/// One candidate-set entry, as in the serial engine: a state plus the
+/// cursor into its (lazily loaded) applicable transitions.
+struct ExEntry {
+  State state;
+  int phase = 0;
+  std::vector<Transition> transitions;
+  bool loaded = false;
+  size_t next = 0;
+};
+
+/// One round-robin visit: apply transitions until one produces a new state
+/// (pushing it onto the frontier), then requeue the entry if transitions
+/// remain — the serial discipline, executed concurrently per entry.
+void ProcessExEntry(ParallelSearchContext* ctx,
+                    ShardedFrontier<ExEntry>* frontier, bool stratified,
+                    ExEntry entry, SearchStats* local) {
+  if (!entry.loaded) {
+    entry.loaded = true;
+    int start_kind = stratified ? entry.phase : 0;
+    for (int k = start_kind; k < internal::kNumPhases; ++k) {
+      std::vector<Transition> ts = EnumerateTransitions(
+          entry.state, static_cast<TransitionKind>(k), ctx->topts);
+      entry.transitions.insert(entry.transitions.end(), ts.begin(),
+                               ts.end());
+    }
+  }
+  while (entry.next < entry.transitions.size()) {
+    if (ctx->OutOfBudget()) return;  // anytime truncation: drop the entry
+    const Transition& t = entry.transitions[entry.next++];
+    int phase = stratified ? static_cast<int>(t.kind) : 0;
+    auto admitted =
+        ctx->Admit(ApplyTransition(entry.state, t), phase, local);
+    if (admitted.has_value()) {
+      frontier->Push(
+          ShardHint(admitted->state.fingerprint()),
+          ExEntry{std::move(admitted->state), phase, {}, false, 0});
+      break;
+    }
+  }
+  if (entry.next < entry.transitions.size()) {
+    frontier->Push(ShardHint(entry.state.fingerprint()), std::move(entry));
+  } else {
+    ++local->explored;
+  }
+}
+
+SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
+                                   const State& s0, bool stratified,
+                                   size_t workers) {
+  ctx->Init(s0);
+  ShardedFrontier<ExEntry> frontier(FrontierShards(workers));
+  frontier.Push(ShardHint(ctx->start.fingerprint()),
+                ExEntry{ctx->start, 0, {}, false, 0});
+  {
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([ctx, &frontier, stratified, w] {
+        SearchStats local;
+        std::vector<ExEntry> batch;
+        for (;;) {
+          batch.clear();
+          size_t n = frontier.PopBatch(w, kExpandBatch, &batch,
+                                       [ctx] { return ctx->OutOfBudget(); });
+          if (n == 0) break;
+          for (ExEntry& e : batch) {
+            ProcessExEntry(ctx, &frontier, stratified, std::move(e), &local);
+          }
+          frontier.TaskDone(n);
+        }
+        ctx->MergeWorkerStats(local);
+      });
+    }
+    pool.WaitIdle();
+  }
+  return ctx->Finish(!ctx->stopped());
+}
+
+// ---- DFS: root-parallel stratified depth-first ---------------------------
+
+/// The serial DfsVisit against the shared context: closure under the
+/// current kind depth-first, then advance the state to the next kind.
+void DfsVisitDeep(ParallelSearchContext* ctx, const State& s, int kind,
+                  SearchStats* local) {
+  if (kind >= internal::kNumPhases) {
+    ++local->explored;
+    return;
+  }
+  for (const Transition& t : EnumerateTransitions(
+           s, static_cast<TransitionKind>(kind), ctx->topts)) {
+    if (ctx->OutOfBudget()) return;
+    auto admitted = ctx->Admit(ApplyTransition(s, t), kind, local);
+    if (admitted.has_value()) DfsVisitDeep(ctx, admitted->state, kind, local);
+  }
+  if (ctx->OutOfBudget()) return;
+  DfsVisitDeep(ctx, s, kind + 1, local);
+}
+
+/// A root task: one transition applicable to the start state; the admitted
+/// child's whole subtree is explored by the claiming worker.
+struct DfsTask {
+  Transition t;
+  int kind = 0;
+};
+
+SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
+                            size_t workers) {
+  ctx->Init(s0);
+  ShardedFrontier<DfsTask> frontier(FrontierShards(workers));
+  size_t seeds = 0;
+  for (int k = 0; k < internal::kNumPhases; ++k) {
+    for (const Transition& t : EnumerateTransitions(
+             ctx->start, static_cast<TransitionKind>(k), ctx->topts)) {
+      frontier.Push(seeds++, DfsTask{t, k});  // round-robin over shards
+    }
+  }
+  {
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([ctx, &frontier, w] {
+        SearchStats local;
+        std::vector<DfsTask> batch;
+        for (;;) {
+          batch.clear();
+          // Batch of 1: every task is a whole subtree.
+          size_t n = frontier.PopBatch(w, 1, &batch,
+                                       [ctx] { return ctx->OutOfBudget(); });
+          if (n == 0) break;
+          for (const DfsTask& task : batch) {
+            if (ctx->OutOfBudget()) continue;
+            auto admitted = ctx->Admit(ApplyTransition(ctx->start, task.t),
+                                       task.kind, &local);
+            if (admitted.has_value()) {
+              DfsVisitDeep(ctx, admitted->state, task.kind, &local);
+            }
+          }
+          frontier.TaskDone(n);
+        }
+        ctx->MergeWorkerStats(local);
+      });
+    }
+    pool.WaitIdle();
+  }
+  // The root itself tops out the kind ladder (the serial engine counts it
+  // explored once its last stratum is done).
+  SearchStats root;
+  root.explored = 1;
+  ctx->MergeWorkerStats(root);
+  return ctx->Finish(!ctx->stopped());
+}
+
+// ---- GSTR: per-stratum frontiers with pool-wide barriers -----------------
+
+SearchResult RunParallelGstr(ParallelSearchContext* ctx, const State& s0,
+                             size_t workers) {
+  ctx->Init(s0);
+  ThreadPool pool(workers);
+  State current = ctx->start;
+  double current_cost = ctx->cost->StateCost(current);
+  for (int kind = 0; kind < internal::kNumPhases && !ctx->stopped();
+       ++kind) {
+    std::mutex best_mu;
+    State phase_best = current;
+    double phase_best_cost = current_cost;
+    ShardedFrontier<State> frontier(FrontierShards(workers));
+    frontier.Push(ShardHint(current.fingerprint()), current);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([&, w, kind] {
+        SearchStats local;
+        std::vector<State> batch;
+        for (;;) {
+          batch.clear();
+          size_t n = frontier.PopBatch(w, kExpandBatch, &batch,
+                                       [&] { return ctx->OutOfBudget(); });
+          if (n == 0) break;
+          for (State& s : batch) {
+            for (const Transition& t : EnumerateTransitions(
+                     s, static_cast<TransitionKind>(kind), ctx->topts)) {
+              if (ctx->OutOfBudget()) break;
+              auto admitted = ctx->Admit(ApplyTransition(s, t), kind, &local);
+              if (!admitted.has_value()) continue;
+              {
+                std::lock_guard<std::mutex> lock(best_mu);
+                if (internal::BetterState(
+                        admitted->cost, admitted->state.fingerprint(),
+                        phase_best_cost, phase_best.fingerprint())) {
+                  phase_best = admitted->state;
+                  phase_best_cost = admitted->cost;
+                }
+              }
+              frontier.Push(ShardHint(admitted->state.fingerprint()),
+                            std::move(admitted->state));
+            }
+            ++local.explored;
+          }
+          frontier.TaskDone(n);
+        }
+        ctx->MergeWorkerStats(local);
+      });
+    }
+    pool.WaitIdle();  // stratum barrier: the closure is complete (or cut)
+    current = std::move(phase_best);
+    current_cost = phase_best_cost;
+  }
+  return ctx->Finish(!ctx->stopped());
+}
+
+}  // namespace
+
+Result<SearchResult> RunParallelSearch(StrategyKind strategy, const State& s0,
+                                       const CostModel& cost_model,
+                                       const HeuristicOptions& heuristics,
+                                       const SearchLimits& limits) {
+  const size_t workers = std::max<size_t>(1, limits.num_threads);
+  ParallelSearchContext ctx(&cost_model, heuristics, limits);
+  switch (strategy) {
+    case StrategyKind::kExNaive:
+      return RunParallelExhaustive(&ctx, s0, /*stratified=*/false, workers);
+    case StrategyKind::kExStr:
+      return RunParallelExhaustive(&ctx, s0, /*stratified=*/true, workers);
+    case StrategyKind::kDfs:
+      return RunParallelDfs(&ctx, s0, workers);
+    case StrategyKind::kGstr:
+      return RunParallelGstr(&ctx, s0, workers);
+    default:
+      return Status::InvalidArgument(
+          std::string(StrategyName(strategy)) +
+          " has no parallel engine (runs serial)");
+  }
+}
+
+}  // namespace rdfviews::vsel::parallel

@@ -1,0 +1,50 @@
+// Worker-pool parallel frontier expansion for the Sec. 5 strategies.
+//
+// Selected through SearchLimits::num_threads > 1 (RunSearch dispatches
+// here). Three engines share one ParallelSearchContext:
+//   - EXNAIVE / EXSTR: the serial round-robin candidate set becomes a
+//     sharded frontier of partially-expanded entries; workers pull batches,
+//     apply one new-state-producing transition per visit and requeue, so
+//     the fair round-robin discipline is kept per entry while entries
+//     progress concurrently.
+//   - DFS: root-parallel — every transition applicable to the start state
+//     (at each stratum of the kind ladder) seeds one task; a worker runs
+//     the serial stratified depth-first recursion of its subtree against
+//     the shared seen-set and best.
+//   - GSTR: per-stratum frontiers with a pool-wide barrier between strata;
+//     the stratum's surviving best is chosen under the deterministic
+//     (cost, fingerprint) order, so the greedy trajectory is reproducible.
+//
+// Determinism: a run that exhausts the space admits exactly the serial
+// engine's distinct state set (duplicate detection is keyed by the same
+// 128-bit fingerprints; stratum re-opening converges to the same fixpoint
+// regardless of arrival order), and the reported best is the unique
+// (cost, fingerprint)-minimal admitted state — identical at every thread
+// count, including the serial engine at num_threads=1. Budget-truncated
+// runs are anytime: they return the best of whatever subset was reached.
+#ifndef RDFVIEWS_VSEL_PARALLEL_PARALLEL_SEARCH_H_
+#define RDFVIEWS_VSEL_PARALLEL_PARALLEL_SEARCH_H_
+
+#include "common/status.h"
+#include "vsel/cost_model.h"
+#include "vsel/options.h"
+#include "vsel/state.h"
+
+namespace rdfviews::vsel {
+
+struct SearchResult;
+
+namespace parallel {
+
+/// Runs `strategy` from `s0` over limits.num_threads workers. Supports the
+/// four Sec. 5 strategies; the [21] competitors are rejected (RunSearch
+/// routes them to the serial engine instead).
+Result<SearchResult> RunParallelSearch(StrategyKind strategy, const State& s0,
+                                       const CostModel& cost_model,
+                                       const HeuristicOptions& heuristics,
+                                       const SearchLimits& limits);
+
+}  // namespace parallel
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_PARALLEL_PARALLEL_SEARCH_H_

@@ -1,0 +1,106 @@
+// Sharded work frontier for the parallel search strategies.
+//
+// Items live in per-shard deques addressed by a caller-provided hint (the
+// engines use the state fingerprint's low bits, so a state's frontier home
+// is deterministic). A worker pops a batch from its home shard first and
+// steals from the others when its home is dry, which keeps lock traffic at
+// one shard mutex per batch in the common case.
+//
+// Termination is cooperative: `pending` counts items that were pushed but
+// whose processing has not been confirmed via TaskDone(). PopBatch returns
+// 0 only when the frontier has quiesced (no items anywhere and nothing in
+// flight, so nothing can be pushed anymore) or the search was cancelled —
+// exactly the two ways a strategy's expansion loop ends.
+#ifndef RDFVIEWS_VSEL_PARALLEL_SHARDED_FRONTIER_H_
+#define RDFVIEWS_VSEL_PARALLEL_SHARDED_FRONTIER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rdfviews::vsel::parallel {
+
+template <typename T>
+class ShardedFrontier {
+ public:
+  /// `num_shards` is rounded up to a power of two.
+  explicit ShardedFrontier(size_t num_shards) {
+    size_t n = 1;
+    while (n < num_shards) n <<= 1;
+    mask_ = n - 1;
+    shards_ = std::make_unique<Shard[]>(n);
+  }
+
+  void Push(size_t shard_hint, T item) {
+    // Count before publishing: if the item became visible first, a racing
+    // consumer could pop and TaskDone it before this increment, driving
+    // `pending` to zero with work still outstanding and releasing sleeping
+    // workers early.
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    Shard& sh = shards_[shard_hint & mask_];
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.items.push_back(std::move(item));
+    }
+    wake_.notify_one();
+  }
+
+  /// Pops up to `max_batch` items, preferring the shard `home & mask`.
+  /// Blocks until items arrive, the frontier quiesces, or `cancelled`
+  /// returns true; returns the number of items appended to `out` (0 means
+  /// "done"). The caller must invoke TaskDone() once per popped item after
+  /// processing it (including any Pushes its processing performs).
+  size_t PopBatch(size_t home, size_t max_batch, std::vector<T>* out,
+                  const std::function<bool()>& cancelled) {
+    for (;;) {
+      for (size_t i = 0; i <= mask_; ++i) {
+        Shard& sh = shards_[(home + i) & mask_];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        size_t got = 0;
+        while (got < max_batch && !sh.items.empty()) {
+          out->push_back(std::move(sh.items.front()));
+          sh.items.pop_front();
+          ++got;
+        }
+        if (got > 0) return got;
+      }
+      if (pending_.load(std::memory_order_acquire) == 0) return 0;
+      if (cancelled()) return 0;
+      // Nothing visible but work is in flight: its processor may push more.
+      // Sleep briefly; Push wakes us early, the timeout re-checks
+      // cancellation (budget exhaustion is latched by processing workers).
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Confirms the completion of `n` popped items. When the last in-flight
+  /// item completes without having pushed successors, the frontier has
+  /// quiesced and every sleeping worker is woken to exit.
+  void TaskDone(size_t n = 1) {
+    if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      wake_.notify_all();
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::deque<T> items;
+  };
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t mask_ = 0;
+  std::atomic<size_t> pending_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+};
+
+}  // namespace rdfviews::vsel::parallel
+
+#endif  // RDFVIEWS_VSEL_PARALLEL_SHARDED_FRONTIER_H_

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "vsel/competitors.h"
+#include "vsel/parallel/parallel_search.h"
 #include "vsel/search_internal.h"
 
 namespace rdfviews::vsel {
@@ -23,42 +24,19 @@ SearchContext::SearchContext(const CostModel* cost_model,
       heur(heuristics),
       limits(limits),
       topts(TransitionOptions::FromHeuristics(heuristics)),
-      deadline(limits.time_budget_sec) {}
+      deadline(limits.time_budget_sec) {
+  // Per-distinct-view transition graphs live next to the per-distinct-view
+  // cost estimates.
+  topts.graph_cache = &cost_model->interner();
+}
 
 bool SearchContext::ViolatesStopConditions(const State& s) const {
-  if (heur.stop_var && stop_var_active) {
-    for (const View& v : s.views()) {
-      if (v.def.NumConstants() == 0) return true;
-    }
-  }
-  if (heur.stop_tt && stop_tt_active) {
-    for (const View& v : s.views()) {
-      if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
-          v.def.BodyVars().size() == 3) {
-        return true;
-      }
-    }
-  }
-  return false;
+  return StateViolatesStopConditions(s, heur, stop_var_active,
+                                     stop_tt_active);
 }
 
 void SearchContext::Init(const State& s0) {
-  stop_var_active = true;
-  stop_tt_active = true;
-  {
-    // Stop conditions satisfied by S0 itself are disabled (Sec. 5.2).
-    HeuristicOptions saved = heur;
-    heur.stop_var = true;
-    heur.stop_tt = true;
-    for (const View& v : s0.views()) {
-      if (v.def.NumConstants() == 0) stop_var_active = false;
-      if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
-          v.def.BodyVars().size() == 3) {
-        stop_tt_active = false;
-      }
-    }
-    heur = saved;
-  }
+  ArmStopConditions(s0, &stop_var_active, &stop_tt_active);
   best = s0;
   best_cost = cost->StateCost(s0);
   stats.initial_cost = best_cost;
@@ -74,7 +52,8 @@ void SearchContext::Init(const State& s0) {
       stats.discarded += steps - 1;  // intermediates; the fixpoint is kept
       seen.emplace(closed.fingerprint(), 0);
       double c = cost->StateCost(closed);
-      if (c < best_cost) {
+      if (BetterState(c, closed.fingerprint(), best_cost,
+                      best.fingerprint())) {
         best = closed;
         best_cost = c;
         stats.best_cost = c;
@@ -119,7 +98,7 @@ std::optional<SearchContext::Admitted> SearchContext::Admit(State s,
     it->second = phase;
   }
   double c = cost->StateCost(s);
-  if (c < best_cost) {
+  if (BetterState(c, s.fingerprint(), best_cost, best.fingerprint())) {
     best = s;
     best_cost = c;
     stats.best_cost = c;
@@ -245,7 +224,10 @@ SearchResult RunGstr(SearchContext* ctx, const State& s0) {
         if (ctx->OutOfBudget()) return ctx->Finish(false);
         auto admitted = ctx->Admit(ApplyTransition(s, t), kind);
         if (!admitted.has_value()) continue;
-        if (admitted->cost < phase_best_cost) {
+        if (internal::BetterState(admitted->cost,
+                                  admitted->state.fingerprint(),
+                                  phase_best_cost,
+                                  phase_best.fingerprint())) {
           phase_best = admitted->state;
           phase_best_cost = admitted->cost;
         }
@@ -278,6 +260,20 @@ Result<SearchResult> RunSearch(StrategyKind strategy, const State& s0,
                                const CostModel& cost_model,
                                const HeuristicOptions& heuristics,
                                const SearchLimits& limits) {
+  if (limits.num_threads > 1) {
+    switch (strategy) {
+      case StrategyKind::kExNaive:
+      case StrategyKind::kExStr:
+      case StrategyKind::kDfs:
+      case StrategyKind::kGstr:
+        return parallel::RunParallelSearch(strategy, s0, cost_model,
+                                           heuristics, limits);
+      default:
+        // The [21] competitors combine query spaces sequentially; they run
+        // on the serial engine regardless of num_threads.
+        break;
+    }
+  }
   SearchContext ctx(&cost_model, heuristics, limits);
   switch (strategy) {
     case StrategyKind::kExNaive:

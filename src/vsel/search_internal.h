@@ -21,6 +21,55 @@ namespace internal {
 
 extern const int kNumPhases;
 
+/// The deterministic better-than order on (cost, fingerprint) pairs used by
+/// every strategy (serial and parallel) to track the running best: lower
+/// cost wins, equal costs are broken by the fixed fingerprint order. The
+/// best of a fully explored space is therefore a function of the explored
+/// *set*, not of the exploration schedule — the property the parallel
+/// engine relies on to report identical bests at every thread count.
+inline bool BetterState(double cost, const StateFingerprint& fp,
+                        double best_cost, const StateFingerprint& best_fp) {
+  return cost < best_cost ||
+         (cost == best_cost && Hash128Less(fp, best_fp));
+}
+
+/// Arms the stop_tt / stop_var conditions: a condition already satisfied by
+/// S0 itself is disabled (Sec. 5.2).
+inline void ArmStopConditions(const State& s0, bool* stop_var_active,
+                              bool* stop_tt_active) {
+  *stop_var_active = true;
+  *stop_tt_active = true;
+  for (const View& v : s0.views()) {
+    if (v.def.NumConstants() == 0) *stop_var_active = false;
+    if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
+        v.def.BodyVars().size() == 3) {
+      *stop_tt_active = false;
+    }
+  }
+}
+
+/// The stop_var / stop_tt state filters (Sec. 5.2), evaluated against the
+/// armed flags computed by ArmStopConditions.
+inline bool StateViolatesStopConditions(const State& s,
+                                        const HeuristicOptions& heur,
+                                        bool stop_var_active,
+                                        bool stop_tt_active) {
+  if (heur.stop_var && stop_var_active) {
+    for (const View& v : s.views()) {
+      if (v.def.NumConstants() == 0) return true;
+    }
+  }
+  if (heur.stop_tt && stop_tt_active) {
+    for (const View& v : s.views()) {
+      if (v.def.len() == 1 && v.def.NumConstants() == 0 &&
+          v.def.BodyVars().size() == 3) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 /// Bookkeeping shared by all strategies: duplicate detection (by the
 /// incrementally maintained 128-bit state fingerprint, with stratum
 /// re-opening), AVF closure, stop conditions, best state tracking and

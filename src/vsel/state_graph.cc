@@ -11,8 +11,12 @@ constexpr rdf::Column kColumns[3] = {rdf::Column::kS, rdf::Column::kP,
 }  // namespace
 
 ViewGraph BuildViewGraph(const State& state, uint32_t view_idx) {
+  return BuildViewGraph(state.views()[view_idx], view_idx);
+}
+
+ViewGraph BuildViewGraph(const View& view, uint32_t view_idx) {
   ViewGraph graph;
-  const cq::ConjunctiveQuery& def = state.views()[view_idx].def;
+  const cq::ConjunctiveQuery& def = view.def;
   for (uint32_t ai = 0; ai < def.atoms().size(); ++ai) {
     for (rdf::Column c : kColumns) {
       cq::Term t = def.atoms()[ai].at(c);

@@ -38,6 +38,14 @@ struct ViewGraph {
 /// Computes the graph of one view.
 ViewGraph BuildViewGraph(const State& state, uint32_t view_idx);
 
+/// Computes the graph of a view outside any state; the edges carry
+/// `view_idx` as their view index. This is the form the ViewInterner's
+/// graph cache stores (keyed by the view's cost hash): every view with the
+/// same cost hash has identical occurrence structure and constants, so the
+/// cached edge lists apply to all of them — only JoinEdge::var is specific
+/// to the first-sighted view's variable names.
+ViewGraph BuildViewGraph(const View& view, uint32_t view_idx);
+
 /// All edges of the state graph G(S).
 struct StateGraph {
   std::vector<SelectionEdge> selection_edges;

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
+#include "vsel/view_interner.h"
 
 namespace rdfviews::vsel {
 
@@ -279,6 +280,30 @@ State ApplyVf(const State& in, const Transition& t) {
   return out;
 }
 
+/// Resolves a view's transition graph: from the interner's per-distinct-view
+/// cache when TransitionOptions carries one, rebuilt locally otherwise. The
+/// edges are consumed for their occurrence structure only (identical across
+/// views sharing a cost hash; see BuildViewGraph(const View&, ...)).
+class GraphRef {
+ public:
+  GraphRef(const View& view, const TransitionOptions& options) {
+    if (options.graph_cache != nullptr) {
+      cached_ = options.graph_cache->Graph(
+          view, [&] { return BuildViewGraph(view, /*view_idx=*/0); });
+    } else {
+      local_ = BuildViewGraph(view, /*view_idx=*/0);
+    }
+  }
+
+  const ViewGraph* operator->() const {
+    return cached_ != nullptr ? cached_.get() : &local_;
+  }
+
+ private:
+  std::shared_ptr<const ViewGraph> cached_;
+  ViewGraph local_;
+};
+
 void EnumerateVb(const State& state, const TransitionOptions& options,
                  std::vector<Transition>* out) {
   for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
@@ -389,8 +414,8 @@ std::vector<Transition> EnumerateTransitions(
   switch (kind) {
     case TransitionKind::kSC: {
       for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-        ViewGraph g = BuildViewGraph(state, vi);
-        for (const SelectionEdge& e : g.selection_edges) {
+        GraphRef g(state.views()[vi], options);
+        for (const SelectionEdge& e : g->selection_edges) {
           Transition t;
           t.kind = TransitionKind::kSC;
           t.view_idx = vi;
@@ -402,8 +427,8 @@ std::vector<Transition> EnumerateTransitions(
     }
     case TransitionKind::kJC: {
       for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-        ViewGraph g = BuildViewGraph(state, vi);
-        for (const JoinEdge& e : g.join_edges) {
+        GraphRef g(state.views()[vi], options);
+        for (const JoinEdge& e : g->join_edges) {
           // Cutting ni.ai=nj.aj renames the ni.ai occurrence; both
           // orientations are distinct transitions (Def. 3.4).
           Transition t;

@@ -21,6 +21,8 @@
 
 namespace rdfviews::vsel {
 
+class ViewInterner;
+
 enum class TransitionKind : uint8_t { kVB = 0, kSC = 1, kJC = 2, kVF = 3 };
 
 const char* TransitionName(TransitionKind kind);
@@ -59,6 +61,12 @@ struct TransitionOptions {
   /// re-implementation uses a single orientation, as the relational
   /// original does.
   bool jc_both_orientations = true;
+  /// When set, SC/JC enumeration fetches each view's selection/join edge
+  /// lists from this interner's graph cache (keyed by the view's cost
+  /// hash), so a distinct view's graph is built once per run instead of
+  /// once per state holding it — as cost estimates already are. Null keeps
+  /// the uncached per-state rebuild.
+  ViewInterner* graph_cache = nullptr;
 
   static TransitionOptions FromHeuristics(const HeuristicOptions& h) {
     TransitionOptions t;

@@ -113,8 +113,11 @@ struct View {
     cost_hash_ready_ = true;
   }
 
-  // Memoized canonical identity. Views are logically immutable once wrapped
-  // in a ViewPtr, so lazy single-fill is safe (single-threaded search).
+  // Memoized canonical identity. MakeView fills every key eagerly before
+  // the View is wrapped into a shared ViewPtr, so a published View is deeply
+  // immutable and safe to read from any number of search worker threads;
+  // the lazy fill below only runs for Views costed or canonicalized before
+  // publication (e.g., stack-local temporaries in tests).
   mutable std::string canon_;
   mutable std::string body_canon_;
   mutable Hash128 hash_;
@@ -128,7 +131,14 @@ struct View {
 
 using ViewPtr = std::shared_ptr<const View>;
 
+/// Wraps a view for copy-on-write sharing. All memoized identity keys are
+/// computed *here*, before the object becomes visible to other threads, so
+/// the lazily-filled mutable fields are never written after publication
+/// (the prerequisite for sharing ViewPtrs across search workers).
 inline ViewPtr MakeView(View v) {
+  v.StructuralHash();  // fills CanonicalKey() + the 128-bit hash
+  v.BodyKey();
+  v.CostHash();  // fills CostBodyHash() too
   return std::make_shared<const View>(std::move(v));
 }
 
