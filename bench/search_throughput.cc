@@ -72,8 +72,26 @@ int main(int argc, char** argv) {
   }
 
   // Parallel scaling sweep. Warm counts are shared across runs through a
-  // statistics snapshot so every thread count pays the same (zero) warm-up.
+  // statistics snapshot so every thread count pays the same (zero) warm-up;
+  // --stats-cache=<path> persists the snapshot so *repeated invocations*
+  // skip the warm-up scans too.
   std::printf("\nparallel scaling (memoized, budget %.3gs)\n", budget);
+  const std::string cache_path = flags.GetString("stats-cache", "");
+  const uint64_t store_tag = rdf::SnapshotStoreTag(store);
+  bool cache_loaded = false;
+  if (!cache_path.empty()) {
+    Result<rdf::StatisticsSnapshot> cached =
+        rdf::LoadSnapshot(cache_path, store_tag);
+    if (cached.ok()) {
+      stats.Warm(*cached);
+      cache_loaded = true;
+      std::printf("stats cache: warmed %zu counts from %s\n",
+                  cached->size(), cache_path.c_str());
+    } else {
+      std::printf("stats cache: %s (will rebuild)\n",
+                  cached.status().ToString().c_str());
+    }
+  }
   stats.Precompute([&] {
     std::vector<rdf::Pattern> patterns;
     for (const auto& v : s0.views()) {
@@ -82,6 +100,12 @@ int main(int argc, char** argv) {
     return patterns;
   }());
   rdf::StatisticsSnapshot snapshot = stats.Snapshot();
+  if (!cache_path.empty() && !cache_loaded) {
+    Status saved = rdf::SaveSnapshot(snapshot, cache_path, store_tag);
+    std::printf("stats cache: %s\n",
+                saved.ok() ? ("saved to " + cache_path).c_str()
+                           : saved.ToString().c_str());
+  }
   bench::PrintRow({"strategy", "threads", "created", "states/sec",
                    "speedup", "best fingerprint"});
   bench::PrintRule(6);

@@ -1,0 +1,38 @@
+// Union-find (disjoint-set forest) with path halving. One shared
+// implementation for every component-grouping site: query-body connected
+// components (cq), atom components of a view (vsel::state_graph), and the
+// workload-commonality partitioner (vsel::pipeline).
+#ifndef RDFVIEWS_COMMON_DISJOINT_SETS_H_
+#define RDFVIEWS_COMMON_DISJOINT_SETS_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace rdfviews {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_DISJOINT_SETS_H_

@@ -1,9 +1,10 @@
 #include "cq/query.h"
 
 #include <algorithm>
-#include <numeric>
 #include <sstream>
 #include <unordered_set>
+
+#include "common/disjoint_sets.h"
 
 namespace rdfviews::cq {
 
@@ -122,28 +123,18 @@ void ConjunctiveQuery::RenameVars(
 std::vector<std::vector<uint32_t>> ConjunctiveQuery::ConnectedComponents()
     const {
   const size_t n = atoms_.size();
-  std::vector<uint32_t> parent(n);
-  std::iota(parent.begin(), parent.end(), 0);
-  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  auto unite = [&](uint32_t a, uint32_t b) { parent[find(a)] = find(b); };
-
-  std::unordered_map<VarId, uint32_t> first_atom_of_var;
-  for (uint32_t i = 0; i < n; ++i) {
+  DisjointSets sets(n);
+  std::unordered_map<VarId, size_t> first_atom_of_var;
+  for (size_t i = 0; i < n; ++i) {
     for (rdf::Column c : kColumns) {
       Term t = atoms_[i].at(c);
       if (!t.is_var()) continue;
       auto [it, inserted] = first_atom_of_var.emplace(t.var(), i);
-      if (!inserted) unite(i, it->second);
+      if (!inserted) sets.Union(i, it->second);
     }
   }
-  std::unordered_map<uint32_t, std::vector<uint32_t>> groups;
-  for (uint32_t i = 0; i < n; ++i) groups[find(i)].push_back(i);
+  std::unordered_map<size_t, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < n; ++i) groups[sets.Find(i)].push_back(i);
   std::vector<std::vector<uint32_t>> out;
   out.reserve(groups.size());
   for (auto& [root, members] : groups) out.push_back(std::move(members));

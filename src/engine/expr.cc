@@ -131,6 +131,77 @@ ExprPtr Expr::ReplaceScans(
   return e;
 }
 
+ExprPtr Expr::Remap(const ExprPtr& root,
+                    const std::function<uint32_t(uint32_t)>& view_id,
+                    const std::function<cq::VarId(cq::VarId)>& var) {
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(root->children_.size());
+  for (const ExprPtr& c : root->children_) {
+    ExprPtr nc = Remap(c, view_id, var);
+    changed = changed || nc != c;
+    new_children.push_back(std::move(nc));
+  }
+  uint32_t new_view_id = root->view_id_;
+  if (root->kind_ == Kind::kScan) {
+    new_view_id = view_id(root->view_id_);
+    changed = changed || new_view_id != root->view_id_;
+  }
+  std::vector<cq::VarId> new_columns = root->columns_;
+  for (cq::VarId& c : new_columns) {
+    cq::VarId mapped = var(c);
+    changed = changed || mapped != c;
+    c = mapped;
+  }
+  std::vector<Condition> new_conditions = root->conditions_;
+  for (Condition& c : new_conditions) {
+    cq::VarId lhs = var(c.lhs);
+    changed = changed || lhs != c.lhs;
+    c.lhs = lhs;
+    if (!c.rhs_is_const) {
+      cq::VarId rhs = var(c.var_rhs);
+      changed = changed || rhs != c.var_rhs;
+      c.var_rhs = rhs;
+    }
+  }
+  std::vector<std::pair<cq::VarId, cq::VarId>> new_pairs = root->join_pairs_;
+  for (auto& [a, b] : new_pairs) {
+    cq::VarId ma = var(a);
+    cq::VarId mb = var(b);
+    changed = changed || ma != a || mb != b;
+    a = ma;
+    b = mb;
+  }
+  std::unordered_map<cq::VarId, cq::VarId> new_rename;
+  for (const auto& [from, to] : root->rename_) {
+    cq::VarId mf = var(from);
+    cq::VarId mt = var(to);
+    changed = changed || mf != from || mt != to;
+    new_rename.emplace(mf, mt);
+  }
+  std::vector<ArrangeCol> new_arrange = root->arrange_;
+  for (ArrangeCol& a : new_arrange) {
+    cq::VarId out = var(a.output_name);
+    changed = changed || out != a.output_name;
+    a.output_name = out;
+    if (!a.is_const) {
+      cq::VarId src = var(a.source);
+      changed = changed || src != a.source;
+      a.source = src;
+    }
+  }
+  if (!changed) return root;
+  auto e = std::shared_ptr<Expr>(new Expr(root->kind_));
+  e->view_id_ = new_view_id;
+  e->columns_ = std::move(new_columns);
+  e->children_ = std::move(new_children);
+  e->conditions_ = std::move(new_conditions);
+  e->join_pairs_ = std::move(new_pairs);
+  e->rename_ = std::move(new_rename);
+  e->arrange_ = std::move(new_arrange);
+  return e;
+}
+
 std::string Expr::ToString(const std::function<std::string(uint32_t)>& name,
                            const rdf::Dictionary* dict) const {
   auto var = [](cq::VarId v) { return "X" + std::to_string(v); };

@@ -102,6 +102,16 @@ class Expr {
       const ExprPtr& root, uint32_t view_id,
       const std::function<ExprPtr(const Expr& scan)>& replacement);
 
+  /// Returns a copy of the tree with every view id mapped through `view_id`
+  /// and every column name (scan/project columns, condition operands, join
+  /// pairs, rename endpoints, arrange sources and outputs) mapped through
+  /// `var`. The recommendation pipeline uses this to re-base per-partition
+  /// rewritings into the merged state's id spaces. Identity maps return the
+  /// shared input tree unchanged.
+  static ExprPtr Remap(const ExprPtr& root,
+                       const std::function<uint32_t(uint32_t)>& view_id,
+                       const std::function<cq::VarId(cq::VarId)>& var);
+
   /// Pretty-prints the tree. `view_name` maps view ids to display names;
   /// `dict` renders constants.
   std::string ToString(

@@ -1,8 +1,120 @@
 #include "rdf/statistics.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <mutex>
+#include <vector>
+
+#include "common/hash.h"
 
 namespace rdfviews::rdf {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x52565353;  // "RVSS"
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+uint64_t SnapshotStoreTag(const TripleStore& store) {
+  size_t seed = store.size();
+  for (int c = 0; c < kNumColumns; ++c) {
+    const ColumnStats& s = store.column_stats(static_cast<Column>(c));
+    HashCombine(&seed, s.distinct);
+    HashCombine(&seed, s.min);
+    HashCombine(&seed, s.max);
+    HashCombine(&seed, static_cast<uint64_t>(s.avg_width * 1024.0));
+  }
+  return static_cast<uint64_t>(seed);
+}
+
+Status SaveSnapshot(const StatisticsSnapshot& snapshot,
+                    const std::string& path, uint64_t store_tag) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  auto write_u64 = [f](uint64_t v) {
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+  };
+  bool ok = write_u64((static_cast<uint64_t>(kSnapshotVersion) << 32) |
+                      kSnapshotMagic) &&
+            write_u64(store_tag) && write_u64(snapshot.counts.size());
+  for (const auto& [pattern, count] : snapshot.counts) {
+    if (!ok) break;
+    ok = write_u64(pattern.s) && write_u64(pattern.p) &&
+         write_u64(pattern.o) && write_u64(count);
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::Internal("short write while saving snapshot to " + path);
+  }
+  return Status::OK();
+}
+
+Result<StatisticsSnapshot> LoadSnapshot(const std::string& path,
+                                        uint64_t store_tag) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no statistics snapshot at " + path);
+  }
+  auto read_u64 = [f](uint64_t* v) {
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+  };
+  uint64_t header = 0;
+  uint64_t tag = 0;
+  uint64_t count = 0;
+  if (!read_u64(&header) || !read_u64(&tag) || !read_u64(&count)) {
+    std::fclose(f);
+    return Status::ParseError("truncated snapshot header in " + path);
+  }
+  if ((header & 0xffffffffu) != kSnapshotMagic ||
+      (header >> 32) != kSnapshotVersion) {
+    std::fclose(f);
+    return Status::ParseError("not a statistics snapshot: " + path);
+  }
+  if (tag != store_tag) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "snapshot " + path + " was measured on a different store");
+  }
+  // Validate the entry count against the actual file size before reserving:
+  // a corrupted count must surface as ParseError, not as a bad_alloc.
+  long body_start = std::ftell(f);
+  if (body_start < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::ParseError("cannot measure snapshot " + path);
+  }
+  long file_size = std::ftell(f);
+  // Divide rather than multiply so a hostile count can not overflow.
+  if (file_size < body_start ||
+      count > static_cast<uint64_t>(file_size - body_start) /
+                  (4 * sizeof(uint64_t)) ||
+      std::fseek(f, body_start, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::ParseError("truncated snapshot body in " + path);
+  }
+  StatisticsSnapshot snapshot;
+  snapshot.counts.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t s;
+    uint64_t p;
+    uint64_t o;
+    uint64_t c;
+    if (!read_u64(&s) || !read_u64(&p) || !read_u64(&o) || !read_u64(&c)) {
+      std::fclose(f);
+      return Status::ParseError("truncated snapshot body in " + path);
+    }
+    Pattern pattern;
+    pattern.s = static_cast<TermId>(s);
+    pattern.p = static_cast<TermId>(p);
+    pattern.o = static_cast<TermId>(o);
+    snapshot.counts.emplace(pattern, c);
+  }
+  std::fclose(f);
+  return snapshot;
+}
 
 uint64_t Statistics::CountPattern(const Pattern& pattern) const {
   {

@@ -22,9 +22,11 @@
 #define RDFVIEWS_RDF_STATISTICS_H_
 
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "rdf/triple_store.h"
 
 namespace rdfviews::rdf {
@@ -37,6 +39,25 @@ struct StatisticsSnapshot {
 
   size_t size() const { return counts.size(); }
 };
+
+/// Identity tag of a store for snapshot persistence: a hash of the triple
+/// count and the per-column distinct / min / max / width statistics. Two
+/// deterministically regenerated stores (same generator, same seed, same
+/// dictionary interning order) produce the same tag; a drifted store is
+/// rejected at load time rather than silently trusted.
+uint64_t SnapshotStoreTag(const TripleStore& store);
+
+/// Persists a snapshot to a small binary file (magic, version, store tag,
+/// entry count, then (s, p, o, count) quadruples), so repeated tuning runs
+/// and future distributed workers skip the warm-up scans entirely.
+Status SaveSnapshot(const StatisticsSnapshot& snapshot,
+                    const std::string& path, uint64_t store_tag);
+
+/// Loads a snapshot written by SaveSnapshot. Fails with NotFound when the
+/// file does not exist, ParseError on a malformed file, and
+/// InvalidArgument when the stored tag does not match `store_tag`.
+Result<StatisticsSnapshot> LoadSnapshot(const std::string& path,
+                                        uint64_t store_tag);
 
 /// Base statistics provider, measuring the store it is given. Subclasses
 /// may override CountPatternUncached to reflect implicit triples without

@@ -110,6 +110,58 @@ struct Scored {
   double cost;
 };
 
+uint64_t BodyKeyHash(const View& v) {
+  return std::hash<std::string>{}(v.BodyKey());
+}
+
+/// Collects the hashed body keys of `s`; sets *has_dup when two views share
+/// a body key, i.e. some VF transition applies inside the state. VF fuses
+/// two views with isomorphic bodies, so two states with disjoint key sets
+/// offer no cross-fusion and a dup-free state is VF-closed; hash collisions
+/// can only add a spurious overlap/dup, which degrades to the unshared
+/// full-closure path, never to a wrong result.
+std::unordered_set<uint64_t> StateBodyKeys(const State& s, bool* has_dup) {
+  std::unordered_set<uint64_t> keys;
+  *has_dup = false;
+  for (const View& v : s.views()) {
+    if (!keys.insert(BodyKeyHash(v)).second) *has_dup = true;
+  }
+  return keys;
+}
+
+bool Intersects(const std::unordered_set<uint64_t>& a,
+                const std::unordered_set<uint64_t>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (uint64_t k : small) {
+    if (large.contains(k)) return true;
+  }
+  return false;
+}
+
+/// Per-round cache of one per-query piece: its body keys and — computed at
+/// most once per round, shared by every partial it is combined with — its
+/// own VF closure. Combining a known-closed partial with a piece whose keys
+/// are disjoint needs no closure of the merged state at all: the closure of
+/// the union is the union of the closures (VF preserves body-key sets, so
+/// disjoint pieces never unlock new fusions in each other).
+struct PieceInfo {
+  const State* piece = nullptr;
+  std::unordered_set<uint64_t> keys;
+  bool has_internal_fusion = false;
+  bool closure_ready = false;
+  State closed;    // valid when closure_ready && steps > 0
+  size_t steps = 0;
+};
+
+void EnsurePieceClosure(PieceInfo* info, SearchContext* ctx) {
+  if (info->closure_ready) return;
+  info->closure_ready = true;
+  if (!info->has_internal_fusion) return;  // already closed, steps = 0
+  info->closed = AvfClosure(*info->piece, ctx->topts, &info->steps);
+  ctx->stats.created += info->steps;
+}
+
 /// Keeps the `keep` cheapest states within `factor` of the best. Only the
 /// surviving prefix is ever needed in cost order, so this selects it with a
 /// bounded heap (std::partial_sort over the first `keep` slots, O(n log
@@ -210,9 +262,22 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
   PruneScored(&current, keep, kPruneFactor);
 
   for (size_t qi = 1; qi < num_queries; ++qi) {
+    // Per-piece body keys and (lazily, at most once per round) per-piece VF
+    // closures, shared across every surviving partial.
+    std::vector<PieceInfo> pieces(per_query[qi].size());
+    for (size_t i = 0; i < per_query[qi].size(); ++i) {
+      pieces[i].piece = &per_query[qi][i];
+      pieces[i].keys =
+          StateBodyKeys(per_query[qi][i], &pieces[i].has_internal_fusion);
+    }
     std::vector<Scored> next;
     for (const Scored& partial : current) {
-      for (const State& piece : per_query[qi]) {
+      // The partial's keys and closed-ness, once per (partial, round): at
+      // most `keep` survivors reach this point.
+      bool partial_has_dup = false;
+      std::unordered_set<uint64_t> partial_keys =
+          StateBodyKeys(partial.state, &partial_has_dup);
+      for (PieceInfo& info : pieces) {
         if (ctx.OutOfBudget()) {
           if (!ctx.stats.memory_exhausted) break;  // timeout: keep partials
           (void)ctx.Finish(false);
@@ -220,15 +285,33 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
               std::string(StrategyName(strategy)) +
               ": combination phase exceeded the memory budget");
         }
-        State merged = MergeStates(partial.state, piece);
+        State merged = MergeStates(partial.state, *info.piece);
         ++ctx.stats.created;
         ctx.seen.emplace(merged.fingerprint(), 0);
         next.push_back(Scored{merged, cost_model.StateCost(merged)});
-        // Fusion opportunities: the VF closure of the merged state.
-        size_t steps = 0;
-        State fused = AvfClosure(merged, ctx.topts, &steps);
-        if (steps > 0) {
+        State fused;
+        bool have_fused = false;
+        if (!partial_has_dup && !Intersects(partial_keys, info.keys)) {
+          // No fusion can touch the partial: the closure of the merged
+          // state is partial ∪ closure(piece), with the piece closure
+          // computed once per round instead of once per partial.
+          EnsurePieceClosure(&info, &ctx);
+          if (info.steps > 0) {
+            fused = MergeStates(partial.state, info.closed);
+            ++ctx.stats.created;
+            have_fused = true;
+          }
+        } else {
+          // Possible fusions against this partial: full closure as before.
+          size_t steps = 0;
+          State closed = AvfClosure(merged, ctx.topts, &steps);
           ctx.stats.created += steps;
+          if (steps > 0) {
+            fused = std::move(closed);
+            have_fused = true;
+          }
+        }
+        if (have_fused) {
           ctx.seen.emplace(fused.fingerprint(), 0);
           double c = cost_model.StateCost(fused);
           next.push_back(Scored{std::move(fused), c});

@@ -56,6 +56,29 @@ struct SearchLimits {
   size_t num_threads = 1;
 };
 
+/// Workload partitioning knobs of the recommendation pipeline
+/// (src/vsel/pipeline/). The pipeline splits the workload along the
+/// connected components of its commonality graph (queries connected iff
+/// they share a constant some SC/JC/VF transition chain could exploit) and
+/// searches each sub-workload independently; see README "Recommendation
+/// pipeline" for the soundness argument.
+struct PartitionOptions {
+  /// Partition the workload before searching. Disabled, or when the split
+  /// would be unsound (stop_var off, or a query with a constant-free
+  /// component), the pipeline runs one partition over the whole workload —
+  /// exactly the monolithic search.
+  bool enabled = true;
+  /// Cap on the number of partitions; components beyond the cap are packed
+  /// into the least-loaded partition (by query count). 0 = one partition
+  /// per commonality component.
+  size_t max_partitions = 0;
+  /// Run per-partition searches concurrently on a worker pool when
+  /// SearchLimits::num_threads > 1 and more than one partition exists (each
+  /// partition search then runs serially). With a single partition, the
+  /// parallel frontier engine keeps num_threads instead.
+  bool parallel_partitions = true;
+};
+
 /// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost
 /// components").
 struct CostWeights {

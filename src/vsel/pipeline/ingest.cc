@@ -1,0 +1,83 @@
+// Pipeline stage 1: workload validation and entailment normalization.
+//
+// Everything the pre-pipeline ViewSelector::Recommend did before the search
+// now happens here, exactly once per run: choosing the statistics provider
+// and materialization store for the EntailmentMode, and (for
+// kPreReformulate) reformulating every workload query up front so the later
+// stages see plain per-query disjunct unions.
+#include <memory>
+#include <utility>
+
+#include "rdf/saturation.h"
+#include "reform/reformulate.h"
+#include "vsel/pipeline/pipeline.h"
+
+namespace rdfviews::vsel::pipeline {
+
+Result<IngestResult> Ingest(const rdf::TripleStore* store,
+                            const rdf::Dictionary* dict,
+                            const rdf::Schema* schema,
+                            const std::vector<cq::ConjunctiveQuery>& workload,
+                            const SelectorOptions& options,
+                            rdf::Statistics* external_stats) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  const bool needs_schema = options.entailment != EntailmentMode::kNone;
+  if (needs_schema && (schema == nullptr || schema->empty())) {
+    return Status::InvalidArgument(
+        "entailment mode requires a non-empty RDF schema");
+  }
+
+  IngestResult out;
+  out.queries = workload;
+  out.schema = schema;
+  out.materialization_store = std::shared_ptr<const rdf::TripleStore>(
+      store, [](const auto*) {});
+
+  switch (options.entailment) {
+    case EntailmentMode::kNone:
+      if (external_stats == nullptr) {
+        out.owned_stats = std::make_unique<rdf::Statistics>(store);
+      }
+      break;
+    case EntailmentMode::kPreReformulate: {
+      if (external_stats == nullptr) {
+        out.owned_stats = std::make_unique<rdf::Statistics>(store);
+      }
+      out.reformulated.reserve(workload.size());
+      for (const cq::ConjunctiveQuery& q : workload) {
+        reform::ReformulationResult r = reform::Reformulate(q, *schema);
+        if (!r.complete) {
+          return Status::ResourceExhausted(
+              "reformulation of " + q.name() + " exceeded the query budget");
+        }
+        out.reformulated.push_back(std::move(r.ucq));
+      }
+      break;
+    }
+    case EntailmentMode::kSaturate: {
+      // The saturated store backs both the statistics and the
+      // materialization; the shared_ptr in the result keeps it alive.
+      auto saturated = std::make_shared<rdf::TripleStore>(
+          rdf::Saturate(*store, *schema, {}, dict));
+      out.owned_stats = std::make_unique<rdf::Statistics>(saturated.get());
+      out.materialization_store = saturated;
+      external_stats = nullptr;  // must measure the saturated store
+      break;
+    }
+    case EntailmentMode::kPostReformulate:
+      // A generic warm cache would silently drop the implicit triples from
+      // every count, so the reformulation-aware provider is always built
+      // here (mirroring kSaturate's override of external_stats).
+      out.owned_stats =
+          std::make_unique<reform::ReformulatedStatistics>(store, schema);
+      external_stats = nullptr;
+      break;
+  }
+  out.stats =
+      external_stats != nullptr ? external_stats : out.owned_stats.get();
+  return out;
+}
+
+}  // namespace rdfviews::vsel::pipeline

@@ -1,0 +1,225 @@
+// Pipeline stage 4: merging per-partition best states into one
+// Recommendation.
+//
+// Each partition searched its own id universe (view ids and variables both
+// start at 0 per initial state), so the merge re-bases: views get fresh
+// sequential ids, variables get a per-partition offset, and every rewriting
+// is rewritten through engine::Expr::Remap into the merged spaces before it
+// is placed back at its workload position. Views that are identical up to
+// variable renaming across partitions (equal canonical keys — possible only
+// when the caller forced a plan, never under the sound commonality split)
+// are materialized once: later partitions' scans are redirected to the
+// first copy, which is positionally compatible because canonical keys cover
+// the head order. With a single partition everything is shared, not copied
+// — the monolithic path stays byte-identical to the pre-pipeline selector.
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "reform/reformulate.h"
+#include "vsel/pipeline/pipeline.h"
+
+namespace rdfviews::vsel::pipeline {
+
+namespace {
+
+/// Merges the per-partition improvement traces into one workload-level
+/// trace: at every partition improvement instant, the merged best is the
+/// sum of each partition's best-so-far. `start_offsets[p]` translates
+/// partition p's search-relative timestamps onto the shared wall-clock
+/// axis: the cumulative predecessor time for back-to-back execution, 0 for
+/// the concurrent pool. The pooled offsets are exact only while the pool
+/// covers every partition; with fewer workers than partitions the later
+/// partitions' true starts depend on the scheduling order, which the merge
+/// stage can not reconstruct, so their events are placed at their
+/// search-relative lower bounds.
+std::vector<std::pair<double, double>> MergeTraces(
+    const std::vector<PartitionSearchResult>& results,
+    const std::vector<double>& start_offsets) {
+  struct Event {
+    double t;
+    size_t p;
+    double cost;
+  };
+  std::vector<Event> events;
+  std::vector<double> current(results.size());
+  for (size_t p = 0; p < results.size(); ++p) {
+    current[p] = results[p].initial_cost;
+    for (const auto& [t, cost] : results[p].search.stats.best_trace) {
+      events.push_back(Event{start_offsets[p] + t, p, cost});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+  std::vector<std::pair<double, double>> trace;
+  trace.reserve(events.size());
+  for (const Event& ev : events) {
+    current[ev.p] = ev.cost;
+    double total = 0;
+    for (double c : current) total += c;
+    trace.emplace_back(ev.t, total);
+  }
+  return trace;
+}
+
+/// Re-bases every partition's best state into one merged state. Fills
+/// `rewritings_by_query` (indexed by workload position) and returns the
+/// number of cross-partition duplicate views folded away.
+size_t MergeStates(const PartitionPlan& plan,
+                   const std::vector<PartitionSearchResult>& results,
+                   State* merged,
+                   std::vector<engine::ExprPtr>* rewritings_by_query) {
+  size_t folded = 0;
+  uint32_t next_id = 0;
+  cq::VarId var_base = 0;
+  // Canonical key -> (owning partition, merged view id). Views identical up
+  // to renaming within one partition are deliberately NOT folded: the
+  // monolithic search keeps them too, and stage 4 must not out-optimize it.
+  std::unordered_map<std::string, std::pair<size_t, uint32_t>> canon;
+  for (size_t p = 0; p < results.size(); ++p) {
+    const State& best = results[p].search.best;
+    const cq::VarId var_offset = var_base;
+    std::unordered_map<uint32_t, uint32_t> id_map;
+    for (const View& v : best.views()) {
+      auto it = canon.find(v.CanonicalKey());
+      if (it != canon.end() && it->second.first != p) {
+        id_map[v.id] = it->second.second;
+        ++folded;
+        continue;
+      }
+      View nv;
+      nv.id = next_id++;
+      nv.def = v.def;
+      nv.def.OffsetVars(var_offset);
+      nv.def.set_name(nv.Name());
+      id_map[v.id] = nv.id;
+      canon.try_emplace(v.CanonicalKey(), p, nv.id);
+      merged->AddView(MakeView(std::move(nv)));
+    }
+    auto map_view = [&id_map](uint32_t id) {
+      auto mi = id_map.find(id);
+      RDFVIEWS_CHECK_MSG(mi != id_map.end(),
+                         "rewriting scans unknown view v" << id);
+      return mi->second;
+    };
+    auto map_var = [var_offset](cq::VarId v) { return v + var_offset; };
+    const std::vector<size_t>& group = plan.groups[p];
+    RDFVIEWS_CHECK(best.rewritings().size() == group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      (*rewritings_by_query)[group[i]] =
+          engine::Expr::Remap(best.rewritings()[i], map_view, map_var);
+    }
+    var_base += best.next_var();
+  }
+  merged->set_next_view_id(next_id);
+  merged->set_next_var(var_base);
+  return folded;
+}
+
+}  // namespace
+
+Result<Recommendation> MergePartitions(
+    const IngestResult& ingest, const PartitionPlan& plan,
+    std::vector<PartitionSearchResult> results, CostModel* cost_model,
+    const SelectorOptions& options) {
+  RDFVIEWS_CHECK(plan.groups.size() == results.size() && !results.empty());
+
+  Recommendation rec;
+  rec.entailment = options.entailment;
+  rec.materialization_store = ingest.materialization_store;
+  rec.num_partitions = plan.groups.size();
+  rec.partition_fallback_reason = plan.fallback_reason;
+
+  if (results.size() == 1) {
+    // Monolithic fast path: the best state is the recommendation, ids and
+    // rewritings untouched.
+    rec.best_state = std::move(results[0].search.best);
+    rec.stats = std::move(results[0].search.stats);
+  } else {
+    State merged;
+    std::vector<engine::ExprPtr> rewritings(ingest.queries.size());
+    rec.merged_duplicate_views =
+        MergeStates(plan, results, &merged, &rewritings);
+    *merged.mutable_rewritings() = std::move(rewritings);
+
+    // Did stage 3 run the partitions concurrently? (Mirrors its policy.)
+    const bool fanned_out = options.partition.parallel_partitions &&
+                            options.limits.num_threads > 1;
+    SearchStats stats;
+    std::vector<double> start_offsets(results.size(), 0.0);
+    if (!fanned_out) {
+      // Back-to-back execution: partition p starts when p-1 finishes.
+      double cumulative = 0;
+      for (size_t p = 0; p < results.size(); ++p) {
+        start_offsets[p] = cumulative;
+        cumulative += results[p].search.stats.elapsed_sec;
+      }
+    }
+    stats.best_trace = MergeTraces(results, start_offsets);
+    double elapsed_max = 0;
+    double elapsed_sum = 0;
+    bool completed = true;
+    for (const PartitionSearchResult& r : results) {
+      const SearchStats& s = r.search.stats;
+      stats.created += s.created;
+      stats.duplicates += s.duplicates;
+      stats.discarded += s.discarded;
+      stats.explored += s.explored;
+      stats.transitions_applied += s.transitions_applied;
+      stats.initial_cost += s.initial_cost;
+      stats.memory_exhausted = stats.memory_exhausted || s.memory_exhausted;
+      stats.time_exhausted = stats.time_exhausted || s.time_exhausted;
+      completed = completed && s.completed;
+      elapsed_max = std::max(elapsed_max, s.elapsed_sec);
+      elapsed_sum += s.elapsed_sec;
+    }
+    stats.completed = completed;
+    // Wall-clock of stage 3: sum of the slices when the partitions ran
+    // back to back; under the pool, the critical-path estimate for the
+    // actual worker count (a pool smaller than the partition count runs
+    // ~pool_size slices concurrently, not all of them).
+    if (fanned_out) {
+      const size_t pool_size =
+          std::min(options.limits.num_threads, results.size());
+      stats.elapsed_sec = std::max(
+          elapsed_max, elapsed_sum / static_cast<double>(pool_size));
+    } else {
+      stats.elapsed_sec = elapsed_sum;
+    }
+    // Ground truth for the merged state (identical to the sum of partition
+    // bests unless the fold removed duplicates): the shared cost model
+    // re-sums the interned per-view / per-rewriting terms.
+    stats.best_cost = cost_model->StateCost(merged);
+    rec.best_state = std::move(merged);
+    rec.stats = std::move(stats);
+  }
+
+  rec.cost_counters = cost_model->counters();
+  rec.cost_cache_counters = cost_model->interner().counters();
+  rec.distinct_views_interned = cost_model->interner().NumDistinctViews();
+
+  // Final view definitions (post-reformulation happens here, Sec. 4.3).
+  for (const View& v : rec.best_state.views()) {
+    cq::UnionOfQueries def(v.Name());
+    if (options.entailment == EntailmentMode::kPostReformulate) {
+      reform::ReformulationResult r =
+          reform::Reformulate(v.def, *ingest.schema);
+      if (!r.complete) {
+        return Status::ResourceExhausted(
+            "post-reformulation of view " + v.Name() +
+            " exceeded the query budget");
+      }
+      def = std::move(r.ucq);
+    } else {
+      def.Add(v.def);
+    }
+    rec.view_definitions.push_back(std::move(def));
+    rec.view_columns.push_back(v.Columns());
+    rec.view_ids.push_back(v.id);
+  }
+  rec.rewritings = rec.best_state.rewritings();
+  return rec;
+}
+
+}  // namespace rdfviews::vsel::pipeline

@@ -1,0 +1,150 @@
+// Pipeline stage 2: the query-commonality graph and its components.
+//
+// Two queries are connected iff they share a body constant. This is the
+// exact interaction criterion of the transition system: VB/SC/JC act inside
+// one view and never introduce a constant, so every view derivable from a
+// query carries a subset of that query's constants; VF — the only
+// cross-view transition — needs isomorphic bodies, and body isomorphisms
+// fix constants pointwise, so views derived from constant-disjoint queries
+// can only fuse once both are constant-free, which the armed stop_var
+// condition discards. Whenever that argument does not hold (stop_var off,
+// or a query whose minimized form has a constant-free connected component,
+// which would also disarm stop_var for the monolithic search), the plan
+// falls back to a single partition: correctness first, scale second.
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/disjoint_sets.h"
+#include "cq/containment.h"
+#include "vsel/pipeline/pipeline.h"
+
+namespace rdfviews::vsel::pipeline {
+
+namespace {
+
+/// Collects the body constants of `q` into `constants` and reports whether
+/// some connected component of the minimized query is constant-free (the
+/// wildcard case that disarms stop_var and makes any split unsound). The
+/// minimized components are exactly the views MakeInitialState installs.
+bool CollectConstants(const cq::ConjunctiveQuery& q,
+                      std::unordered_set<rdf::TermId>* constants) {
+  bool wildcard = false;
+  cq::ConjunctiveQuery minimized = cq::Minimize(q);
+  for (const cq::ConjunctiveQuery& component :
+       minimized.SplitIntoConnectedQueries()) {
+    size_t in_component = 0;
+    for (const cq::Atom& atom : component.atoms()) {
+      for (const cq::Term* t : {&atom.s, &atom.p, &atom.o}) {
+        if (t->is_const()) {
+          constants->insert(t->constant());
+          ++in_component;
+        }
+      }
+    }
+    if (in_component == 0) wildcard = true;
+  }
+  return wildcard;
+}
+
+/// Packs `groups` (ordered by first query index) into at most `cap`
+/// partitions: each group goes to the currently least-loaded partition
+/// (query count, ties to the lowest index). Merging components is always
+/// sound — a partition is searched monolithically.
+std::vector<std::vector<size_t>> PackGroups(
+    std::vector<std::vector<size_t>> groups, size_t cap) {
+  if (cap == 0 || groups.size() <= cap) return groups;
+  std::vector<std::vector<size_t>> packed(cap);
+  for (std::vector<size_t>& g : groups) {
+    size_t target = 0;
+    for (size_t i = 1; i < packed.size(); ++i) {
+      if (packed[i].size() < packed[target].size()) target = i;
+    }
+    packed[target].insert(packed[target].end(), g.begin(), g.end());
+  }
+  for (std::vector<size_t>& g : packed) std::sort(g.begin(), g.end());
+  std::sort(packed.begin(), packed.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.front() < b.front();
+            });
+  return packed;
+}
+
+PartitionPlan SingleGroup(size_t n, std::string reason) {
+  PartitionPlan plan;
+  plan.groups.emplace_back(n);
+  std::iota(plan.groups.back().begin(), plan.groups.back().end(), 0);
+  plan.fallback_reason = std::move(reason);
+  return plan;
+}
+
+}  // namespace
+
+PartitionPlan PartitionWorkload(const IngestResult& ingest,
+                                const SelectorOptions& options) {
+  const size_t n = ingest.queries.size();
+  if (!options.partition.enabled) {
+    return SingleGroup(n, "partitioning disabled");
+  }
+  if (n <= 1) return SingleGroup(n, "");
+  switch (options.strategy) {
+    case StrategyKind::kPruning21:
+    case StrategyKind::kGreedy21:
+    case StrategyKind::kHeuristic21:
+      // The [21] re-implementations combine the per-query spaces with
+      // global keep-K pruning; splitting changes which partials survive,
+      // so they stay faithful to the paper and run monolithic.
+      return SingleGroup(n, "competitor strategies run monolithic");
+    default:
+      break;
+  }
+  if (!options.heuristics.stop_var) {
+    return SingleGroup(n, "stop_var disabled");
+  }
+
+  // Per-query constant sets. For kPreReformulate the initial views come
+  // from the reformulated disjuncts, so the commonality (and the wildcard
+  // check) is computed over every disjunct.
+  std::vector<std::unordered_set<rdf::TermId>> constants(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool wildcard;
+    if (options.entailment == EntailmentMode::kPreReformulate) {
+      wildcard = false;
+      for (const cq::ConjunctiveQuery& d :
+           ingest.reformulated[i].disjuncts()) {
+        wildcard = CollectConstants(d, &constants[i]) || wildcard;
+      }
+    } else {
+      wildcard = CollectConstants(ingest.queries[i], &constants[i]);
+    }
+    if (wildcard) {
+      return SingleGroup(
+          n, "query " + ingest.queries[i].name() +
+                 " has a constant-free component (stop_var disarmed)");
+    }
+  }
+
+  DisjointSets sets(n);
+  std::unordered_map<rdf::TermId, size_t> first_owner;
+  for (size_t i = 0; i < n; ++i) {
+    for (rdf::TermId c : constants[i]) {
+      auto [it, inserted] = first_owner.try_emplace(c, i);
+      if (!inserted) sets.Union(i, it->second);
+    }
+  }
+
+  PartitionPlan plan;
+  std::unordered_map<size_t, size_t> root_to_group;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = sets.Find(i);
+    auto [it, inserted] = root_to_group.try_emplace(root, plan.groups.size());
+    if (inserted) plan.groups.emplace_back();
+    plan.groups[it->second].push_back(i);
+  }
+  plan.groups = PackGroups(std::move(plan.groups),
+                           options.partition.max_partitions);
+  return plan;
+}
+
+}  // namespace rdfviews::vsel::pipeline

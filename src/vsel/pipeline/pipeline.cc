@@ -1,0 +1,30 @@
+// The assembled pipeline: ingest → partition → search → merge.
+#include <utility>
+
+#include "vsel/cost_model.h"
+#include "vsel/pipeline/pipeline.h"
+
+namespace rdfviews::vsel::pipeline {
+
+Result<Recommendation> Run(const rdf::TripleStore* store,
+                           const rdf::Dictionary* dict,
+                           const rdf::Schema* schema,
+                           const std::vector<cq::ConjunctiveQuery>& workload,
+                           const SelectorOptions& options,
+                           rdf::Statistics* external_stats) {
+  Result<IngestResult> ingest =
+      Ingest(store, dict, schema, workload, options, external_stats);
+  if (!ingest.ok()) return ingest.status();
+
+  PartitionPlan plan = PartitionWorkload(*ingest, options);
+
+  CostModel cost_model(ingest->stats, options.weights);
+  Result<std::vector<PartitionSearchResult>> searches =
+      SearchPartitions(*ingest, plan, &cost_model, options);
+  if (!searches.ok()) return searches.status();
+
+  return MergePartitions(*ingest, plan, std::move(*searches), &cost_model,
+                         options);
+}
+
+}  // namespace rdfviews::vsel::pipeline

@@ -1,0 +1,171 @@
+// The staged recommendation pipeline: workload in, Recommendation out.
+//
+//   (1) ingest    — validate the workload, apply the EntailmentMode once
+//                   (build statistics / the materialization store, and for
+//                   kPreReformulate reformulate every query up front);
+//   (2) partition — split the workload along the connected components of
+//                   its commonality graph into independent sub-workloads
+//                   (with a single-partition fallback whenever the split
+//                   would not be provably exact — see PartitionWorkload);
+//   (3) search    — run one Sec. 5 search per partition, serially or as
+//                   tasks on a worker pool, under budgets apportioned by
+//                   partition size (ApportionSearchLimits) and a shared
+//                   cost model / statistics cache;
+//   (4) merge     — re-base the per-partition best states into one state
+//                   (fresh view-id / variable ranges, rewritings back in
+//                   workload order, cross-partition duplicate views folded
+//                   through their canonical keys) and assemble the final
+//                   Recommendation (post-reformulation happens here).
+//
+// The monolithic ViewSelector::Recommend is a thin wrapper over this
+// pipeline: with partitioning disabled (or a single commonality component)
+// the plan has one group holding the whole workload, and stages 3 and 4
+// reduce to exactly the pre-pipeline search-then-package path.
+//
+// Soundness of stage 2 (why per-partition search loses nothing): VB, SC and
+// JC act on a single view, and no transition ever introduces a constant, so
+// every view derivable from query q carries a subset of q's constants. VF —
+// the only cross-view transition — requires isomorphic bodies, and a body
+// isomorphism maps constants to themselves; two views derived from queries
+// that share no constant can therefore only fuse if both are constant-free,
+// and such states are exactly what the armed stop_var condition discards.
+// Hence, when stop_var is armed for every partition (which the fallback
+// guarantees), the reachable monolithic states are precisely the products
+// of reachable per-partition states, the cost decomposes additively over
+// views and rewritings, and the merged per-partition optima form a
+// monolithic optimum.
+#ifndef RDFVIEWS_VSEL_PIPELINE_PIPELINE_H_
+#define RDFVIEWS_VSEL_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cq/query.h"
+#include "cq/ucq.h"
+#include "rdf/schema.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+#include "vsel/selector.h"
+
+namespace rdfviews::vsel::pipeline {
+
+// ---- Stage 1: ingest / entailment ----------------------------------------
+
+/// The normalized workload: everything later stages need, independent of
+/// the entailment mode that produced it.
+struct IngestResult {
+  /// The validated workload, in input order.
+  std::vector<cq::ConjunctiveQuery> queries;
+  /// kPreReformulate only: one union of disjuncts per query (aligned with
+  /// `queries`); empty otherwise.
+  std::vector<cq::UnionOfQueries> reformulated;
+  /// The statistics provider the cost model reads (owning; kept alive by
+  /// the caller for the duration of the run). Null only when
+  /// `external_stats` was supplied to Ingest.
+  std::unique_ptr<rdf::Statistics> owned_stats;
+  /// The provider to use (== owned_stats.get() or the external override).
+  rdf::Statistics* stats = nullptr;
+  /// The store the recommended views must be materialized over.
+  std::shared_ptr<const rdf::TripleStore> materialization_store;
+  /// The schema of the run (null for EntailmentMode::kNone); the merge
+  /// stage reads it for kPostReformulate.
+  const rdf::Schema* schema = nullptr;
+};
+
+/// Runs stage 1. `schema` may be null for EntailmentMode::kNone.
+/// `external_stats` (optional) substitutes a caller-owned statistics
+/// provider measuring `store` directly — benches use this to reuse warm
+/// pattern-count caches across runs. It is only honored for the modes
+/// whose counts come from the raw store (kNone, kPreReformulate);
+/// kSaturate measures the saturated store and kPostReformulate needs the
+/// reformulation-aware provider, so both ignore it.
+Result<IngestResult> Ingest(const rdf::TripleStore* store,
+                            const rdf::Dictionary* dict,
+                            const rdf::Schema* schema,
+                            const std::vector<cq::ConjunctiveQuery>& workload,
+                            const SelectorOptions& options,
+                            rdf::Statistics* external_stats = nullptr);
+
+// ---- Stage 2: partition ----------------------------------------------------
+
+/// The workload split: `groups[p]` holds the workload indices of partition
+/// p, each group sorted ascending and the groups ordered by first query.
+struct PartitionPlan {
+  std::vector<std::vector<size_t>> groups;
+  /// Why the plan is a single group despite partitioning being enabled;
+  /// empty when the commonality graph was actually used.
+  std::string fallback_reason;
+
+  size_t num_partitions() const { return groups.size(); }
+};
+
+/// Runs stage 2: builds the query-commonality graph (queries connected iff
+/// they share a constant — for kPreReformulate, a constant of any disjunct)
+/// and returns its connected components as the partition plan. Falls back
+/// to a single partition when the decomposition would not be provably exact
+/// (see the header comment): partitioning disabled, stop_var off, or some
+/// query with a constant-free connected component (which disarms stop_var).
+PartitionPlan PartitionWorkload(const IngestResult& ingest,
+                                const SelectorOptions& options);
+
+// ---- Stage 3: search -------------------------------------------------------
+
+/// Splits `total` across partitions proportionally to `weights` (query
+/// counts), rounding up so that no partition receives a zero state or time
+/// budget: max_states shares are ceiling-divided (the sum may exceed the
+/// total by up to one state per partition), and every positive time budget
+/// share is floored at a small positive minimum. Unlimited budgets (0)
+/// stay unlimited. num_threads is copied through unchanged; the search
+/// stage overrides it per its partition-vs-frontier parallelism policy.
+std::vector<SearchLimits> ApportionSearchLimits(
+    const SearchLimits& total, const std::vector<size_t>& weights);
+
+/// One partition's search outcome.
+struct PartitionSearchResult {
+  SearchResult search;
+  /// The initial cost of this partition's S0 (stats.initial_cost), kept for
+  /// merged-trace reconstruction.
+  double initial_cost = 0;
+};
+
+/// Runs stage 3: builds each partition's initial state, collects the
+/// paper's workload statistics, calibrates cm once over the whole S0 (sum
+/// of the per-partition breakdowns), then searches every partition under
+/// its apportioned budget. With more than one partition and
+/// limits.num_threads > 1 (and partition.parallel_partitions), partitions
+/// run concurrently as thread-pool tasks, each search serial; a single
+/// partition keeps num_threads for the parallel frontier engine.
+Result<std::vector<PartitionSearchResult>> SearchPartitions(
+    const IngestResult& ingest, const PartitionPlan& plan,
+    CostModel* cost_model, const SelectorOptions& options);
+
+// ---- Stage 4: merge --------------------------------------------------------
+
+/// Runs stage 4: re-bases every partition's best state into disjoint
+/// view-id / variable ranges, folds cross-partition duplicate views (equal
+/// canonical keys) into one materialization, restores workload rewriting
+/// order, and assembles the Recommendation — including the
+/// kPostReformulate reformulation of the winning view definitions. With a
+/// single partition the views and rewritings are shared, not copied.
+Result<Recommendation> MergePartitions(
+    const IngestResult& ingest, const PartitionPlan& plan,
+    std::vector<PartitionSearchResult> results, CostModel* cost_model,
+    const SelectorOptions& options);
+
+// ---- The whole pipeline ----------------------------------------------------
+
+/// Ingest → partition → search → merge. The implementation behind
+/// ViewSelector::Recommend; benches call it directly to supply
+/// `external_stats` (a pre-warmed cache, see Ingest).
+Result<Recommendation> Run(const rdf::TripleStore* store,
+                           const rdf::Dictionary* dict,
+                           const rdf::Schema* schema,
+                           const std::vector<cq::ConjunctiveQuery>& workload,
+                           const SelectorOptions& options,
+                           rdf::Statistics* external_stats = nullptr);
+
+}  // namespace rdfviews::vsel::pipeline
+
+#endif  // RDFVIEWS_VSEL_PIPELINE_PIPELINE_H_

@@ -1,0 +1,165 @@
+// Pipeline stage 3: budget apportioning and per-partition searches.
+//
+// Every partition searches its own initial state under a slice of the
+// global budget proportional to its query count; slices round *up* (states)
+// or are floored at a small positive minimum (time) so no partition is
+// starved to zero. All partitions share one CostModel — the interner and
+// the statistics cache are internally synchronized, so concurrent partition
+// searches reuse each other's per-distinct-view estimates — and cm is
+// calibrated once, over the sum of the per-partition S0 breakdowns, which
+// equals the monolithic S0 breakdown because every cost component is a sum
+// over views / rewritings.
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "vsel/pipeline/pipeline.h"
+#include "vsel/search.h"
+
+namespace rdfviews::vsel::pipeline {
+
+namespace {
+
+/// Time slices below this are rounded up so every partition can at least
+/// admit a handful of states before stop_time fires.
+constexpr double kMinTimeBudgetSec = 1e-3;
+
+/// Builds partition `group`'s initial state (the monolithic S0 restricted
+/// to the group's queries, in workload order).
+Result<State> MakePartitionInitialState(const IngestResult& ingest,
+                                        const std::vector<size_t>& group,
+                                        const SelectorOptions& options) {
+  std::vector<cq::ConjunctiveQuery> queries;
+  queries.reserve(group.size());
+  for (size_t qi : group) queries.push_back(ingest.queries[qi]);
+  if (options.entailment == EntailmentMode::kPreReformulate) {
+    std::vector<cq::UnionOfQueries> reformulated;
+    reformulated.reserve(group.size());
+    for (size_t qi : group) reformulated.push_back(ingest.reformulated[qi]);
+    return MakeReformulatedInitialState(queries, reformulated);
+  }
+  return MakeInitialState(queries);
+}
+
+/// The paper's statistics-gathering phase: count every initial-state view
+/// atom and all its relaxations. Every view the search can create only
+/// relaxes these atoms, so after this the pattern-count cache is warm for
+/// the whole run (all partitions, all workers).
+void CollectWorkloadStatistics(const std::vector<State>& initial_states,
+                               const rdf::Statistics& stats) {
+  for (const State& s0 : initial_states) {
+    for (const View& v : s0.views()) {
+      for (const cq::Atom& atom : v.def.atoms()) {
+        stats.CollectWithRelaxations(atom.ToPattern());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SearchLimits> ApportionSearchLimits(
+    const SearchLimits& total, const std::vector<size_t>& weights) {
+  size_t weight_sum = 0;
+  for (size_t w : weights) weight_sum += w;
+  RDFVIEWS_CHECK_MSG(weight_sum > 0, "apportioning needs positive weights");
+  std::vector<SearchLimits> out;
+  out.reserve(weights.size());
+  for (size_t w : weights) {
+    SearchLimits share = total;
+    if (total.max_states > 0) {
+      // Ceiling division: every partition may remember at least one state.
+      // 128-bit intermediate so huge effectively-unlimited budgets times
+      // large weights can not wrap into a starving share.
+      share.max_states = static_cast<size_t>(
+          (static_cast<unsigned __int128>(total.max_states) * w +
+           weight_sum - 1) /
+          weight_sum);
+    }
+    if (total.time_budget_sec > 0) {
+      share.time_budget_sec =
+          std::max(total.time_budget_sec * static_cast<double>(w) /
+                       static_cast<double>(weight_sum),
+                   kMinTimeBudgetSec);
+    }
+    out.push_back(share);
+  }
+  return out;
+}
+
+Result<std::vector<PartitionSearchResult>> SearchPartitions(
+    const IngestResult& ingest, const PartitionPlan& plan,
+    CostModel* cost_model, const SelectorOptions& options) {
+  const size_t num_partitions = plan.groups.size();
+  RDFVIEWS_CHECK(num_partitions > 0);
+
+  // Initial states, in partition order.
+  std::vector<State> initial_states;
+  std::vector<size_t> weights;
+  initial_states.reserve(num_partitions);
+  weights.reserve(num_partitions);
+  for (const std::vector<size_t>& group : plan.groups) {
+    Result<State> s0 = MakePartitionInitialState(ingest, group, options);
+    if (!s0.ok()) return s0.status();
+    initial_states.push_back(std::move(*s0));
+    weights.push_back(group.size());
+  }
+  CollectWorkloadStatistics(initial_states, *ingest.stats);
+
+  // Calibrate cm once over the whole workload: the monolithic S0 breakdown
+  // is the component-wise sum of the per-partition breakdowns.
+  if (options.auto_calibrate_cm) {
+    CostBreakdown s0_breakdown;
+    for (const State& s0 : initial_states) {
+      CostBreakdown b = cost_model->Breakdown(s0);
+      s0_breakdown.vso += b.vso;
+      s0_breakdown.rec += b.rec;
+      s0_breakdown.vmc += b.vmc;
+      s0_breakdown.total += b.total;
+    }
+    CostWeights w = cost_model->weights();
+    w.cm = CostModel::CalibrateCm(s0_breakdown, w);
+    cost_model->set_weights(w);
+  }
+
+  std::vector<SearchLimits> limits =
+      ApportionSearchLimits(options.limits, weights);
+  const bool fan_out = num_partitions > 1 &&
+                       options.partition.parallel_partitions &&
+                       options.limits.num_threads > 1;
+  for (SearchLimits& l : limits) {
+    // Partitions are the unit of parallelism when there are several; a
+    // single partition keeps the parallel frontier engine instead.
+    l.num_threads = fan_out ? 1 : options.limits.num_threads;
+  }
+
+  std::vector<Result<SearchResult>> searches(
+      num_partitions, Status::Internal("partition search did not run"));
+  auto run_one = [&](size_t p) {
+    searches[p] = RunSearch(options.strategy, initial_states[p], *cost_model,
+                            options.heuristics, limits[p]);
+  };
+  if (fan_out) {
+    ThreadPool pool(std::min(options.limits.num_threads, num_partitions));
+    for (size_t p = 0; p < num_partitions; ++p) {
+      pool.Submit([&run_one, p] { run_one(p); });
+    }
+    pool.WaitIdle();
+  } else {
+    for (size_t p = 0; p < num_partitions; ++p) run_one(p);
+  }
+
+  std::vector<PartitionSearchResult> out;
+  out.reserve(num_partitions);
+  for (Result<SearchResult>& r : searches) {
+    if (!r.ok()) return r.status();
+    PartitionSearchResult pr;
+    pr.initial_cost = r->stats.initial_cost;
+    pr.search = std::move(*r);
+    out.push_back(std::move(pr));
+  }
+  return out;
+}
+
+}  // namespace rdfviews::vsel::pipeline

@@ -1,12 +1,9 @@
 #include "vsel/selector.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "engine/executor.h"
 #include "engine/materializer.h"
-#include "rdf/saturation.h"
-#include "reform/reformulate.h"
+#include "vsel/pipeline/pipeline.h"
 
 namespace rdfviews::vsel {
 
@@ -20,128 +17,15 @@ const char* EntailmentModeName(EntailmentMode mode) {
   return "?";
 }
 
-namespace {
-
-/// Pre-collects the statistics the paper gathers before the search: the
-/// count of every workload atom and of all its relaxations (Sec. 3.3).
-void CollectWorkloadStatistics(
-    const std::vector<cq::ConjunctiveQuery>& workload,
-    const rdf::Statistics& stats) {
-  for (const cq::ConjunctiveQuery& q : workload) {
-    for (const cq::Atom& atom : q.atoms()) {
-      stats.CollectWithRelaxations(atom.ToPattern());
-    }
-  }
-}
-
-}  // namespace
-
 Result<Recommendation> ViewSelector::Recommend(
     const std::vector<cq::ConjunctiveQuery>& workload,
     const SelectorOptions& options) const {
   RDFVIEWS_CHECK(store_ != nullptr && store_->built());
-  if (workload.empty()) {
-    return Status::InvalidArgument("empty workload");
-  }
-  const bool needs_schema =
-      options.entailment != EntailmentMode::kNone;
-  if (needs_schema && (schema_ == nullptr || schema_->empty())) {
-    return Status::InvalidArgument(
-        "entailment mode requires a non-empty RDF schema");
-  }
-
-  Recommendation rec;
-  rec.entailment = options.entailment;
-
-  // --- Statistics and the store to materialize on. -----------------------
-  std::unique_ptr<rdf::Statistics> stats;
-  std::shared_ptr<const rdf::TripleStore> mat_store(store_,
-                                                    [](const auto*) {});
-  switch (options.entailment) {
-    case EntailmentMode::kNone:
-    case EntailmentMode::kPreReformulate:
-      stats = std::make_unique<rdf::Statistics>(store_);
-      break;
-    case EntailmentMode::kSaturate: {
-      auto saturated = std::make_shared<rdf::TripleStore>(
-          rdf::Saturate(*store_, *schema_, {}, dict_));
-      mat_store = saturated;
-      stats = std::make_unique<rdf::Statistics>(saturated.get());
-      // Keep the saturated store alive through the statistics object: the
-      // shared_ptr is stored in the recommendation below.
-      break;
-    }
-    case EntailmentMode::kPostReformulate:
-      stats =
-          std::make_unique<reform::ReformulatedStatistics>(store_, schema_);
-      break;
-  }
-  rec.materialization_store = mat_store;
-
-  // --- Initial state. -----------------------------------------------------
-  Result<State> s0 = [&]() -> Result<State> {
-    if (options.entailment == EntailmentMode::kPreReformulate) {
-      std::vector<cq::UnionOfQueries> reformulated;
-      for (const cq::ConjunctiveQuery& q : workload) {
-        reform::ReformulationResult r = reform::Reformulate(q, *schema_);
-        if (!r.complete) {
-          return Status::ResourceExhausted(
-              "reformulation of " + q.name() + " exceeded the query budget");
-        }
-        reformulated.push_back(std::move(r.ucq));
-      }
-      return MakeReformulatedInitialState(workload, reformulated);
-    }
-    return MakeInitialState(workload);
-  }();
-  if (!s0.ok()) return s0.status();
-
-  // Pre-collect statistics for every view atom of the initial state (the
-  // paper's statistics-gathering phase); further patterns are computed and
-  // cached on demand.
-  std::vector<cq::ConjunctiveQuery> stat_sources;
-  for (const View& v : s0->views()) stat_sources.push_back(v.def);
-  CollectWorkloadStatistics(stat_sources, *stats);
-
-  // --- Cost model (with cm calibration) and search. -----------------------
-  CostModel cost_model(stats.get(), options.weights);
-  if (options.auto_calibrate_cm) {
-    CostBreakdown b = cost_model.Breakdown(*s0);
-    CostWeights w = options.weights;
-    w.cm = CostModel::CalibrateCm(b, w);
-    cost_model.set_weights(w);
-  }
-  Result<SearchResult> search =
-      RunSearch(options.strategy, *s0, cost_model, options.heuristics,
-                options.limits);
-  if (!search.ok()) return search.status();
-
-  rec.best_state = search->best;
-  rec.stats = search->stats;
-  rec.cost_counters = cost_model.counters();
-  rec.cost_cache_counters = cost_model.interner().counters();
-  rec.distinct_views_interned = cost_model.interner().NumDistinctViews();
-
-  // --- Final view definitions (post-reformulation happens here). ----------
-  for (const View& v : rec.best_state.views()) {
-    cq::UnionOfQueries def(v.Name());
-    if (options.entailment == EntailmentMode::kPostReformulate) {
-      reform::ReformulationResult r = reform::Reformulate(v.def, *schema_);
-      if (!r.complete) {
-        return Status::ResourceExhausted(
-            "post-reformulation of view " + v.Name() +
-            " exceeded the query budget");
-      }
-      def = std::move(r.ucq);
-    } else {
-      def.Add(v.def);
-    }
-    rec.view_definitions.push_back(std::move(def));
-    rec.view_columns.push_back(v.Columns());
-    rec.view_ids.push_back(v.id);
-  }
-  rec.rewritings = rec.best_state.rewritings();
-  return rec;
+  // The selector is a thin wrapper over the staged pipeline
+  // (src/vsel/pipeline/): with a single partition the pipeline reduces to
+  // the classic ingest-search-package path, so there is exactly one
+  // recommendation code path.
+  return pipeline::Run(store_, dict_, schema_, workload, options);
 }
 
 const engine::Relation& MaterializedViews::ById(uint32_t view_id) const {

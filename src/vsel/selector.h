@@ -39,6 +39,8 @@ struct SelectorOptions {
   /// Recalibrate cm from S0 as in Sec. 6 ("Weights of cost components").
   bool auto_calibrate_cm = true;
   EntailmentMode entailment = EntailmentMode::kNone;
+  /// Workload partitioning (the pipeline's stage 2); see PartitionOptions.
+  PartitionOptions partition;
 };
 
 /// A recommended view set: everything needed to deploy the three-tier
@@ -65,6 +67,14 @@ struct Recommendation {
   ViewInterner::Counters cost_cache_counters;
   CostModel::Counters cost_counters;
   size_t distinct_views_interned = 0;
+
+  /// Pipeline observability: how many independent sub-workloads the
+  /// commonality graph produced (1 = monolithic search), why partitioning
+  /// fell back to a single partition (empty when it did not), and how many
+  /// cross-partition duplicate views the merge stage folded away.
+  size_t num_partitions = 1;
+  std::string partition_fallback_reason;
+  size_t merged_duplicate_views = 0;
 
   /// The store the views must be materialized over: the saturated store for
   /// kSaturate, the original store otherwise (owned when saturated).

@@ -1,7 +1,8 @@
 #include "vsel/state_graph.h"
 
-#include <numeric>
 #include <unordered_map>
+
+#include "common/disjoint_sets.h"
 
 namespace rdfviews::vsel {
 
@@ -51,30 +52,21 @@ StateGraph StateGraph::Of(const State& state) {
 
 std::vector<int> AtomComponents(const std::vector<cq::Atom>& atoms) {
   const size_t n = atoms.size();
-  std::vector<int> parent(n);
-  std::iota(parent.begin(), parent.end(), 0);
-  std::function<int(int)> find = [&](int x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  std::unordered_map<cq::VarId, int> first_atom;
+  DisjointSets sets(n);
+  std::unordered_map<cq::VarId, size_t> first_atom;
   for (size_t i = 0; i < n; ++i) {
     for (rdf::Column c : kColumns) {
       cq::Term t = atoms[i].at(c);
       if (!t.is_var()) continue;
-      auto [it, inserted] = first_atom.emplace(t.var(), static_cast<int>(i));
-      if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
+      auto [it, inserted] = first_atom.emplace(t.var(), i);
+      if (!inserted) sets.Union(i, it->second);
     }
   }
   std::vector<int> comp(n);
-  std::unordered_map<int, int> root_to_id;
+  std::unordered_map<size_t, int> root_to_id;
   int next_id = 0;
   for (size_t i = 0; i < n; ++i) {
-    int root = find(static_cast<int>(i));
-    auto [it, inserted] = root_to_id.emplace(root, next_id);
+    auto [it, inserted] = root_to_id.emplace(sets.Find(i), next_id);
     if (inserted) ++next_id;
     comp[i] = it->second;
   }

@@ -30,19 +30,23 @@ QueryShape ResolveShape(QueryShape shape, size_t query_index) {
 }
 
 /// Pool of constants with the commonality policy: high commonality draws
-/// from a small shared pool, low commonality from a large one.
+/// from a small shared pool, low commonality from a large one. `prefix`
+/// names the pool: grouped workloads (WorkloadSpec::partition_groups > 1)
+/// give every group its own prefixed — hence disjoint — pool.
 class ConstantPool {
  public:
-  ConstantPool(const WorkloadSpec& spec, rdf::Dictionary* dict, Rng* rng)
+  ConstantPool(const WorkloadSpec& spec, size_t group_queries,
+               const std::string& prefix, rdf::Dictionary* dict, Rng* rng)
       : rng_(rng) {
     const size_t shared = std::max<size_t>(spec.atoms_per_query, 4);
     const size_t total = spec.commonality == Commonality::kHigh
                              ? shared + 2
-                             : shared * std::max<size_t>(spec.num_queries, 2);
+                             : shared * std::max<size_t>(group_queries, 2);
     for (size_t i = 0; i < total; ++i) {
       properties_.push_back(
-          dict->Intern("wp:p" + std::to_string(i + 1)));
-      objects_.push_back(dict->Intern("wo:o" + std::to_string(i + 1)));
+          dict->Intern("wp:" + prefix + "p" + std::to_string(i + 1)));
+      objects_.push_back(
+          dict->Intern("wo:" + prefix + "o" + std::to_string(i + 1)));
     }
   }
 
@@ -180,7 +184,19 @@ const char* CommonalityName(Commonality c) {
 std::vector<ConjunctiveQuery> GenerateWorkload(const WorkloadSpec& spec,
                                                rdf::Dictionary* dict) {
   Rng rng(spec.seed);
-  ConstantPool pool(spec, dict, &rng);
+  // One constant pool per partition group; a single group keeps the classic
+  // unprefixed names. Queries are assigned to groups in contiguous blocks.
+  const size_t groups =
+      std::clamp<size_t>(spec.partition_groups, 1,
+                         std::max<size_t>(spec.num_queries, 1));
+  const size_t group_queries = (spec.num_queries + groups - 1) / groups;
+  std::vector<ConstantPool> pools;
+  pools.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    pools.emplace_back(spec, group_queries,
+                       groups == 1 ? "" : "g" + std::to_string(g),
+                       dict, &rng);
+  }
   std::vector<ConjunctiveQuery> out;
   std::unordered_set<std::string> seen;
   size_t attempts = 0;
@@ -189,6 +205,7 @@ std::vector<ConjunctiveQuery> GenerateWorkload(const WorkloadSpec& spec,
     ++attempts;
     QueryShape shape = ResolveShape(spec.shape, out.size());
     std::vector<Atom> atoms = BuildShape(shape, spec.atoms_per_query, &rng);
+    ConstantPool& pool = pools[out.size() * groups / spec.num_queries];
     ConjunctiveQuery q = FinishQuery(std::move(atoms), spec, out.size(),
                                      &pool, &rng);
     if (q.HasCartesianProduct()) continue;
@@ -328,14 +345,16 @@ std::vector<ConjunctiveQuery> GenerateSatisfiableWorkload(
 
 rdf::TripleStore GenerateStoreForWorkload(
     const std::vector<ConjunctiveQuery>& workload, rdf::Dictionary* dict,
-    size_t approx_triples, uint64_t seed) {
+    size_t approx_triples, uint64_t seed, size_t resource_pool) {
   Rng rng(seed);
   rdf::TripleStore store;
   // Shared resource pool: the same subjects/objects appear across patterns
   // so that join atoms actually join. The pool is deliberately small
   // relative to the triple count so joins *expand* (average fan-out > 1),
   // the regime of the paper's Barton data where breaking large views pays.
-  const size_t pool_size = std::max<size_t>(approx_triples / 200, 24);
+  const size_t pool_size =
+      resource_pool > 0 ? resource_pool
+                        : std::max<size_t>(approx_triples / 200, 24);
   std::vector<rdf::TermId> pool;
   pool.reserve(pool_size);
   for (size_t i = 0; i < pool_size; ++i) {

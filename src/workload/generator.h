@@ -42,6 +42,14 @@ struct WorkloadSpec {
   size_t head_vars = 2;
   /// Share of atoms that get a constant object (selection edges).
   double object_constant_share = 0.2;
+  /// Partition-aware commonality control (free generator only): with g > 1
+  /// the workload is split into g contiguous blocks, each drawing its
+  /// constants from a private pool, so the commonality policy applies
+  /// *within* a block while blocks share no constant at all — the
+  /// recommendation pipeline's commonality graph then decomposes the
+  /// workload into (at least) g independent partitions. 1 keeps the single
+  /// shared pool (and the exact constant names) of the classic generator.
+  size_t partition_groups = 1;
 };
 
 /// Free-standing generator: invents property/object constants (interned in
@@ -60,10 +68,14 @@ std::vector<cq::ConjunctiveQuery> GenerateSatisfiableWorkload(
 /// every query atom pattern gets a Zipf-skewed number of matching triples
 /// over shared subject/object pools (so joins actually join), plus
 /// background noise. Used by the Fig. 4 / 5 / 6 benchmarks whose workloads
-/// come from the free generator.
+/// come from the free generator. `resource_pool` fixes the number of
+/// distinct subject/object resources (0 = the classic approx_triples / 200
+/// heuristic): join fan-out scales with triples-per-pattern^2 / pool, so
+/// workload-scaled stores should pass the *baseline* pool to stay in the
+/// paper's expanding-join regime instead of diluting it.
 rdf::TripleStore GenerateStoreForWorkload(
     const std::vector<cq::ConjunctiveQuery>& workload, rdf::Dictionary* dict,
-    size_t approx_triples, uint64_t seed);
+    size_t approx_triples, uint64_t seed, size_t resource_pool = 0);
 
 /// Workload statistics for Table 3: total atoms and constants.
 struct WorkloadProfile {
