@@ -252,7 +252,7 @@ int main(int argc, char** argv) {
               {vsel::StrategyName(strategy),
                workload::CommonalityName(commonality),
                workload::QueryShapeName(shape), std::to_string(num_queries),
-               std::to_string(rec->num_partitions), FormatDouble(rcr, 3),
+               std::to_string(rec->pipeline.num_partitions), FormatDouble(rcr, 3),
                FormatDouble(atoms_per_view, 2),
                FormatDouble(rec->stats.StatesPerSecond(), 0),
                FormatDouble(est_per_state, 2)});
@@ -262,7 +262,7 @@ int main(int argc, char** argv) {
                 vsel::StrategyName(strategy),
                 workload::CommonalityName(commonality),
                 workload::QueryShapeName(shape), num_queries,
-                spec.partition_groups, rec->num_partitions, rcr,
+                spec.partition_groups, rec->pipeline.num_partitions, rcr,
                 atoms_per_view, rec->stats.StatesPerSecond(), est_per_state,
                 rec->stats.elapsed_sec, rec->stats.completed ? 1 : 0);
             std::fflush(csv);

@@ -49,7 +49,7 @@ int main() {
   }
   std::printf("pipeline:   %zu partitions, %llu states searched, "
               "rcr %.3f, %zu views\n",
-              piped->num_partitions,
+              piped->pipeline.num_partitions,
               static_cast<unsigned long long>(piped->stats.created),
               piped->stats.RelativeCostReduction(),
               piped->view_definitions.size());
@@ -63,7 +63,7 @@ int main() {
   }
   std::printf("monolithic: %zu partition,  %llu states searched, "
               "rcr %.3f, %zu views\n",
-              mono->num_partitions,
+              mono->pipeline.num_partitions,
               static_cast<unsigned long long>(mono->stats.created),
               mono->stats.RelativeCostReduction(),
               mono->view_definitions.size());
@@ -76,8 +76,8 @@ int main() {
   if (fallback.ok()) {
     std::printf("\nwith stop_var off the pipeline runs monolithic: "
                 "%zu partition (%s)\n",
-                fallback->num_partitions,
-                fallback->partition_fallback_reason.c_str());
+                fallback->pipeline.num_partitions,
+                fallback->pipeline.partition_fallback_reason.c_str());
   }
   return 0;
 }

@@ -1,0 +1,80 @@
+// Cooperative cancellation: a StopSource owns a shared flag, StopTokens
+// observe it. Modeled on std::stop_source / std::stop_token but copyable
+// into plain option structs (SearchLimits) and cheap enough for search hot
+// loops: stop_requested() is one relaxed atomic load behind a pointer test.
+//
+// A default-constructed StopToken is empty and never reports a stop, so
+// every pre-existing call site ("deadline-only" stopping) keeps its exact
+// behavior until a caller arms a token.
+#ifndef RDFVIEWS_COMMON_STOP_TOKEN_H_
+#define RDFVIEWS_COMMON_STOP_TOKEN_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rdfviews {
+
+class StopSource;
+
+/// Observer end of a cancellation channel. Copyable, thread-safe. A token
+/// may observe several sources (Combine): it reports a stop as soon as any
+/// of them fires — how a session composes the caller's token with an async
+/// handle's. The flag list is tiny (1-2 entries in practice), so the hot
+/// stop_requested() poll stays a couple of relaxed loads.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True once any owning StopSource requested a stop. Empty tokens always
+  /// return false.
+  bool stop_requested() const {
+    for (const auto& flag : flags_) {
+      if (flag->load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  /// False for the default-constructed token (no source attached).
+  bool stop_possible() const { return !flags_.empty(); }
+
+  /// A token that stops when either input would. Empty inputs contribute
+  /// nothing (Combine(x, {}) behaves exactly like x).
+  static StopToken Combine(const StopToken& a, const StopToken& b) {
+    StopToken out;
+    out.flags_ = a.flags_;
+    out.flags_.insert(out.flags_.end(), b.flags_.begin(), b.flags_.end());
+    return out;
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag) {
+    flags_.push_back(std::move(flag));
+  }
+
+  std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
+};
+
+/// Owner end: RequestStop() flips the shared flag; every token handed out
+/// by token() observes it. Copies of a StopSource share the same flag.
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestStop() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  StopToken token() const { return StopToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_STOP_TOKEN_H_

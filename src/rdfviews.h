@@ -4,7 +4,9 @@
 //   1. Load / generate data  -> rdf::Dictionary + rdf::TripleStore
 //   2. (optional) RDF Schema -> rdf::Schema, rdf::Saturate
 //   3. Parse the workload    -> cq::ParseDatalog / cq::ParseSparql
-//   4. Recommend views       -> vsel::ViewSelector::Recommend
+//   4. Recommend views       -> vsel::ViewSelector::Recommend (one-shot)
+//                               or vsel::TuningSession (evolving workloads:
+//                               incremental Update, async + cancellation)
 //   5. Materialize & answer  -> vsel::Materialize, vsel::AnswerQuery
 #ifndef RDFVIEWS_RDFVIEWS_H_
 #define RDFVIEWS_RDFVIEWS_H_
@@ -28,6 +30,7 @@
 #include "vsel/cost_model.h"
 #include "vsel/search.h"
 #include "vsel/selector.h"
+#include "vsel/session/session.h"
 #include "vsel/state.h"
 #include "vsel/transitions.h"
 #include "workload/barton.h"

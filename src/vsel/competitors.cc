@@ -321,6 +321,12 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
     PruneScored(&next, keep, kPruneFactor);
     ctx.stats.discarded += next.size() > keep ? next.size() - keep : 0;
     if (next.empty()) {
+      if (ctx.stats.cancelled) {
+        // Cooperative cancellation is anytime even here: return the valid
+        // current best (at worst S0) instead of an error, mirroring the
+        // Sec. 5 strategies.
+        return ctx.Finish(false);
+      }
       // Timed out before any state covering this query could be combined.
       (void)ctx.Finish(false);
       return Status::TimedOut(
@@ -337,9 +343,7 @@ Result<SearchResult> RunCompetitorSearch(StrategyKind strategy,
   if (winner.cost < ctx.best_cost) {
     ctx.best = winner.state;
     ctx.best_cost = winner.cost;
-    ctx.stats.best_cost = winner.cost;
-    ctx.stats.best_trace.emplace_back(ctx.deadline.ElapsedSeconds(),
-                                      winner.cost);
+    ctx.NotifyBest(winner.cost);
   }
   return ctx.Finish(true);
 }

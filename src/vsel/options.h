@@ -4,9 +4,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/stop_token.h"
 
 namespace rdfviews::vsel {
 
@@ -39,6 +42,32 @@ struct HeuristicOptions {
   size_t vb_overlap_max_atoms = 14;
 };
 
+/// One observable event of a running recommendation. Emitted through
+/// SearchLimits::on_progress so callers can stream anytime results: every
+/// strategy is anytime (Sec. 5), and the best-so-far only improves.
+struct ProgressEvent {
+  enum class Kind {
+    /// The running best state improved; `best_cost` is the new best.
+    kBestImproved,
+    /// One pipeline partition finished (or was served from a session
+    /// cache); `partition` / `partitions_total` locate it.
+    kPartitionDone,
+  };
+  Kind kind = Kind::kBestImproved;
+  /// Best cost known when the event fired (search-local for kBestImproved).
+  double best_cost = 0;
+  /// Seconds since the emitting search started.
+  double elapsed_sec = 0;
+  /// kPartitionDone: which partition, out of how many.
+  size_t partition = 0;
+  size_t partitions_total = 1;
+};
+
+/// Progress observer. May be invoked concurrently from search worker
+/// threads and from the partition pool: implementations must be
+/// thread-safe, must not block, and must not re-enter the search API.
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
 /// Hard limits turning the search into an anytime algorithm.
 struct SearchLimits {
   /// Wall-clock budget in seconds; <= 0 means unlimited (stop_time).
@@ -54,6 +83,14 @@ struct SearchLimits {
   /// any thread count. The [21] competitor strategies are inherently
   /// sequential (query-by-query combination) and always run serial.
   size_t num_threads = 1;
+  /// Cooperative cancellation: every engine (serial, parallel frontier,
+  /// [21] competitors) polls this token wherever it polls the deadline, so
+  /// a stop request terminates the search within a bounded number of state
+  /// expansions and the run returns its valid current-best (anytime)
+  /// result with SearchStats::cancelled set. Empty = never cancelled.
+  StopToken stop;
+  /// Optional progress observer (see ProgressEvent). Null = no reporting.
+  ProgressFn on_progress;
 };
 
 /// Workload partitioning knobs of the recommendation pipeline
@@ -106,6 +143,7 @@ struct SearchStats {
   bool completed = false;           // search space exhausted
   bool memory_exhausted = false;    // max_states hit
   bool time_exhausted = false;      // time budget hit
+  bool cancelled = false;           // SearchLimits::stop fired
   double elapsed_sec = 0;
 
   /// Relative cost reduction (c(S0) - c(Sb)) / c(S0), Sec. 6.1.

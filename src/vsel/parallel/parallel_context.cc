@@ -93,6 +93,11 @@ void ParallelSearchContext::Init(const State& s0) {
 
 bool ParallelSearchContext::OutOfBudget() {
   if (stop_.load(std::memory_order_relaxed)) return true;
+  if (limits.stop.stop_requested()) {
+    cancelled_.store(true, std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_relaxed);
+    return true;
+  }
   if (deadline.Expired()) {
     time_exhausted_.store(true, std::memory_order_relaxed);
     stop_.store(true, std::memory_order_relaxed);
@@ -134,7 +139,13 @@ std::optional<ParallelSearchContext::Admitted> ParallelSearchContext::Admit(
       break;
   }
   double c = cost->StateCost(s);
-  best.Offer(s, c, deadline.ElapsedSeconds());
+  if (best.Offer(s, c, deadline.ElapsedSeconds()) && limits.on_progress) {
+    ProgressEvent ev;
+    ev.kind = ProgressEvent::Kind::kBestImproved;
+    ev.best_cost = c;
+    ev.elapsed_sec = deadline.ElapsedSeconds();
+    limits.on_progress(ev);
+  }
   return Admitted{std::move(s), c};
 }
 
@@ -151,8 +162,9 @@ SearchResult ParallelSearchContext::Finish(bool completed) {
   SearchStats stats = totals_;
   stats.time_exhausted = time_exhausted_.load(std::memory_order_relaxed);
   stats.memory_exhausted = memory_exhausted_.load(std::memory_order_relaxed);
-  stats.completed =
-      completed && !stats.time_exhausted && !stats.memory_exhausted;
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.completed = completed && !stats.time_exhausted &&
+                    !stats.memory_exhausted && !stats.cancelled;
   stats.elapsed_sec = deadline.ElapsedSeconds();
   stats.best_cost = best.best_cost();
   stats.best_trace = best.trace();

@@ -116,6 +116,7 @@ class ParallelSearchContext {
   std::atomic<bool> stop_{false};
   std::atomic<bool> time_exhausted_{false};
   std::atomic<bool> memory_exhausted_{false};
+  std::atomic<bool> cancelled_{false};
   std::mutex stats_mu_;
   SearchStats totals_;  // Init traffic + merged worker counters
 };

@@ -122,14 +122,15 @@ size_t MergeStates(const PartitionPlan& plan,
 Result<Recommendation> MergePartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     std::vector<PartitionSearchResult> results, CostModel* cost_model,
-    const SelectorOptions& options) {
+    const SelectorOptions& options, const PipelineReport* report) {
   RDFVIEWS_CHECK(plan.groups.size() == results.size() && !results.empty());
 
   Recommendation rec;
   rec.entailment = options.entailment;
   rec.materialization_store = ingest.materialization_store;
-  rec.num_partitions = plan.groups.size();
-  rec.partition_fallback_reason = plan.fallback_reason;
+  if (report != nullptr) rec.pipeline = *report;
+  rec.pipeline.num_partitions = plan.groups.size();
+  rec.pipeline.partition_fallback_reason = plan.fallback_reason;
 
   if (results.size() == 1) {
     // Monolithic fast path: the best state is the recommendation, ids and
@@ -139,7 +140,7 @@ Result<Recommendation> MergePartitions(
   } else {
     State merged;
     std::vector<engine::ExprPtr> rewritings(ingest.queries.size());
-    rec.merged_duplicate_views =
+    rec.pipeline.merged_duplicate_views =
         MergeStates(plan, results, &merged, &rewritings);
     *merged.mutable_rewritings() = std::move(rewritings);
 
@@ -170,6 +171,7 @@ Result<Recommendation> MergePartitions(
       stats.initial_cost += s.initial_cost;
       stats.memory_exhausted = stats.memory_exhausted || s.memory_exhausted;
       stats.time_exhausted = stats.time_exhausted || s.time_exhausted;
+      stats.cancelled = stats.cancelled || s.cancelled;
       completed = completed && s.completed;
       elapsed_max = std::max(elapsed_max, s.elapsed_sec);
       elapsed_sum += s.elapsed_sec;

@@ -11,41 +11,42 @@
 // or a query whose minimized form has a constant-free connected component,
 // which would also disarm stop_var for the monolithic search), the plan
 // falls back to a single partition: correctness first, scale second.
+//
+// The per-query constants and the wildcard flag come from the ingest
+// stage's single-minimization pass (IngestResult::minimized); so do the
+// canonical per-query keys this stage concatenates into the per-group
+// canonical workload keys that identify "the same sub-workload" across
+// tuning-session updates. A hand-built IngestResult without the minimized
+// vector (tests, external drivers) falls back to minimizing locally.
 #include <algorithm>
 #include <numeric>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/disjoint_sets.h"
-#include "cq/containment.h"
 #include "vsel/pipeline/pipeline.h"
 
 namespace rdfviews::vsel::pipeline {
 
 namespace {
 
-/// Collects the body constants of `q` into `constants` and reports whether
-/// some connected component of the minimized query is constant-free (the
-/// wildcard case that disarms stop_var and makes any split unsound). The
-/// minimized components are exactly the views MakeInitialState installs.
-bool CollectConstants(const cq::ConjunctiveQuery& q,
-                      std::unordered_set<rdf::TermId>* constants) {
-  bool wildcard = false;
-  cq::ConjunctiveQuery minimized = cq::Minimize(q);
-  for (const cq::ConjunctiveQuery& component :
-       minimized.SplitIntoConnectedQueries()) {
-    size_t in_component = 0;
-    for (const cq::Atom& atom : component.atoms()) {
-      for (const cq::Term* t : {&atom.s, &atom.p, &atom.o}) {
-        if (t->is_const()) {
-          constants->insert(t->constant());
-          ++in_component;
-        }
-      }
-    }
-    if (in_component == 0) wildcard = true;
+/// The ingest stage's minimized vector, or a locally computed equivalent
+/// when the caller hand-built the IngestResult.
+const std::vector<std::shared_ptr<const MinimizedQuery>>& MinimizedOf(
+    const IngestResult& ingest, const SelectorOptions& options,
+    std::vector<std::shared_ptr<const MinimizedQuery>>* local) {
+  if (ingest.minimized.size() == ingest.queries.size()) {
+    return ingest.minimized;
   }
-  return wildcard;
+  local->reserve(ingest.queries.size());
+  const bool pre_reformulate =
+      options.entailment == EntailmentMode::kPreReformulate &&
+      ingest.reformulated.size() == ingest.queries.size();
+  for (size_t i = 0; i < ingest.queries.size(); ++i) {
+    local->push_back(std::make_shared<const MinimizedQuery>(MinimizeQuery(
+        ingest.queries[i],
+        pre_reformulate ? ingest.reformulated[i].get() : nullptr)));
+  }
+  return *local;
 }
 
 /// Packs `groups` (ordered by first query index) into at most `cap`
@@ -71,10 +72,28 @@ std::vector<std::vector<size_t>> PackGroups(
   return packed;
 }
 
-PartitionPlan SingleGroup(size_t n, std::string reason) {
+/// Canonical workload key of one group: the member queries' canonical keys
+/// in group (workload) order. Order-sensitive so that a cached partition
+/// result's rewritings can be mapped back positionally.
+std::string GroupKey(
+    const std::vector<size_t>& group,
+    const std::vector<std::shared_ptr<const MinimizedQuery>>& minimized) {
+  std::string key;
+  for (size_t qi : group) {
+    key += minimized[qi]->canonical_key;
+    key += '\n';
+  }
+  return key;
+}
+
+PartitionPlan SingleGroup(
+    size_t n,
+    const std::vector<std::shared_ptr<const MinimizedQuery>>& minimized,
+    std::string reason) {
   PartitionPlan plan;
   plan.groups.emplace_back(n);
   std::iota(plan.groups.back().begin(), plan.groups.back().end(), 0);
+  plan.group_keys.push_back(GroupKey(plan.groups.back(), minimized));
   plan.fallback_reason = std::move(reason);
   return plan;
 }
@@ -84,10 +103,13 @@ PartitionPlan SingleGroup(size_t n, std::string reason) {
 PartitionPlan PartitionWorkload(const IngestResult& ingest,
                                 const SelectorOptions& options) {
   const size_t n = ingest.queries.size();
+  std::vector<std::shared_ptr<const MinimizedQuery>> local;
+  const std::vector<std::shared_ptr<const MinimizedQuery>>& minimized =
+      MinimizedOf(ingest, options, &local);
   if (!options.partition.enabled) {
-    return SingleGroup(n, "partitioning disabled");
+    return SingleGroup(n, minimized, "partitioning disabled");
   }
-  if (n <= 1) return SingleGroup(n, "");
+  if (n <= 1) return SingleGroup(n, minimized, "");
   switch (options.strategy) {
     case StrategyKind::kPruning21:
     case StrategyKind::kGreedy21:
@@ -95,40 +117,28 @@ PartitionPlan PartitionWorkload(const IngestResult& ingest,
       // The [21] re-implementations combine the per-query spaces with
       // global keep-K pruning; splitting changes which partials survive,
       // so they stay faithful to the paper and run monolithic.
-      return SingleGroup(n, "competitor strategies run monolithic");
+      return SingleGroup(n, minimized,
+                         "competitor strategies run monolithic");
     default:
       break;
   }
   if (!options.heuristics.stop_var) {
-    return SingleGroup(n, "stop_var disabled");
+    return SingleGroup(n, minimized, "stop_var disabled");
   }
 
-  // Per-query constant sets. For kPreReformulate the initial views come
-  // from the reformulated disjuncts, so the commonality (and the wildcard
-  // check) is computed over every disjunct.
-  std::vector<std::unordered_set<rdf::TermId>> constants(n);
   for (size_t i = 0; i < n; ++i) {
-    bool wildcard;
-    if (options.entailment == EntailmentMode::kPreReformulate) {
-      wildcard = false;
-      for (const cq::ConjunctiveQuery& d :
-           ingest.reformulated[i].disjuncts()) {
-        wildcard = CollectConstants(d, &constants[i]) || wildcard;
-      }
-    } else {
-      wildcard = CollectConstants(ingest.queries[i], &constants[i]);
-    }
-    if (wildcard) {
+    if (minimized[i]->has_constant_free_component) {
       return SingleGroup(
-          n, "query " + ingest.queries[i].name() +
-                 " has a constant-free component (stop_var disarmed)");
+          n, minimized,
+          "query " + ingest.queries[i].name() +
+              " has a constant-free component (stop_var disarmed)");
     }
   }
 
   DisjointSets sets(n);
   std::unordered_map<rdf::TermId, size_t> first_owner;
   for (size_t i = 0; i < n; ++i) {
-    for (rdf::TermId c : constants[i]) {
+    for (rdf::TermId c : minimized[i]->constants) {
       auto [it, inserted] = first_owner.try_emplace(c, i);
       if (!inserted) sets.Union(i, it->second);
     }
@@ -144,6 +154,10 @@ PartitionPlan PartitionWorkload(const IngestResult& ingest,
   }
   plan.groups = PackGroups(std::move(plan.groups),
                            options.partition.max_partitions);
+  plan.group_keys.reserve(plan.groups.size());
+  for (const std::vector<size_t>& group : plan.groups) {
+    plan.group_keys.push_back(GroupKey(group, minimized));
+  }
   return plan;
 }
 

@@ -19,12 +19,13 @@ Result<Recommendation> Run(const rdf::TripleStore* store,
   PartitionPlan plan = PartitionWorkload(*ingest, options);
 
   CostModel cost_model(ingest->stats, options.weights);
-  Result<std::vector<PartitionSearchResult>> searches =
-      SearchPartitions(*ingest, plan, &cost_model, options);
+  PipelineReport report;
+  Result<std::vector<PartitionSearchResult>> searches = SearchPartitions(
+      *ingest, plan, &cost_model, options, /*preseeded=*/nullptr, &report);
   if (!searches.ok()) return searches.status();
 
   return MergePartitions(*ingest, plan, std::move(*searches), &cost_model,
-                         options);
+                         options, &report);
 }
 
 }  // namespace rdfviews::vsel::pipeline

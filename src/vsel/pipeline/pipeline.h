@@ -38,7 +38,9 @@
 #define RDFVIEWS_VSEL_PIPELINE_PIPELINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -53,18 +55,69 @@ namespace rdfviews::vsel::pipeline {
 
 // ---- Stage 1: ingest / entailment ----------------------------------------
 
+/// The per-query output of the single-minimization pass: everything stage 2
+/// (commonality analysis) and stage 3 (initial-state construction) need, so
+/// `cq::Minimize` — the expensive containment-based step — runs once per
+/// distinct query per session instead of once per stage.
+struct MinimizedQuery {
+  /// cq::Minimize(raw), head preserved.
+  cq::ConjunctiveQuery minimized;
+  /// Renaming-insensitive key of the minimized query: canonical body+head
+  /// structure plus the head order (canonical variable indices), so two
+  /// queries share a key iff one is a variable renaming of the other with
+  /// the same answer-column order. Concatenated per partition into the
+  /// canonical workload keys the session's result cache is keyed by.
+  std::string canonical_key;
+  /// Sorted distinct body constants (over all disjuncts for
+  /// kPreReformulate): the nodes this query contributes to the
+  /// commonality graph.
+  std::vector<rdf::TermId> constants;
+  /// True when some connected component of the minimized query (or of a
+  /// reformulated disjunct) carries no constant — the wildcard case that
+  /// disarms stop_var and forces the single-partition fallback.
+  bool has_constant_free_component = false;
+  /// kPreReformulate only: the minimized disjuncts of the query's
+  /// reformulation, in disjunct order.
+  std::vector<cq::ConjunctiveQuery> minimized_disjuncts;
+};
+
+/// Caches a TuningSession carries across updates so only *new* work is
+/// redone. The minimize/reformulate maps are keyed by an exact structural
+/// key of the raw query (variable ids and all — a pure function of the
+/// query object, no isomorphism test needed on lookup); the entailment
+/// environment (statistics provider, materialization store) depends only on
+/// the (store, schema, entailment mode) triple, which is fixed for the
+/// session's lifetime. A null caches pointer gives the stateless one-shot
+/// behavior.
+struct SessionCaches {
+  std::unordered_map<std::string, std::shared_ptr<const MinimizedQuery>>
+      minimize;
+  std::unordered_map<std::string, std::shared_ptr<const cq::UnionOfQueries>>
+      reformulate;
+  std::shared_ptr<rdf::Statistics> stats;
+  std::shared_ptr<const rdf::TripleStore> materialization_store;
+};
+
 /// The normalized workload: everything later stages need, independent of
 /// the entailment mode that produced it.
 struct IngestResult {
   /// The validated workload, in input order.
   std::vector<cq::ConjunctiveQuery> queries;
   /// kPreReformulate only: one union of disjuncts per query (aligned with
-  /// `queries`); empty otherwise.
-  std::vector<cq::UnionOfQueries> reformulated;
+  /// `queries`, shared with the SessionCaches entries — never deep-copied
+  /// per update); empty otherwise.
+  std::vector<std::shared_ptr<const cq::UnionOfQueries>> reformulated;
+  /// The single-minimization cache, aligned with `queries`; see
+  /// MinimizedQuery. Shared (not copied) with the SessionCaches entries,
+  /// so a session update pays no per-query deep copies for cached
+  /// queries. Later stages fall back to minimizing locally when a caller
+  /// hand-builds an IngestResult without it.
+  std::vector<std::shared_ptr<const MinimizedQuery>> minimized;
   /// The statistics provider the cost model reads (owning; kept alive by
-  /// the caller for the duration of the run). Null only when
-  /// `external_stats` was supplied to Ingest.
-  std::unique_ptr<rdf::Statistics> owned_stats;
+  /// the caller for the duration of the run — shared with SessionCaches
+  /// across a session's updates). Null only when `external_stats` was
+  /// supplied to Ingest.
+  std::shared_ptr<rdf::Statistics> owned_stats;
   /// The provider to use (== owned_stats.get() or the external override).
   rdf::Statistics* stats = nullptr;
   /// The store the recommended views must be materialized over.
@@ -74,19 +127,33 @@ struct IngestResult {
   const rdf::Schema* schema = nullptr;
 };
 
+/// The exact structural key of a raw query used by SessionCaches lookups.
+std::string ExactQueryKey(const cq::ConjunctiveQuery& q);
+
+/// The single-minimization pass for one query (see MinimizedQuery).
+/// `reformulated` is the query's reformulation under kPreReformulate, null
+/// otherwise. Normally run — and cached — by Ingest; exposed for callers
+/// that hand-build an IngestResult (stage 2 falls back to it).
+MinimizedQuery MinimizeQuery(const cq::ConjunctiveQuery& raw,
+                             const cq::UnionOfQueries* reformulated = nullptr);
+
 /// Runs stage 1. `schema` may be null for EntailmentMode::kNone.
 /// `external_stats` (optional) substitutes a caller-owned statistics
 /// provider measuring `store` directly — benches use this to reuse warm
 /// pattern-count caches across runs. It is only honored for the modes
 /// whose counts come from the raw store (kNone, kPreReformulate);
 /// kSaturate measures the saturated store and kPostReformulate needs the
-/// reformulation-aware provider, so both ignore it.
+/// reformulation-aware provider, so both ignore it. `caches` (optional) is
+/// the session carryover: per-query minimization/reformulation results are
+/// served from (and inserted into) it, and the entailment environment is
+/// built once and reused across updates.
 Result<IngestResult> Ingest(const rdf::TripleStore* store,
                             const rdf::Dictionary* dict,
                             const rdf::Schema* schema,
                             const std::vector<cq::ConjunctiveQuery>& workload,
                             const SelectorOptions& options,
-                            rdf::Statistics* external_stats = nullptr);
+                            rdf::Statistics* external_stats = nullptr,
+                            SessionCaches* caches = nullptr);
 
 // ---- Stage 2: partition ----------------------------------------------------
 
@@ -94,6 +161,12 @@ Result<IngestResult> Ingest(const rdf::TripleStore* store,
 /// p, each group sorted ascending and the groups ordered by first query.
 struct PartitionPlan {
   std::vector<std::vector<size_t>> groups;
+  /// Canonical workload key per group (aligned with `groups`): the
+  /// concatenated renaming-insensitive keys of the member queries'
+  /// minimized forms, in group order. A stable identity for "the same
+  /// sub-workload" across session updates — the session's per-partition
+  /// result cache is keyed by it.
+  std::vector<std::string> group_keys;
   /// Why the plan is a single group despite partitioning being enabled;
   /// empty when the commonality graph was actually used.
   std::string fallback_reason;
@@ -130,16 +203,50 @@ struct PartitionSearchResult {
   double initial_cost = 0;
 };
 
+/// Thread-safe pool of unused time budget. Partitions whose search finishes
+/// (space exhausted) before their apportioned slice expires Deposit the
+/// unused seconds; partitions about to start Take the accumulated spare and
+/// add it to their own slice, so no second of the global budget is left on
+/// the table while some partition still has work. Deterministic under
+/// sequential execution (the spare flows to the next partition in order);
+/// under the concurrent pool the split depends on scheduling, which is fine
+/// — time budgets are wall-clock-dependent anyway.
+class TimeBudgetPool {
+ public:
+  /// Adds `sec` (clamped at 0) to the pool.
+  void Deposit(double sec);
+  /// Drains the pool, returning everything deposited since the last Take.
+  double Take();
+  /// Current balance (for tests / observability).
+  double balance() const;
+
+ private:
+  mutable std::mutex mu_;
+  double spare_sec_ = 0;
+};
+
 /// Runs stage 3: builds each partition's initial state, collects the
 /// paper's workload statistics, calibrates cm once over the whole S0 (sum
 /// of the per-partition breakdowns), then searches every partition under
-/// its apportioned budget. With more than one partition and
+/// its apportioned budget, re-granting early finishers' unused time through
+/// a TimeBudgetPool. With more than one partition and
 /// limits.num_threads > 1 (and partition.parallel_partitions), partitions
 /// run concurrently as thread-pool tasks, each search serial; a single
 /// partition keeps num_threads for the parallel frontier engine.
+///
+/// `preseeded` (optional) is the session's incremental path: when
+/// preseeded[p] is non-null, partition p's cached outcome is copied into
+/// the result instead of being searched — only the dirty partitions run,
+/// under budgets apportioned over the dirty partitions alone (and cm
+/// calibration, which must see every partition's S0, is the caller's
+/// responsibility: sessions calibrate on their first update and freeze).
+/// `report` (optional) receives the reused/searched partition counts and
+/// the total re-granted seconds.
 Result<std::vector<PartitionSearchResult>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
-    CostModel* cost_model, const SelectorOptions& options);
+    CostModel* cost_model, const SelectorOptions& options,
+    const std::vector<const PartitionSearchResult*>* preseeded = nullptr,
+    PipelineReport* report = nullptr);
 
 // ---- Stage 4: merge --------------------------------------------------------
 
@@ -149,10 +256,14 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
 /// order, and assembles the Recommendation — including the
 /// kPostReformulate reformulation of the winning view definitions. With a
 /// single partition the views and rewritings are shared, not copied.
+/// `report` (optional) carries the search stage's observability counters
+/// into Recommendation::pipeline; merge fills the merged-duplicate count.
+/// The results vector may mix cached (session-reused) and freshly searched
+/// partitions — the merge is agnostic, it only reads the best states.
 Result<Recommendation> MergePartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     std::vector<PartitionSearchResult> results, CostModel* cost_model,
-    const SelectorOptions& options);
+    const SelectorOptions& options, const PipelineReport* report = nullptr);
 
 // ---- The whole pipeline ----------------------------------------------------
 

@@ -3,13 +3,22 @@
 // Every partition searches its own initial state under a slice of the
 // global budget proportional to its query count; slices round *up* (states)
 // or are floored at a small positive minimum (time) so no partition is
-// starved to zero. All partitions share one CostModel — the interner and
-// the statistics cache are internally synchronized, so concurrent partition
-// searches reuse each other's per-distinct-view estimates — and cm is
-// calibrated once, over the sum of the per-partition S0 breakdowns, which
-// equals the monolithic S0 breakdown because every cost component is a sum
-// over views / rewritings.
+// starved to zero, and partitions whose search exhausts its space before
+// the slice expires return the unused seconds to a TimeBudgetPool that
+// still-running partitions drain. All partitions share one CostModel — the
+// interner and the statistics cache are internally synchronized, so
+// concurrent partition searches reuse each other's per-distinct-view
+// estimates — and cm is calibrated once, over the sum of the per-partition
+// S0 breakdowns, which equals the monolithic S0 breakdown because every
+// cost component is a sum over views / rewritings.
+//
+// Incremental (tuning-session) runs pass `preseeded`: partitions with a
+// cached outcome are copied through without searching, budgets are
+// apportioned over the dirty partitions only, and the reuse accounting
+// lands in the PipelineReport. Initial states are built from the ingest
+// stage's cached minimized components — no cq::Minimize here.
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/logging.h"
@@ -26,20 +35,43 @@ namespace {
 constexpr double kMinTimeBudgetSec = 1e-3;
 
 /// Builds partition `group`'s initial state (the monolithic S0 restricted
-/// to the group's queries, in workload order).
+/// to the group's queries, in workload order) from the ingest stage's
+/// cached minimized forms. Mirrors stage 2's fallback: a hand-built
+/// IngestResult without the minimized vector minimizes locally.
 Result<State> MakePartitionInitialState(const IngestResult& ingest,
                                         const std::vector<size_t>& group,
                                         const SelectorOptions& options) {
-  std::vector<cq::ConjunctiveQuery> queries;
-  queries.reserve(group.size());
-  for (size_t qi : group) queries.push_back(ingest.queries[qi]);
-  if (options.entailment == EntailmentMode::kPreReformulate) {
-    std::vector<cq::UnionOfQueries> reformulated;
-    reformulated.reserve(group.size());
-    for (size_t qi : group) reformulated.push_back(ingest.reformulated[qi]);
-    return MakeReformulatedInitialState(queries, reformulated);
+  const bool have_minimized =
+      ingest.minimized.size() == ingest.queries.size();
+  const bool pre_reformulate =
+      options.entailment == EntailmentMode::kPreReformulate;
+  const bool have_reformulated =
+      ingest.reformulated.size() == ingest.queries.size();
+  auto minimized_of = [&](size_t qi) -> std::shared_ptr<const MinimizedQuery> {
+    if (have_minimized) return ingest.minimized[qi];
+    return std::make_shared<const MinimizedQuery>(MinimizeQuery(
+        ingest.queries[qi],
+        pre_reformulate && have_reformulated
+            ? ingest.reformulated[qi].get()
+            : nullptr));
+  };
+  if (pre_reformulate) {
+    std::vector<cq::ConjunctiveQuery> queries;
+    std::vector<std::vector<cq::ConjunctiveQuery>> disjuncts;
+    queries.reserve(group.size());
+    disjuncts.reserve(group.size());
+    for (size_t qi : group) {
+      queries.push_back(ingest.queries[qi]);
+      disjuncts.push_back(minimized_of(qi)->minimized_disjuncts);
+    }
+    return MakeReformulatedInitialStateFromMinimized(queries, disjuncts);
   }
-  return MakeInitialState(queries);
+  std::vector<cq::ConjunctiveQuery> minimized;
+  minimized.reserve(group.size());
+  for (size_t qi : group) {
+    minimized.push_back(minimized_of(qi)->minimized);
+  }
+  return MakeInitialStateFromMinimized(minimized);
 }
 
 /// The paper's statistics-gathering phase: count every initial-state view
@@ -58,6 +90,22 @@ void CollectWorkloadStatistics(const std::vector<State>& initial_states,
 }
 
 }  // namespace
+
+void TimeBudgetPool::Deposit(double sec) {
+  if (sec <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spare_sec_ += sec;
+}
+
+double TimeBudgetPool::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(spare_sec_, 0.0);
+}
+
+double TimeBudgetPool::balance() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spare_sec_;
+}
 
 std::vector<SearchLimits> ApportionSearchLimits(
     const SearchLimits& total, const std::vector<size_t>& weights) {
@@ -90,29 +138,51 @@ std::vector<SearchLimits> ApportionSearchLimits(
 
 Result<std::vector<PartitionSearchResult>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
-    CostModel* cost_model, const SelectorOptions& options) {
+    CostModel* cost_model, const SelectorOptions& options,
+    const std::vector<const PartitionSearchResult*>* preseeded,
+    PipelineReport* report) {
   const size_t num_partitions = plan.groups.size();
   RDFVIEWS_CHECK(num_partitions > 0);
+  RDFVIEWS_CHECK(preseeded == nullptr ||
+                 preseeded->size() == num_partitions);
+  auto seeded = [&](size_t p) {
+    return preseeded != nullptr && (*preseeded)[p] != nullptr;
+  };
 
-  // Initial states, in partition order.
-  std::vector<State> initial_states;
+  // Initial states of the partitions that will actually search, in
+  // partition order (cached partitions need none — their outcome already
+  // embodies it).
+  std::vector<size_t> dirty;
+  std::vector<State> initial_states(num_partitions);
   std::vector<size_t> weights;
-  initial_states.reserve(num_partitions);
-  weights.reserve(num_partitions);
-  for (const std::vector<size_t>& group : plan.groups) {
-    Result<State> s0 = MakePartitionInitialState(ingest, group, options);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    if (seeded(p)) continue;
+    Result<State> s0 =
+        MakePartitionInitialState(ingest, plan.groups[p], options);
     if (!s0.ok()) return s0.status();
-    initial_states.push_back(std::move(*s0));
-    weights.push_back(group.size());
+    initial_states[p] = std::move(*s0);
+    dirty.push_back(p);
+    weights.push_back(plan.groups[p].size());
   }
-  CollectWorkloadStatistics(initial_states, *ingest.stats);
+  if (report != nullptr) {
+    report->partitions_searched = dirty.size();
+    report->partitions_reused = num_partitions - dirty.size();
+  }
+  {
+    std::vector<State> warm;
+    warm.reserve(dirty.size());
+    for (size_t p : dirty) warm.push_back(initial_states[p]);
+    CollectWorkloadStatistics(warm, *ingest.stats);
+  }
 
   // Calibrate cm once over the whole workload: the monolithic S0 breakdown
-  // is the component-wise sum of the per-partition breakdowns.
-  if (options.auto_calibrate_cm) {
+  // is the component-wise sum of the per-partition breakdowns. Sessions
+  // calibrate on their first update (never preseeded) and freeze the
+  // weights afterwards, so the cached best states stay cost-comparable.
+  if (options.auto_calibrate_cm && dirty.size() == num_partitions) {
     CostBreakdown s0_breakdown;
-    for (const State& s0 : initial_states) {
-      CostBreakdown b = cost_model->Breakdown(s0);
+    for (size_t p : dirty) {
+      CostBreakdown b = cost_model->Breakdown(initial_states[p]);
       s0_breakdown.vso += b.vso;
       s0_breakdown.rec += b.rec;
       s0_breakdown.vmc += b.vmc;
@@ -123,9 +193,24 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     cost_model->set_weights(w);
   }
 
+  std::vector<PartitionSearchResult> out(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    if (!seeded(p)) continue;
+    out[p] = *(*preseeded)[p];  // cheap: views/rewritings are shared COW
+    if (options.limits.on_progress) {
+      ProgressEvent ev;
+      ev.kind = ProgressEvent::Kind::kPartitionDone;
+      ev.best_cost = out[p].search.stats.best_cost;
+      ev.partition = p;
+      ev.partitions_total = num_partitions;
+      options.limits.on_progress(ev);
+    }
+  }
+  if (dirty.empty()) return out;
+
   std::vector<SearchLimits> limits =
       ApportionSearchLimits(options.limits, weights);
-  const bool fan_out = num_partitions > 1 &&
+  const bool fan_out = dirty.size() > 1 &&
                        options.partition.parallel_partitions &&
                        options.limits.num_threads > 1;
   for (SearchLimits& l : limits) {
@@ -134,30 +219,63 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     l.num_threads = fan_out ? 1 : options.limits.num_threads;
   }
 
+  TimeBudgetPool spare;
+  std::atomic<double> regranted{0};
   std::vector<Result<SearchResult>> searches(
-      num_partitions, Status::Internal("partition search did not run"));
-  auto run_one = [&](size_t p) {
-    searches[p] = RunSearch(options.strategy, initial_states[p], *cost_model,
-                            options.heuristics, limits[p]);
+      dirty.size(), Status::Internal("partition search did not run"));
+  auto run_one = [&](size_t di) {
+    const size_t p = dirty[di];
+    SearchLimits l = limits[di];
+    if (l.time_budget_sec > 0) {
+      // Budget re-granting: adopt whatever early finishers returned.
+      double bonus = spare.Take();
+      if (bonus > 0) {
+        l.time_budget_sec += bonus;
+        double cur = regranted.load(std::memory_order_relaxed);
+        while (!regranted.compare_exchange_weak(
+            cur, cur + bonus, std::memory_order_relaxed)) {
+        }
+      }
+    }
+    searches[di] = RunSearch(options.strategy, initial_states[p],
+                             *cost_model, options.heuristics, l);
+    if (searches[di].ok() && l.time_budget_sec > 0 &&
+        searches[di]->stats.completed) {
+      // Space exhausted with time to spare: return the remainder.
+      spare.Deposit(l.time_budget_sec - searches[di]->stats.elapsed_sec);
+    }
+    if (options.limits.on_progress) {
+      ProgressEvent ev;
+      ev.kind = ProgressEvent::Kind::kPartitionDone;
+      if (searches[di].ok()) {
+        ev.best_cost = searches[di]->stats.best_cost;
+        ev.elapsed_sec = searches[di]->stats.elapsed_sec;
+      }
+      ev.partition = p;
+      ev.partitions_total = num_partitions;
+      options.limits.on_progress(ev);
+    }
   };
   if (fan_out) {
-    ThreadPool pool(std::min(options.limits.num_threads, num_partitions));
-    for (size_t p = 0; p < num_partitions; ++p) {
-      pool.Submit([&run_one, p] { run_one(p); });
+    ThreadPool pool(std::min(options.limits.num_threads, dirty.size()));
+    for (size_t di = 0; di < dirty.size(); ++di) {
+      pool.Submit([&run_one, di] { run_one(di); });
     }
     pool.WaitIdle();
   } else {
-    for (size_t p = 0; p < num_partitions; ++p) run_one(p);
+    for (size_t di = 0; di < dirty.size(); ++di) run_one(di);
+  }
+  if (report != nullptr) {
+    report->budget_regranted_sec = regranted.load(std::memory_order_relaxed);
   }
 
-  std::vector<PartitionSearchResult> out;
-  out.reserve(num_partitions);
-  for (Result<SearchResult>& r : searches) {
+  for (size_t di = 0; di < dirty.size(); ++di) {
+    Result<SearchResult>& r = searches[di];
     if (!r.ok()) return r.status();
     PartitionSearchResult pr;
     pr.initial_cost = r->stats.initial_cost;
     pr.search = std::move(*r);
-    out.push_back(std::move(pr));
+    out[dirty[di]] = std::move(pr);
   }
   return out;
 }

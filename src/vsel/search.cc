@@ -56,15 +56,31 @@ void SearchContext::Init(const State& s0) {
                       best.fingerprint())) {
         best = closed;
         best_cost = c;
-        stats.best_cost = c;
-        stats.best_trace.emplace_back(deadline.ElapsedSeconds(), c);
+        NotifyBest(c);
       }
       start = std::move(closed);
     }
   }
 }
 
+void SearchContext::NotifyBest(double cost_now) {
+  stats.best_cost = cost_now;
+  double elapsed = deadline.ElapsedSeconds();
+  stats.best_trace.emplace_back(elapsed, cost_now);
+  if (limits.on_progress) {
+    ProgressEvent ev;
+    ev.kind = ProgressEvent::Kind::kBestImproved;
+    ev.best_cost = cost_now;
+    ev.elapsed_sec = elapsed;
+    limits.on_progress(ev);
+  }
+}
+
 bool SearchContext::OutOfBudget() {
+  if (limits.stop.stop_requested()) {
+    stats.cancelled = true;
+    return true;
+  }
   if (deadline.Expired()) {
     stats.time_exhausted = true;
     return true;
@@ -101,15 +117,14 @@ std::optional<SearchContext::Admitted> SearchContext::Admit(State s,
   if (BetterState(c, s.fingerprint(), best_cost, best.fingerprint())) {
     best = s;
     best_cost = c;
-    stats.best_cost = c;
-    stats.best_trace.emplace_back(deadline.ElapsedSeconds(), c);
+    NotifyBest(c);
   }
   return Admitted{std::move(s), c};
 }
 
 SearchResult SearchContext::Finish(bool completed) {
   stats.completed = completed && !stats.time_exhausted &&
-                    !stats.memory_exhausted;
+                    !stats.memory_exhausted && !stats.cancelled;
   stats.elapsed_sec = deadline.ElapsedSeconds();
   stats.best_cost = best_cost;
   return SearchResult{best, stats};

@@ -82,8 +82,13 @@ class SearchContext {
 
   void Init(const State& s0);
 
-  /// True once the time or state budget is exceeded (and records which).
+  /// True once the time or state budget is exceeded or a cooperative stop
+  /// was requested (and records which).
   bool OutOfBudget();
+
+  /// Records a best-cost improvement in the stats trace and forwards it to
+  /// the limits.on_progress observer, if any.
+  void NotifyBest(double cost);
 
   struct Admitted {
     State state;

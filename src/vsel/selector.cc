@@ -3,7 +3,7 @@
 #include "common/logging.h"
 #include "engine/executor.h"
 #include "engine/materializer.h"
-#include "vsel/pipeline/pipeline.h"
+#include "vsel/session/session.h"
 
 namespace rdfviews::vsel {
 
@@ -21,11 +21,12 @@ Result<Recommendation> ViewSelector::Recommend(
     const std::vector<cq::ConjunctiveQuery>& workload,
     const SelectorOptions& options) const {
   RDFVIEWS_CHECK(store_ != nullptr && store_->built());
-  // The selector is a thin wrapper over the staged pipeline
-  // (src/vsel/pipeline/): with a single partition the pipeline reduces to
-  // the classic ingest-search-package path, so there is exactly one
-  // recommendation code path.
-  return pipeline::Run(store_, dict_, schema_, workload, options);
+  // The selector is the one-shot convenience wrapper over a TuningSession:
+  // one update over the whole workload, caches discarded with the session.
+  // Through the session this runs the staged pipeline (src/vsel/pipeline/),
+  // so there is exactly one recommendation code path.
+  TuningSession session(store_, dict_, options, schema_);
+  return session.Update(workload);
 }
 
 const engine::Relation& MaterializedViews::ById(uint32_t view_id) const {

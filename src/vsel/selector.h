@@ -43,6 +43,29 @@ struct SelectorOptions {
   PartitionOptions partition;
 };
 
+/// Per-recommendation observability of the staged pipeline, including the
+/// tuning-session reuse accounting: how the workload was partitioned, how
+/// many partitions an incremental update served from the session cache vs
+/// re-searched, and how much budget early finishers re-granted.
+struct PipelineReport {
+  /// How many independent sub-workloads the commonality graph produced
+  /// (1 = monolithic search).
+  size_t num_partitions = 1;
+  /// Why partitioning fell back to a single partition (empty when the
+  /// commonality graph was actually used).
+  std::string partition_fallback_reason;
+  /// Cross-partition duplicate views the merge stage folded away.
+  size_t merged_duplicate_views = 0;
+  /// Session updates only: partitions whose cached result was reused
+  /// (clean) vs freshly searched (dirty). For a one-shot Recommend,
+  /// reused == 0 and searched == num_partitions.
+  size_t partitions_reused = 0;
+  size_t partitions_searched = 0;
+  /// Seconds of time budget early-finishing partitions returned to the
+  /// shared pool for still-running ones (stage 3 re-granting).
+  double budget_regranted_sec = 0;
+};
+
 /// A recommended view set: everything needed to deploy the three-tier
 /// scenario of the introduction — materialize `views` (away from the
 /// database), then answer query i by executing rewritings[i] on them.
@@ -68,13 +91,8 @@ struct Recommendation {
   CostModel::Counters cost_counters;
   size_t distinct_views_interned = 0;
 
-  /// Pipeline observability: how many independent sub-workloads the
-  /// commonality graph produced (1 = monolithic search), why partitioning
-  /// fell back to a single partition (empty when it did not), and how many
-  /// cross-partition duplicate views the merge stage folded away.
-  size_t num_partitions = 1;
-  std::string partition_fallback_reason;
-  size_t merged_duplicate_views = 0;
+  /// Pipeline and session observability (see PipelineReport).
+  PipelineReport pipeline;
 
   /// The store the views must be materialized over: the saturated store for
   /// kSaturate, the original store otherwise (owned when saturated).
@@ -97,6 +115,13 @@ class ViewSelector {
                const rdf::Schema* schema = nullptr)
       : store_(store), dict_(dict), schema_(schema) {}
 
+  /// One-shot convenience wrapper over vsel::TuningSession
+  /// (vsel/session/session.h): equivalent to constructing a session and
+  /// calling Update(workload) once, then discarding the session's caches.
+  /// Continuous / evolving workloads should hold a TuningSession instead —
+  /// it reuses partition search results, interned views, and warmed
+  /// statistics across updates, and supports cancellation and progress
+  /// streaming through RecommendAsync.
   Result<Recommendation> Recommend(
       const std::vector<cq::ConjunctiveQuery>& workload,
       const SelectorOptions& options) const;

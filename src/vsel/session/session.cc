@@ -1,0 +1,236 @@
+#include "vsel/session/session.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rdfviews::vsel {
+
+// ---- TuningHandle ----------------------------------------------------------
+
+TuningHandle::~TuningHandle() {
+  Cancel();
+  Join();
+}
+
+void TuningHandle::Join() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+bool TuningHandle::Poll() const {
+  return shared_->done.load(std::memory_order_acquire);
+}
+
+TuningProgress TuningHandle::Current() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  TuningProgress p = shared_->progress;
+  p.cancel_requested = shared_->stop.stop_requested();
+  p.done = shared_->done.load(std::memory_order_acquire);
+  return p;
+}
+
+void TuningHandle::Cancel() { shared_->stop.RequestStop(); }
+
+Result<Recommendation> TuningHandle::Wait() {
+  Join();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->result;
+}
+
+// ---- TuningSession ---------------------------------------------------------
+
+TuningSession::TuningSession(const rdf::TripleStore* store,
+                             const rdf::Dictionary* dict,
+                             const SelectorOptions& options,
+                             const rdf::Schema* schema)
+    : store_(store), dict_(dict), schema_(schema), options_(options) {
+  RDFVIEWS_CHECK(store_ != nullptr && store_->built());
+}
+
+TuningSession::~TuningSession() = default;
+
+Result<Recommendation> TuningSession::Update(
+    const std::vector<cq::ConjunctiveQuery>& add_queries,
+    const std::vector<std::string>& remove_queries) {
+  if (busy_.exchange(true)) {
+    return Status::InvalidArgument(
+        "TuningSession: an update is already in flight");
+  }
+  Result<Recommendation> rec =
+      DoUpdate(add_queries, remove_queries, nullptr, nullptr);
+  busy_.store(false);
+  return rec;
+}
+
+std::shared_ptr<TuningHandle> TuningSession::UpdateAsync(
+    std::vector<cq::ConjunctiveQuery> add_queries,
+    std::vector<std::string> remove_queries) {
+  // Private constructor: not make_shared-able.
+  std::shared_ptr<TuningHandle> handle(new TuningHandle());
+  std::shared_ptr<TuningHandle::Shared> shared = handle->shared_;
+  if (busy_.exchange(true)) {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->result = Status::InvalidArgument(
+        "TuningSession: an update is already in flight");
+    shared->done.store(true, std::memory_order_release);
+    return handle;
+  }
+  StopToken token = shared->stop.token();
+  ProgressFn track = [shared](const ProgressEvent& ev) {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    switch (ev.kind) {
+      case ProgressEvent::Kind::kBestImproved:
+        shared->progress.best_cost = ev.best_cost;
+        ++shared->progress.improvements;
+        break;
+      case ProgressEvent::Kind::kPartitionDone:
+        ++shared->progress.partitions_done;
+        shared->progress.partitions_total = ev.partitions_total;
+        break;
+    }
+  };
+  // The worker holds only the Shared block (never the handle), so the
+  // handle may be dropped mid-run: its destructor cancels + joins from the
+  // destroying thread, and the shared state outlives both. The session
+  // itself must outlive the worker (enforced by the handle's join — every
+  // handle must be destroyed before the session, see the class comment).
+  handle->worker_ = std::thread([this, shared, token, track,
+                                 add = std::move(add_queries),
+                                 remove = std::move(remove_queries)] {
+    Result<Recommendation> rec = DoUpdate(add, remove, &token, track);
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->result = std::move(rec);
+    }
+    busy_.store(false);
+    shared->done.store(true, std::memory_order_release);
+  });
+  return handle;
+}
+
+Result<Recommendation> TuningSession::DoUpdate(
+    const std::vector<cq::ConjunctiveQuery>& add_queries,
+    const std::vector<std::string>& remove_queries,
+    const StopToken* stop_override, const ProgressFn& progress_override) {
+  // 1. Apply the delta to a working copy (committed only on success).
+  std::vector<cq::ConjunctiveQuery> next = workload_;
+  if (!remove_queries.empty()) {
+    std::unordered_set<std::string> drop(remove_queries.begin(),
+                                         remove_queries.end());
+    std::unordered_set<std::string> matched;
+    std::erase_if(next, [&](const cq::ConjunctiveQuery& q) {
+      if (!drop.contains(q.name())) return false;
+      matched.insert(q.name());
+      return true;
+    });
+    for (const std::string& name : remove_queries) {
+      if (!matched.contains(name)) {
+        return Status::NotFound("TuningSession: no workload query named " +
+                                name);
+      }
+    }
+  }
+  next.insert(next.end(), add_queries.begin(), add_queries.end());
+
+  // 2. Effective options for this update: freeze cm after the first
+  // calibration, and splice in the async stop token / progress tracker
+  // (both compose with whatever the caller put into options_.limits).
+  SelectorOptions opts = options_;
+  if (calibrated_) opts.auto_calibrate_cm = false;
+  if (stop_override != nullptr) {
+    opts.limits.stop = StopToken::Combine(options_.limits.stop,
+                                          *stop_override);
+  }
+  if (progress_override) {
+    ProgressFn user = options_.limits.on_progress;
+    ProgressFn track = progress_override;
+    opts.limits.on_progress = [user, track](const ProgressEvent& ev) {
+      track(ev);
+      if (user) user(ev);
+    };
+  }
+
+  // 3. Ingest through the session caches: only never-seen queries are
+  // validated / reformulated / minimized, and the statistics provider +
+  // materialization store are built exactly once per session.
+  Result<pipeline::IngestResult> ingest = pipeline::Ingest(
+      store_, dict_, schema_, next, opts, /*external_stats=*/nullptr,
+      &caches_);
+  if (!ingest.ok()) return ingest.status();
+  if (cost_model_ == nullptr) {
+    cost_model_ = std::make_unique<CostModel>(ingest->stats, opts.weights);
+  }
+
+  // 4. Partition and classify: cached key -> clean, unseen key -> dirty.
+  const uint64_t generation = ++update_counter_;
+  pipeline::PartitionPlan plan = pipeline::PartitionWorkload(*ingest, opts);
+  std::vector<const pipeline::PartitionSearchResult*> preseeded(
+      plan.groups.size(), nullptr);
+  for (size_t p = 0; p < plan.groups.size(); ++p) {
+    auto it = partition_cache_.find(plan.group_keys[p]);
+    if (it != partition_cache_.end()) {
+      it->second.last_used = generation;
+      preseeded[p] = &it->second.result;
+    }
+  }
+
+  // 5. Search the dirty partitions (cache hits are copied through).
+  PipelineReport report;
+  Result<std::vector<pipeline::PartitionSearchResult>> searches =
+      pipeline::SearchPartitions(*ingest, plan, cost_model_.get(), opts,
+                                 &preseeded, &report);
+  if (!searches.ok()) return searches.status();
+
+  // 6. Collect the cacheable outcomes before the merge consumes the
+  // results vector: every fresh partition whose search exhausted its space
+  // is reusable. Truncated results (time / memory / cancel) are *not*
+  // cached — those partitions stay dirty so a later update (or
+  // Recommend()) retries them.
+  std::vector<std::pair<std::string, pipeline::PartitionSearchResult>>
+      cacheable;
+  for (size_t p = 0; p < plan.groups.size(); ++p) {
+    if (preseeded[p] != nullptr) continue;
+    const pipeline::PartitionSearchResult& r = (*searches)[p];
+    if (r.search.stats.completed) {
+      cacheable.emplace_back(plan.group_keys[p], r);  // cheap COW copy
+    }
+  }
+
+  // 7. Merge cached + fresh partitions into the recommendation.
+  Result<Recommendation> rec = pipeline::MergePartitions(
+      *ingest, plan, std::move(*searches), cost_model_.get(), opts, &report);
+  if (!rec.ok()) return rec.status();
+
+  // 8. Commit only now that the whole update succeeded (a cancelled update
+  // *is* a success — its recommendation is the valid current best): the
+  // workload advances, the weights freeze, the completed searches become
+  // reusable. A failed update leaves the session exactly as it was, so the
+  // caller can retry the same delta.
+  workload_ = std::move(next);
+  calibrated_ = true;
+  for (auto& [key, result] : cacheable) {
+    partition_cache_[key] = CachedPartition{std::move(result), generation};
+  }
+  // Bound the cache: keep the most recently used max(64, 4x partitions)
+  // entries, so recently retired sub-workloads remain instantly
+  // re-addable while a drifting log can not grow the session unboundedly.
+  const size_t cap = std::max<size_t>(64, 4 * plan.groups.size());
+  if (partition_cache_.size() > cap) {
+    std::vector<std::pair<uint64_t, const std::string*>> by_age;
+    by_age.reserve(partition_cache_.size());
+    for (const auto& [key, cached] : partition_cache_) {
+      by_age.emplace_back(cached.last_used, &key);
+    }
+    std::sort(by_age.begin(), by_age.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i + cap < by_age.size(); ++i) {
+      partition_cache_.erase(*by_age[i].second);
+    }
+  }
+  return rec;
+}
+
+}  // namespace rdfviews::vsel

@@ -1,0 +1,222 @@
+// Tuning sessions: the long-lived, incremental, cancellable view-selection
+// API. Where ViewSelector::Recommend answers "what views for this
+// workload?" once, a TuningSession answers it *continuously* as the
+// workload evolves — the regime of a live SPARQL endpoint whose query log
+// streams in (and the paper's anytime framing, Sec. 5: every strategy can
+// be stopped at any moment with a valid best-so-far).
+//
+// Lifecycle:
+//
+//     TuningSession session(&store, &dict, options);
+//     Recommendation r0 = *session.Update(initial_queries);
+//     ...workload drifts...
+//     Recommendation r1 = *session.Update(new_queries, dropped_names);
+//
+// Each Update runs the staged pipeline (ingest → partition → search →
+// merge), but the session carries state across updates:
+//   - per-query minimization / reformulation results (exact-key cache), so
+//     only never-seen queries are minimized;
+//   - one statistics snapshot and one CostModel (with its hash-consing
+//     ViewInterner), so every distinct view is costed once per *session*;
+//   - a per-partition result cache keyed by the partition's canonical
+//     workload key (minimized, renaming-insensitive): partitions whose
+//     sub-workload is unchanged — the clean partitions — are served from
+//     cache, and only the *dirty* partitions (touched by the delta) are
+//     re-searched. An N+k-query update therefore costs O(dirty partitions),
+//     not O(N).
+//
+// Invalidation rule: a partition is dirty iff its canonical workload key —
+// the concatenated renaming-insensitive keys of its member queries'
+// minimized forms, in workload order — was never completed before. Adding
+// or removing a query changes the key of exactly the partitions whose
+// commonality component it touches (plus any re-packing under
+// max_partitions). Results of searches that did not complete (time/memory
+// exhausted, cancelled) are never cached.
+//
+// Exactness: whenever the partition decomposition is provably exact (see
+// pipeline.h) and every partition search completes, an incremental Update
+// yields a recommendation with the same view-set signature and cost as a
+// from-scratch Recommend over the final workload. cm auto-calibration runs
+// on the session's *first* update and the weights are then frozen, so
+// cached and fresh partition results stay cost-comparable; compare against
+// a from-scratch run with the same weights (or auto_calibrate_cm = false).
+//
+// Cancellation & observability: Update honors SelectorOptions::limits.stop
+// (a cooperative StopToken checked by every engine — serial, parallel
+// frontier, [21] competitors) and streams ProgressEvents (best-cost
+// improvements, per-partition completions) through limits.on_progress.
+// UpdateAsync / RecommendAsync run the update on a background thread and
+// return a TuningHandle with Poll / Current / Cancel / Wait — Cancel stops
+// all partitions within a bounded number of state expansions, and Wait
+// then returns the valid current-best recommendation.
+#ifndef RDFVIEWS_VSEL_SESSION_SESSION_H_
+#define RDFVIEWS_VSEL_SESSION_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stop_token.h"
+#include "vsel/pipeline/pipeline.h"
+#include "vsel/selector.h"
+
+namespace rdfviews::vsel {
+
+/// Snapshot of an asynchronous update's progress (TuningHandle::Current).
+/// The counts are monotone over the run, so polling callers can render a
+/// live "anytime" view.
+struct TuningProgress {
+  /// Cost carried by the latest best-cost improvement event — the
+  /// *emitting search's* local best (0 until the first event). With
+  /// several partitions searching, costs from different partitions are
+  /// not comparable to each other (the global cost is their sum), so
+  /// treat this as an activity indicator, not a global optimum.
+  double best_cost = 0;
+  /// How many best-cost improvement events have fired.
+  uint64_t improvements = 0;
+  /// Partitions finished (searched or served from cache) / total.
+  size_t partitions_done = 0;
+  size_t partitions_total = 0;
+  bool cancel_requested = false;
+  bool done = false;
+};
+
+/// Handle to one in-flight asynchronous update. Thread-safe. Destroying the
+/// handle cancels the update and joins the worker (always from the
+/// destroying thread — the worker itself only ever holds the handle's
+/// internal shared state, never the handle).
+class TuningHandle {
+ public:
+  ~TuningHandle();
+  TuningHandle(const TuningHandle&) = delete;
+  TuningHandle& operator=(const TuningHandle&) = delete;
+
+  /// True once the update finished (successfully, with an error, or after
+  /// a cancellation) and Wait() will not block.
+  bool Poll() const;
+
+  /// The live progress snapshot.
+  TuningProgress Current() const;
+
+  /// Requests a cooperative stop: every engine observes the token within a
+  /// bounded number of state expansions and returns its current best.
+  void Cancel();
+
+  /// Blocks until the update finishes and returns its recommendation (the
+  /// valid current-best one after a Cancel). May be called repeatedly.
+  Result<Recommendation> Wait();
+
+ private:
+  friend class TuningSession;
+  /// Everything the worker thread touches; kept alive by the worker's own
+  /// shared_ptr, so dropping the handle mid-run is safe.
+  struct Shared {
+    StopSource stop;
+    std::atomic<bool> done{false};
+    mutable std::mutex mu;  // guards progress and result
+    TuningProgress progress;
+    Result<Recommendation> result = Status::Internal("update still running");
+  };
+
+  TuningHandle() : shared_(std::make_shared<Shared>()) {}
+  void Join();
+
+  std::shared_ptr<Shared> shared_;
+  std::mutex join_mu_;  // serializes Wait() / destructor joins
+  std::thread worker_;
+};
+
+/// A long-lived view-selection session over one (store, dictionary, schema,
+/// options) environment and an evolving workload. Not thread-safe: one
+/// update (sync or async) may be in flight at a time, and the session must
+/// outlive every handle it returned. The store / dictionary / schema must
+/// outlive the session.
+class TuningSession {
+ public:
+  /// `schema` may be null when options.entailment is kNone. The options —
+  /// strategy, heuristics, limits, weights, entailment, partitioning — are
+  /// fixed for the session's lifetime (they shape every cached result).
+  TuningSession(const rdf::TripleStore* store, const rdf::Dictionary* dict,
+                const SelectorOptions& options,
+                const rdf::Schema* schema = nullptr);
+  ~TuningSession();
+
+  /// Applies a workload delta and recommends for the result: `add_queries`
+  /// are appended, queries whose name is in `remove_queries` are dropped
+  /// (every listed name must match at least one current query). Only dirty
+  /// partitions are re-searched; see the header comment. The session's
+  /// workload advances even when the update is cancelled mid-search (the
+  /// returned recommendation is the valid current best; the partitions cut
+  /// short simply stay dirty for the next update).
+  Result<Recommendation> Update(
+      const std::vector<cq::ConjunctiveQuery>& add_queries,
+      const std::vector<std::string>& remove_queries = {});
+
+  /// Re-recommends over the current workload without a delta (all clean
+  /// partitions served from cache; useful after a cancelled update).
+  Result<Recommendation> Recommend() { return Update({}, {}); }
+
+  /// Asynchronous variants: run the update on a background thread and
+  /// return a handle with Poll / Current / Cancel / Wait. One update may
+  /// be in flight per session at a time (InvalidArgument otherwise,
+  /// reported through the handle's Wait).
+  std::shared_ptr<TuningHandle> UpdateAsync(
+      std::vector<cq::ConjunctiveQuery> add_queries,
+      std::vector<std::string> remove_queries = {});
+  std::shared_ptr<TuningHandle> RecommendAsync() {
+    return UpdateAsync({}, {});
+  }
+
+  /// The current workload, in order (adds append, removals compact).
+  const std::vector<cq::ConjunctiveQuery>& workload() const {
+    return workload_;
+  }
+
+  /// Number of partition results currently cached (clean candidates).
+  size_t cached_partitions() const { return partition_cache_.size(); }
+
+  /// Drops every cached partition result (the next update re-searches all
+  /// partitions). The per-query minimization caches and the cost model
+  /// survive — they are delta-independent.
+  void InvalidateCachedResults() { partition_cache_.clear(); }
+
+ private:
+  Result<Recommendation> DoUpdate(
+      const std::vector<cq::ConjunctiveQuery>& add_queries,
+      const std::vector<std::string>& remove_queries,
+      const StopToken* stop_override, const ProgressFn& progress_override);
+
+  const rdf::TripleStore* store_;
+  const rdf::Dictionary* dict_;
+  const rdf::Schema* schema_;
+  SelectorOptions options_;
+  std::vector<cq::ConjunctiveQuery> workload_;
+  pipeline::SessionCaches caches_;
+  std::unique_ptr<CostModel> cost_model_;
+  /// Set after the first update's cm calibration; later updates freeze the
+  /// weights so cached best states stay cost-comparable.
+  bool calibrated_ = false;
+  /// Canonical workload key -> completed search outcome, stamped with the
+  /// update that last used it. Bounded: after every update the cache is
+  /// trimmed to max(64, 4x current partitions) entries, evicting the
+  /// least-recently-used keys first — recently retired sub-workloads stay
+  /// instantly re-addable, but a drifting log can not grow the session
+  /// without bound.
+  struct CachedPartition {
+    pipeline::PartitionSearchResult result;
+    uint64_t last_used = 0;
+  };
+  std::unordered_map<std::string, CachedPartition> partition_cache_;
+  uint64_t update_counter_ = 0;
+  /// One in-flight update per session.
+  std::atomic<bool> busy_{false};
+};
+
+}  // namespace rdfviews::vsel
+
+#endif  // RDFVIEWS_VSEL_SESSION_SESSION_H_

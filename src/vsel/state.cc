@@ -83,9 +83,7 @@ std::string State::ToString(const rdf::Dictionary* dict) const {
   return out.str();
 }
 
-namespace {
-
-Status CheckWorkloadQuery(const cq::ConjunctiveQuery& q) {
+Status ValidateWorkloadQuery(const cq::ConjunctiveQuery& q) {
   RDFVIEWS_RETURN_IF_ERROR(q.Validate());
   if (q.head().empty()) {
     return Status::InvalidArgument("workload query with empty head: " +
@@ -104,6 +102,8 @@ Status CheckWorkloadQuery(const cq::ConjunctiveQuery& q) {
   }
   return Status::OK();
 }
+
+namespace {
 
 /// Renames `q` into the state's fresh-variable space and registers its
 /// connected components as views. Returns the per-component scan
@@ -160,11 +160,20 @@ engine::ExprPtr ComposeQueryExpr(const InstalledQuery& installed) {
 
 Result<State> MakeInitialState(
     const std::vector<cq::ConjunctiveQuery>& workload) {
-  State state;
+  std::vector<cq::ConjunctiveQuery> minimized;
+  minimized.reserve(workload.size());
   for (const cq::ConjunctiveQuery& raw : workload) {
-    RDFVIEWS_RETURN_IF_ERROR(CheckWorkloadQuery(raw));
-    cq::ConjunctiveQuery minimized = cq::Minimize(raw);
-    InstalledQuery installed = InstallQueryAsViews(minimized, &state);
+    RDFVIEWS_RETURN_IF_ERROR(ValidateWorkloadQuery(raw));
+    minimized.push_back(cq::Minimize(raw));
+  }
+  return MakeInitialStateFromMinimized(minimized);
+}
+
+Result<State> MakeInitialStateFromMinimized(
+    const std::vector<cq::ConjunctiveQuery>& minimized) {
+  State state;
+  for (const cq::ConjunctiveQuery& q : minimized) {
+    InstalledQuery installed = InstallQueryAsViews(q, &state);
     state.mutable_rewritings()->push_back(ComposeQueryExpr(installed));
   }
   return state;
@@ -177,18 +186,38 @@ Result<State> MakeReformulatedInitialState(
     return Status::InvalidArgument(
         "workload/reformulation size mismatch");
   }
+  std::vector<std::vector<cq::ConjunctiveQuery>> minimized_disjuncts;
+  minimized_disjuncts.reserve(workload.size());
+  for (const cq::UnionOfQueries& ucq : reformulated) {
+    std::vector<cq::ConjunctiveQuery> ds;
+    ds.reserve(ucq.disjuncts().size());
+    for (const cq::ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+      ds.push_back(cq::Minimize(disjunct));
+    }
+    minimized_disjuncts.push_back(std::move(ds));
+  }
+  return MakeReformulatedInitialStateFromMinimized(workload,
+                                                   minimized_disjuncts);
+}
+
+Result<State> MakeReformulatedInitialStateFromMinimized(
+    const std::vector<cq::ConjunctiveQuery>& workload,
+    const std::vector<std::vector<cq::ConjunctiveQuery>>&
+        minimized_disjuncts) {
+  if (workload.size() != minimized_disjuncts.size()) {
+    return Status::InvalidArgument(
+        "workload/reformulation size mismatch");
+  }
   State state;
   for (size_t qi = 0; qi < workload.size(); ++qi) {
-    RDFVIEWS_RETURN_IF_ERROR(CheckWorkloadQuery(workload[qi]));
+    RDFVIEWS_RETURN_IF_ERROR(ValidateWorkloadQuery(workload[qi]));
     std::vector<engine::ExprPtr> children;
     // Output column names shared by all union children, fresh per query.
     std::vector<cq::VarId> out_names;
     for (size_t i = 0; i < workload[qi].head().size(); ++i) {
       out_names.push_back(state.FreshVar());
     }
-    for (const cq::ConjunctiveQuery& disjunct :
-         reformulated[qi].disjuncts()) {
-      cq::ConjunctiveQuery d = cq::Minimize(disjunct);
+    for (const cq::ConjunctiveQuery& d : minimized_disjuncts[qi]) {
       // Split the head into its variable part (becomes the view head) and
       // remember the positional spec for the Arrange node.
       cq::ConjunctiveQuery view_def = d;

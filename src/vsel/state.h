@@ -143,12 +143,31 @@ class State {
   mutable CostCache cost_cache_;
 };
 
+/// Validates a workload query for initial-state construction: non-empty
+/// head of distinct variables, no constant head terms. Exposed so the
+/// pipeline's ingest stage validates each query exactly once per run.
+Status ValidateWorkloadQuery(const cq::ConjunctiveQuery& q);
+
 /// Builds the initial state S0: one view per workload query (queries are
 /// minimized first; a query with a Cartesian product is represented by its
 /// independent connected sub-queries, Def. 2.1), and trivial scan
 /// rewritings. Queries must have non-empty heads of distinct variables.
 Result<State> MakeInitialState(
     const std::vector<cq::ConjunctiveQuery>& workload);
+
+/// As MakeInitialState, but over queries the caller already validated and
+/// minimized (the single-minimization ingest path: `cq::Minimize` — the
+/// expensive containment-based step — runs once per distinct query per
+/// session, not once per stage).
+Result<State> MakeInitialStateFromMinimized(
+    const std::vector<cq::ConjunctiveQuery>& minimized);
+
+/// As MakeReformulatedInitialState, with every disjunct of every query
+/// already minimized by the caller (aligned with `workload`).
+Result<State> MakeReformulatedInitialStateFromMinimized(
+    const std::vector<cq::ConjunctiveQuery>& workload,
+    const std::vector<std::vector<cq::ConjunctiveQuery>>&
+        minimized_disjuncts);
 
 /// Builds the pre-reformulation initial state (Sec. 4.3): one view per
 /// disjunct of each reformulated query, and union rewritings

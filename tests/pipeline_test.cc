@@ -77,6 +77,48 @@ TEST(ApportionLimitsTest, SinglePartitionKeepsTotals) {
   EXPECT_DOUBLE_EQ(shares[0].time_budget_sec, total.time_budget_sec);
 }
 
+// ---- TimeBudgetPool --------------------------------------------------------
+
+TEST(TimeBudgetPoolTest, DepositsAccumulateAndTakeDrains) {
+  TimeBudgetPool pool;
+  EXPECT_DOUBLE_EQ(pool.balance(), 0.0);
+  pool.Deposit(0.5);
+  pool.Deposit(0.25);
+  EXPECT_DOUBLE_EQ(pool.balance(), 0.75);
+  EXPECT_DOUBLE_EQ(pool.Take(), 0.75);
+  EXPECT_DOUBLE_EQ(pool.balance(), 0.0);
+  EXPECT_DOUBLE_EQ(pool.Take(), 0.0);
+}
+
+TEST(TimeBudgetPoolTest, IgnoresNonPositiveDeposits) {
+  TimeBudgetPool pool;
+  pool.Deposit(0.0);
+  pool.Deposit(-1.0);
+  EXPECT_DOUBLE_EQ(pool.balance(), 0.0);
+  // A negative deposit never eats an earlier positive one.
+  pool.Deposit(0.5);
+  pool.Deposit(-2.0);
+  EXPECT_DOUBLE_EQ(pool.Take(), 0.5);
+}
+
+TEST(TimeBudgetPoolTest, RegrantAccountingFlowsToLaterPartitions) {
+  // Simulates stage 3's sequential discipline: partition 0 finishes early
+  // and deposits its leftover; partition 1 takes it on top of its own
+  // slice; partition 1 times out, so nothing returns for partition 2.
+  TimeBudgetPool pool;
+  const double slice = 1.0;
+  // Partition 0: completed after 0.2s of its 1s slice.
+  double p0_budget = slice + pool.Take();
+  EXPECT_DOUBLE_EQ(p0_budget, 1.0);
+  pool.Deposit(p0_budget - 0.2);
+  // Partition 1: inherits the 0.8s spare.
+  double p1_budget = slice + pool.Take();
+  EXPECT_DOUBLE_EQ(p1_budget, 1.8);
+  // Timed out: no deposit.
+  // Partition 2: pool is empty again.
+  EXPECT_DOUBLE_EQ(slice + pool.Take(), 1.0);
+}
+
 // ---- PartitionWorkload -----------------------------------------------------
 
 /// Three constant-disjoint query families: {q1, q2} on a:*, {q3} on b:*,
@@ -248,8 +290,8 @@ TEST_P(PipelineEquivalenceTest, PartitionedMatchesMonolithicSerial) {
   PipelineFixtureData fx;
   Recommendation part = RunPipeline(&fx, GetParam(), 1, true);
   Recommendation mono = RunPipeline(&fx, GetParam(), 1, false);
-  EXPECT_EQ(part.num_partitions, 3u);
-  EXPECT_EQ(mono.num_partitions, 1u);
+  EXPECT_EQ(part.pipeline.num_partitions, 3u);
+  EXPECT_EQ(mono.pipeline.num_partitions, 1u);
   ExpectEquivalent(part, mono);
   ExpectAnswersGroundTruth(&fx, part);
   ExpectAnswersGroundTruth(&fx, mono);
@@ -273,7 +315,7 @@ TEST_P(PipelineParallelEquivalenceTest, PooledPartitionsMatchMonolithic) {
   PipelineFixtureData fx;
   Recommendation pooled = RunPipeline(&fx, GetParam(), 8, true);
   Recommendation mono = RunPipeline(&fx, GetParam(), 1, false);
-  EXPECT_EQ(pooled.num_partitions, 3u);
+  EXPECT_EQ(pooled.pipeline.num_partitions, 3u);
   ExpectEquivalent(pooled, mono);
   ExpectAnswersGroundTruth(&fx, pooled);
 }
@@ -322,7 +364,7 @@ TEST(PipelineParallelTest, GroupedGeneratorWorkloadDecomposes) {
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   // Per-group constant pools are disjoint, so the commonality graph yields
   // at least one partition per group.
-  EXPECT_GE(rec->num_partitions, 4u);
+  EXPECT_GE(rec->pipeline.num_partitions, 4u);
   EXPECT_EQ(rec->rewritings.size(), queries.size());
 }
 
@@ -354,8 +396,8 @@ TEST(PipelineTest, MergeFoldsCrossPartitionDuplicateViews) {
       *ingest, plan, std::move(*searches), &cost_model, options);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
 
-  EXPECT_EQ(rec->num_partitions, 2u);
-  EXPECT_GE(rec->merged_duplicate_views, 1u);
+  EXPECT_EQ(rec->pipeline.num_partitions, 2u);
+  EXPECT_GE(rec->pipeline.merged_duplicate_views, 1u);
   // Both rewritings answer from the single materialized copy.
   MaterializedViews views = Materialize(*rec);
   for (size_t i = 0; i < queries.size(); ++i) {

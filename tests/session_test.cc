@@ -1,0 +1,480 @@
+// Tests for the tuning-session API (src/vsel/session/): incremental
+// Update == from-scratch Recommend (view-set signature + cost) across
+// add/remove sequences for every Sec. 5 strategy, dirty-partition-only
+// re-search (asserted through the PipelineReport reuse counters),
+// cooperative cancellation of every engine — serial and with 8 worker
+// threads (the "Parallel"-named suites run under the TSan CI job) — and
+// the async handle's Poll / Current / Cancel / Wait lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <tuple>
+
+#include "engine/evaluator.h"
+#include "test_util.h"
+#include "vsel/pipeline/pipeline.h"
+#include "vsel/selector.h"
+#include "vsel/session/session.h"
+#include "workload/generator.h"
+
+namespace rdfviews::vsel {
+namespace {
+
+using rdfviews::testing::MustParse;
+
+/// Three constant-disjoint base families (a, b, c) plus a later delta: one
+/// query extending family a (dirtying its partition) and one opening a new
+/// family d. Small enough for every strategy to exhaust its space, so the
+/// incremental-vs-scratch comparison is exact.
+struct SessionFixture {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> initial;
+  std::vector<cq::ConjunctiveQuery> delta;
+  rdf::TripleStore store;
+
+  SessionFixture() {
+    initial = {
+        MustParse("q1(X, Z) :- t(X, a:p1, Y), t(Y, a:p2, Z)", &dict),
+        MustParse("q2(X) :- t(X, a:p1, a:c1)", &dict),
+        MustParse("q3(X, Y) :- t(X, b:p1, Y), t(Y, b:p2, b:c1)", &dict),
+        MustParse("q4(X) :- t(X, c:p1, c:c1)", &dict),
+    };
+    delta = {
+        MustParse("q5(X) :- t(X, a:p2, a:c2)", &dict),
+        MustParse("q6(X, Y) :- t(X, d:p1, Y), t(X, d:p2, d:c1)", &dict),
+    };
+    std::vector<cq::ConjunctiveQuery> all = initial;
+    all.insert(all.end(), delta.begin(), delta.end());
+    store = workload::GenerateStoreForWorkload(all, &dict, 3000, 42);
+  }
+
+  /// Session options: calibration off so that incremental and from-scratch
+  /// runs cost states under bit-identical weights (the session freezes cm
+  /// after its first update; a scratch run over a different workload would
+  /// calibrate differently).
+  SelectorOptions Options(StrategyKind strategy,
+                          size_t num_threads = 1) const {
+    SelectorOptions options;
+    options.strategy = strategy;
+    options.limits.num_threads = num_threads;
+    options.auto_calibrate_cm = false;
+    return options;
+  }
+
+  Recommendation Scratch(const std::vector<cq::ConjunctiveQuery>& workload,
+                         const SelectorOptions& options) const {
+    ViewSelector selector(&store, &dict);
+    Result<Recommendation> rec = selector.Recommend(workload, options);
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    return std::move(*rec);
+  }
+};
+
+void ExpectSameRecommendation(const Recommendation& incremental,
+                              const Recommendation& scratch) {
+  EXPECT_EQ(incremental.best_state.Signature(),
+            scratch.best_state.Signature());
+  EXPECT_NEAR(incremental.stats.best_cost, scratch.stats.best_cost,
+              1e-9 * (1.0 + std::abs(scratch.stats.best_cost)));
+  EXPECT_NEAR(incremental.stats.initial_cost, scratch.stats.initial_cost,
+              1e-9 * (1.0 + std::abs(scratch.stats.initial_cost)));
+  EXPECT_TRUE(incremental.stats.completed);
+  EXPECT_TRUE(scratch.stats.completed);
+}
+
+class SessionEquivalenceTest : public ::testing::TestWithParam<StrategyKind> {
+};
+
+TEST_P(SessionEquivalenceTest, FirstUpdateMatchesOneShotRecommend) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(GetParam());
+  TuningSession session(&fx.store, &fx.dict, options);
+  Result<Recommendation> rec = session.Update(fx.initial);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectSameRecommendation(*rec, fx.Scratch(fx.initial, options));
+  // A first update has no cache to draw from: every partition searched.
+  EXPECT_EQ(rec->pipeline.partitions_reused, 0u);
+  EXPECT_EQ(rec->pipeline.partitions_searched,
+            rec->pipeline.num_partitions);
+}
+
+TEST_P(SessionEquivalenceTest, IncrementalAddMatchesScratch) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(GetParam());
+  TuningSession session(&fx.store, &fx.dict, options);
+  ASSERT_TRUE(session.Update(fx.initial).ok());
+
+  Result<Recommendation> rec = session.Update(fx.delta);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Families: a = {q1, q2, q5} (dirtied by q5), b = {q3} (clean),
+  // c = {q4} (clean), d = {q6} (new). Only the dirty partitions searched.
+  EXPECT_EQ(rec->pipeline.num_partitions, 4u);
+  EXPECT_EQ(rec->pipeline.partitions_reused, 2u);
+  EXPECT_EQ(rec->pipeline.partitions_searched, 2u);
+
+  std::vector<cq::ConjunctiveQuery> final_workload = fx.initial;
+  final_workload.insert(final_workload.end(), fx.delta.begin(),
+                        fx.delta.end());
+  ExpectSameRecommendation(*rec, fx.Scratch(final_workload, options));
+  EXPECT_EQ(rec->rewritings.size(), final_workload.size());
+}
+
+TEST_P(SessionEquivalenceTest, RemoveThenReaddServesFromCache) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(GetParam());
+  TuningSession session(&fx.store, &fx.dict, options);
+  Result<Recommendation> rec0 = session.Update(fx.initial);
+  ASSERT_TRUE(rec0.ok()) << rec0.status().ToString();
+
+  // Dropping family b leaves a and c untouched: zero searches.
+  Result<Recommendation> dropped = session.Update({}, {"q3"});
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(session.workload().size(), 3u);
+  EXPECT_EQ(dropped->pipeline.partitions_searched, 0u);
+  EXPECT_EQ(dropped->pipeline.partitions_reused, 2u);
+  std::vector<cq::ConjunctiveQuery> without = {fx.initial[0], fx.initial[1],
+                                               fx.initial[3]};
+  ExpectSameRecommendation(*dropped, fx.Scratch(without, options));
+
+  // Re-adding q3 restores a cached key: still zero searches, and the
+  // recommendation is the original one again.
+  Result<Recommendation> readded = session.Update({fx.initial[2]});
+  ASSERT_TRUE(readded.ok()) << readded.status().ToString();
+  EXPECT_EQ(readded->pipeline.partitions_searched, 0u);
+  EXPECT_EQ(readded->pipeline.partitions_reused, 3u);
+  EXPECT_EQ(readded->best_state.Signature(), rec0->best_state.Signature());
+  EXPECT_NEAR(readded->stats.best_cost, rec0->stats.best_cost,
+              1e-9 * (1.0 + std::abs(rec0->stats.best_cost)));
+}
+
+TEST_P(SessionEquivalenceTest, RecommendationAnswersGroundTruth) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(GetParam());
+  TuningSession session(&fx.store, &fx.dict, options);
+  ASSERT_TRUE(session.Update(fx.initial).ok());
+  Result<Recommendation> rec = session.Update(fx.delta);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+
+  std::vector<cq::ConjunctiveQuery> final_workload = fx.initial;
+  final_workload.insert(final_workload.end(), fx.delta.begin(),
+                        fx.delta.end());
+  MaterializedViews views = Materialize(*rec);
+  for (size_t i = 0; i < final_workload.size(); ++i) {
+    engine::Relation got = AnswerQuery(*rec, views, i);
+    engine::Relation expected =
+        engine::EvaluateQuery(final_workload[i], fx.store);
+    EXPECT_TRUE(expected.SameRowsAs(got))
+        << "query " << i << ": " << final_workload[i].ToString(&fx.dict);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SessionEquivalenceTest,
+                         ::testing::Values(StrategyKind::kExNaive,
+                                           StrategyKind::kExStr,
+                                           StrategyKind::kDfs,
+                                           StrategyKind::kGstr),
+                         [](const auto& info) {
+                           return StrategyName(info.param);
+                         });
+
+TEST(SessionTest, RemoveUnknownNameFails) {
+  SessionFixture fx;
+  TuningSession session(&fx.store, &fx.dict,
+                        fx.Options(StrategyKind::kGstr));
+  ASSERT_TRUE(session.Update(fx.initial).ok());
+  Result<Recommendation> rec = session.Update({}, {"no_such_query"});
+  EXPECT_FALSE(rec.ok());
+  // The failed update must not have advanced the workload.
+  EXPECT_EQ(session.workload().size(), fx.initial.size());
+}
+
+TEST(SessionTest, InvalidateCachedResultsForcesResearch) {
+  SessionFixture fx;
+  TuningSession session(&fx.store, &fx.dict,
+                        fx.Options(StrategyKind::kDfs));
+  ASSERT_TRUE(session.Update(fx.initial).ok());
+  EXPECT_GT(session.cached_partitions(), 0u);
+  session.InvalidateCachedResults();
+  EXPECT_EQ(session.cached_partitions(), 0u);
+  Result<Recommendation> rec = session.Recommend();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->pipeline.partitions_reused, 0u);
+  EXPECT_EQ(rec->pipeline.partitions_searched,
+            rec->pipeline.num_partitions);
+}
+
+// ---- Cancellation ----------------------------------------------------------
+
+/// A workload whose exhaustive space is far too large to finish in test
+/// time: cancellation must be the thing that stops the search.
+std::vector<cq::ConjunctiveQuery> HugeSpaceWorkload(rdf::Dictionary* dict) {
+  return {
+      MustParse("q1(X1, X7) :- t(X1, a:p1, X2), t(X2, a:p2, X3), "
+                "t(X3, a:p3, X4), t(X4, a:p4, X5), t(X5, a:p5, X6), "
+                "t(X6, a:p6, X7), t(X7, a:p7, a:c1)",
+                dict),
+      MustParse("q2(Y1, Y6) :- t(Y1, a:p1, Y2), t(Y2, a:p2, Y3), "
+                "t(Y3, a:p3, Y4), t(Y4, a:p4, Y5), t(Y5, a:p5, Y6), "
+                "t(Y6, a:p6, a:c2)",
+                dict),
+  };
+}
+
+/// Every strategy, serial: a pre-stopped token terminates the run within a
+/// bounded number of expansions (nothing beyond Init's AVF closure), with a
+/// valid current-best recommendation (S0 at worst).
+class SessionCancelTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(SessionCancelTest, PreStoppedTokenBoundsExpansions) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+
+  StopSource stop;
+  stop.RequestStop();
+  SelectorOptions options;
+  options.strategy = GetParam();
+  options.limits.stop = stop.token();
+
+  ViewSelector selector(&store, &dict);
+  Result<Recommendation> rec = selector.Recommend(workload, options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->stats.cancelled);
+  EXPECT_FALSE(rec->stats.completed);
+  // Bounded: the engines observe the token before any real exploration.
+  EXPECT_LE(rec->stats.created, 100u);
+  // The current best is a valid recommendation: one rewriting per query
+  // over materializable views.
+  EXPECT_EQ(rec->rewritings.size(), workload.size());
+  EXPECT_FALSE(rec->view_definitions.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SessionCancelTest,
+                         ::testing::Values(StrategyKind::kExNaive,
+                                           StrategyKind::kExStr,
+                                           StrategyKind::kDfs,
+                                           StrategyKind::kGstr,
+                                           StrategyKind::kPruning21,
+                                           StrategyKind::kGreedy21,
+                                           StrategyKind::kHeuristic21),
+                         [](const auto& info) {
+                           return StrategyName(info.param);
+                         });
+
+/// Mid-flight cancellation through the async handle, serial and with 8
+/// worker threads. The suite name contains "Parallel" so the TSan CI job
+/// races the cancelling thread against the search workers.
+class SessionParallelCancelTest
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, size_t>> {};
+
+TEST_P(SessionParallelCancelTest, CancelMidFlightReturnsCurrentBest) {
+  const auto [strategy, num_threads] = GetParam();
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+
+  SelectorOptions options;
+  options.strategy = strategy;
+  options.limits.num_threads = num_threads;
+  std::atomic<uint64_t> events{0};
+  options.limits.on_progress = [&events](const ProgressEvent&) {
+    events.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  TuningSession session(&store, &dict, options);
+  std::shared_ptr<TuningHandle> handle = session.UpdateAsync(workload);
+  // Let the search get under way (first improvement, or 2 s), then cancel.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (events.load(std::memory_order_relaxed) == 0 &&
+         std::chrono::steady_clock::now() < deadline && !handle->Poll()) {
+    std::this_thread::yield();
+  }
+  handle->Cancel();
+  Result<Recommendation> rec = handle->Wait();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(handle->Poll());
+  EXPECT_TRUE(handle->Current().done);
+  // The space is astronomically large: only the cancel can have ended the
+  // run, and the result is the valid best-so-far.
+  EXPECT_TRUE(rec->stats.cancelled);
+  EXPECT_FALSE(rec->stats.completed);
+  EXPECT_EQ(rec->rewritings.size(), workload.size());
+  EXPECT_GT(rec->stats.best_cost, 0.0);
+  EXPECT_LE(rec->stats.best_cost, rec->stats.initial_cost);
+  // A cancelled partition is never cached: the next update re-searches.
+  EXPECT_EQ(session.cached_partitions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndThreads, SessionParallelCancelTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kExNaive,
+                                         StrategyKind::kExStr,
+                                         StrategyKind::kDfs,
+                                         StrategyKind::kGstr),
+                       ::testing::Values(size_t{1}, size_t{8})),
+    [](const auto& info) {
+      return std::string(StrategyName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// The [21] competitors run serial regardless of num_threads; cancel them
+/// mid-combination through the same async path.
+TEST(SessionParallelCompetitorCancelTest, CancelStopsCompetitorSearch) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+
+  SelectorOptions options;
+  options.strategy = StrategyKind::kPruning21;
+  TuningSession session(&store, &dict, options);
+  std::shared_ptr<TuningHandle> handle = session.UpdateAsync(workload);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  handle->Cancel();
+  Result<Recommendation> rec = handle->Wait();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->stats.cancelled);
+  EXPECT_EQ(rec->rewritings.size(), workload.size());
+}
+
+TEST(SessionTest, CancelledPartitionsStayDirtyAndRecover) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(StrategyKind::kDfs);
+  StopSource stop;
+  stop.RequestStop();
+  options.limits.stop = stop.token();
+
+  TuningSession session(&fx.store, &fx.dict, options);
+  Result<Recommendation> cancelled = session.Update(fx.initial);
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_TRUE(cancelled->stats.cancelled);
+  // The workload advanced, but nothing was cached.
+  EXPECT_EQ(session.workload().size(), fx.initial.size());
+  EXPECT_EQ(session.cached_partitions(), 0u);
+
+  // A later Recommend (same session, token still stopped in options_) must
+  // stay cancelled; a fresh session without the token completes and
+  // matches scratch — the cancelled update did not poison any state.
+  TuningSession fresh(&fx.store, &fx.dict,
+                      fx.Options(StrategyKind::kDfs));
+  Result<Recommendation> full = fresh.Update(fx.initial);
+  ASSERT_TRUE(full.ok());
+  ExpectSameRecommendation(
+      *full, fx.Scratch(fx.initial, fx.Options(StrategyKind::kDfs)));
+}
+
+// ---- Async handle lifecycle ------------------------------------------------
+
+TEST(SessionParallelAsyncTest, AsyncMatchesSyncAndReportsProgress) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(StrategyKind::kDfs, 8);
+  TuningSession session(&fx.store, &fx.dict, options);
+  std::shared_ptr<TuningHandle> handle = session.UpdateAsync(fx.initial);
+  Result<Recommendation> rec = handle->Wait();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(handle->Poll());
+
+  TuningProgress progress = handle->Current();
+  EXPECT_TRUE(progress.done);
+  EXPECT_FALSE(progress.cancel_requested);
+  EXPECT_EQ(progress.partitions_total, rec->pipeline.num_partitions);
+  EXPECT_EQ(progress.partitions_done, rec->pipeline.num_partitions);
+
+  ExpectSameRecommendation(*rec, fx.Scratch(fx.initial, options));
+  // Wait() is idempotent.
+  Result<Recommendation> again = handle->Wait();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->best_state.Signature(), rec->best_state.Signature());
+}
+
+TEST(SessionParallelAsyncTest, CallerTokenComposesWithHandleToken) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+  StopSource caller_stop;
+  SelectorOptions options;
+  options.strategy = StrategyKind::kExNaive;
+  options.limits.stop = caller_stop.token();
+
+  TuningSession session(&store, &dict, options);
+  std::shared_ptr<TuningHandle> handle = session.UpdateAsync(workload);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The caller's own token (from the session options) must stop an async
+  // update too — the handle's token composes with it, not replaces it.
+  caller_stop.RequestStop();
+  Result<Recommendation> rec = handle->Wait();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->stats.cancelled);
+  EXPECT_EQ(rec->rewritings.size(), workload.size());
+}
+
+TEST(SessionParallelAsyncTest, DroppingHandleMidRunCancelsAndJoins) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+  SelectorOptions options;
+  options.strategy = StrategyKind::kExNaive;
+  options.limits.num_threads = 8;
+  // Budget only so the follow-up Recommend below terminates; the drop
+  // happens well before it expires.
+  options.limits.time_budget_sec = 0.5;
+
+  TuningSession session(&store, &dict, options);
+  {
+    std::shared_ptr<TuningHandle> handle = session.UpdateAsync(workload);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Dropping the handle mid-run must cancel the update and join the
+    // worker from this thread — no leak, no self-join, no crash.
+  }
+  // The session is usable again immediately after the drop.
+  Result<Recommendation> rec = session.Recommend();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->rewritings.size(), workload.size());
+}
+
+TEST(SessionParallelAsyncTest, SecondUpdateWhileInFlightIsRejected) {
+  rdf::Dictionary dict;
+  std::vector<cq::ConjunctiveQuery> workload = HugeSpaceWorkload(&dict);
+  rdf::TripleStore store =
+      workload::GenerateStoreForWorkload(workload, &dict, 2000, 7);
+  SelectorOptions options;
+  options.strategy = StrategyKind::kExNaive;
+
+  TuningSession session(&store, &dict, options);
+  std::shared_ptr<TuningHandle> inflight = session.UpdateAsync(workload);
+  // The huge space keeps the first update busy while we probe.
+  Result<Recommendation> rejected = session.Update({});
+  EXPECT_FALSE(rejected.ok());
+  std::shared_ptr<TuningHandle> rejected_async = session.UpdateAsync({});
+  EXPECT_TRUE(rejected_async->Poll());
+  EXPECT_FALSE(rejected_async->Wait().ok());
+  inflight->Cancel();
+  EXPECT_TRUE(inflight->Wait().ok());
+}
+
+// ---- Budget re-granting observability --------------------------------------
+
+TEST(SessionTest, EarlyFinishersRegrantTimeBudget) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(StrategyKind::kGstr);
+  // A generous budget the tiny partitions exhaust their spaces well
+  // within: the early finishers' leftover flows to the later partitions.
+  options.limits.time_budget_sec = 5.0;
+  TuningSession session(&fx.store, &fx.dict, options);
+  Result<Recommendation> rec = session.Update(fx.initial);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_GT(rec->pipeline.num_partitions, 1u);
+  EXPECT_TRUE(rec->stats.completed);
+  EXPECT_GT(rec->pipeline.budget_regranted_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace rdfviews::vsel
