@@ -3,17 +3,22 @@
 // Demonstrates the paper's motivating deployment where the views are stored
 // *at the client* and the application runs with no connection to the
 // database server: views are selected, materialized, written out as
-// N-Triples-style files, re-loaded into a fresh process-like context, and
-// the workload is answered from the re-loaded views alone.
+// N-Triples-style files — and the *recommendation itself* (view
+// definitions, columns, rewritings) travels as one identity-tagged
+// serialized blob (vsel::serialize::SerializeRecommendation), so the
+// client re-loads everything from files and answers the workload without
+// the store or the server-side Recommendation object.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "cq/parser.h"
 #include "engine/evaluator.h"
 #include "engine/executor.h"
 #include "rdf/ntriples.h"
 #include "vsel/selector.h"
+#include "vsel/serialize/serialize.h"
 #include "workload/barton.h"
 #include "workload/generator.h"
 
@@ -60,10 +65,32 @@ int main() {
       out << "\n";
     }
   }
-  std::printf("exported %zu views (%zu bytes) to %s\n",
+  // The recommendation blob rides along with the extents: versioned,
+  // checksummed, tagged with the (store, options) identity.
+  vsel::serialize::CacheIdentity identity =
+      vsel::serialize::ComputeCacheIdentity(store, options);
+  {
+    std::ofstream out(dir / "recommendation.rvrc", std::ios::binary);
+    out << vsel::serialize::SerializeRecommendation(*rec, identity);
+  }
+  std::printf("exported %zu views (%zu bytes) + recommendation blob to %s\n",
               views.relations.size(), views.TotalBytes(), dir.c_str());
 
   // --- Client side: reload the files and answer without the store. ---------
+  std::string blob;
+  {
+    std::ifstream in(dir / "recommendation.rvrc", std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    blob = ss.str();
+  }
+  Result<vsel::Recommendation> shipped =
+      vsel::serialize::DeserializeRecommendation(blob, identity);
+  if (!shipped.ok()) {
+    std::printf("recommendation reload failed: %s\n",
+                shipped.status().ToString().c_str());
+    return 1;
+  }
   vsel::MaterializedViews reloaded;
   reloaded.view_ids = views.view_ids;
   for (size_t i = 0; i < views.view_ids.size(); ++i) {
@@ -91,7 +118,7 @@ int main() {
 
   bool all_match = true;
   for (size_t i = 0; i < queries.size(); ++i) {
-    engine::Relation offline = vsel::AnswerQuery(*rec, reloaded, i);
+    engine::Relation offline = vsel::AnswerQuery(*shipped, reloaded, i);
     engine::Relation online = vsel::AnswerQuery(*rec, views, i);
     bool match = offline.SameRowsAs(online);
     all_match = all_match && match;

@@ -252,9 +252,14 @@ std::string Expr::ToString(const std::function<std::string(uint32_t)>& name,
       break;
     }
     case Kind::kRename: {
+      // Sorted, not hash order: equal rename maps must render identically
+      // (tests and serialization round-trips compare the rendering).
+      std::vector<std::pair<cq::VarId, cq::VarId>> entries(rename_.begin(),
+                                                           rename_.end());
+      std::sort(entries.begin(), entries.end());
       out << "ρ[";
       bool first = true;
-      for (const auto& [from, to] : rename_) {
+      for (const auto& [from, to] : entries) {
         if (!first) out << ",";
         first = false;
         out << var(from) << "→" << var(to);

@@ -6,8 +6,12 @@
 //   3. Parse the workload    -> cq::ParseDatalog / cq::ParseSparql
 //   4. Recommend views       -> vsel::ViewSelector::Recommend (one-shot)
 //                               or vsel::TuningSession (evolving workloads:
-//                               incremental Update, async + cancellation)
+//                               incremental Update, async + cancellation,
+//                               persistent partition caches via
+//                               vsel::serialize::DirCacheBackend)
 //   5. Materialize & answer  -> vsel::Materialize, vsel::AnswerQuery
+//      (or ship the recommendation itself:
+//       vsel::serialize::SerializeRecommendation)
 #ifndef RDFVIEWS_RDFVIEWS_H_
 #define RDFVIEWS_RDFVIEWS_H_
 
@@ -30,6 +34,8 @@
 #include "vsel/cost_model.h"
 #include "vsel/search.h"
 #include "vsel/selector.h"
+#include "vsel/serialize/partition_cache.h"
+#include "vsel/serialize/serialize.h"
 #include "vsel/session/session.h"
 #include "vsel/state.h"
 #include "vsel/transitions.h"

@@ -116,6 +116,35 @@ struct PartitionOptions {
   bool parallel_partitions = true;
 };
 
+/// Storage knobs of a TuningSession's per-partition result cache (see
+/// vsel/serialize/partition_cache.h). The cache maps canonical workload
+/// keys to completed search outcomes; these options pick where those pairs
+/// live and how many an in-memory backend retains.
+struct SessionCacheOptions {
+  /// When non-empty, partition results persist as one identity-tagged file
+  /// per canonical key under this directory (DirCacheBackend): they survive
+  /// process restarts, and concurrent sessions pointed at the same
+  /// directory reuse each other's completed searches. Empty (the default)
+  /// keeps the in-process LRU backend. A caller-supplied backend passed to
+  /// the TuningSession constructor overrides this knob entirely.
+  ///
+  /// Pair this with `auto_calibrate_cm = false` (fixed cost weights): a
+  /// calibrating session deliberately ignores cached entries on its
+  /// *first* update (cm calibration must see every partition's S0), so
+  /// with calibration on, one-shot `Recommend` calls write the cache but
+  /// never read it — only multi-update sessions warm-start, from their
+  /// second update on.
+  std::string cache_dir;
+  /// In-memory backends are trimmed after every update to
+  /// max(lru_floor, lru_per_partition x current partitions) entries,
+  /// evicting least-recently-used keys: recently retired sub-workloads stay
+  /// instantly re-addable, but a drifting log can not grow the session
+  /// without bound. Persistent backends ignore the trim (the filesystem
+  /// owns capacity there).
+  size_t lru_floor = 64;
+  size_t lru_per_partition = 4;
+};
+
 /// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost
 /// components").
 struct CostWeights {

@@ -225,6 +225,18 @@ class TimeBudgetPool {
   double spare_sec_ = 0;
 };
 
+/// One pre-seeded (cache-served) partition outcome handed to the search
+/// stage. `result == nullptr` means the partition is dirty and must be
+/// searched. `rehydrated` marks outcomes that came from a persistent
+/// backend (deserialized from bytes and re-validated by the session) rather
+/// than from process memory; the search stage only reports the distinction
+/// (PipelineReport::partitions_rehydrated) — both kinds are trusted equally
+/// by the time they reach it.
+struct PreseededOutcome {
+  const PartitionSearchResult* result = nullptr;
+  bool rehydrated = false;
+};
+
 /// Runs stage 3: builds each partition's initial state, collects the
 /// paper's workload statistics, calibrates cm once over the whole S0 (sum
 /// of the per-partition breakdowns), then searches every partition under
@@ -235,17 +247,18 @@ class TimeBudgetPool {
 /// partition keeps num_threads for the parallel frontier engine.
 ///
 /// `preseeded` (optional) is the session's incremental path: when
-/// preseeded[p] is non-null, partition p's cached outcome is copied into
-/// the result instead of being searched — only the dirty partitions run,
-/// under budgets apportioned over the dirty partitions alone (and cm
-/// calibration, which must see every partition's S0, is the caller's
-/// responsibility: sessions calibrate on their first update and freeze).
-/// `report` (optional) receives the reused/searched partition counts and
-/// the total re-granted seconds.
+/// preseeded[p].result is non-null, partition p's cached outcome — from the
+/// session's in-memory cache or rehydrated from a persistent backend — is
+/// copied into the result instead of being searched; only the dirty
+/// partitions run, under budgets apportioned over the dirty partitions
+/// alone (and cm calibration, which must see every partition's S0, is the
+/// caller's responsibility: sessions calibrate on their first update and
+/// freeze). `report` (optional) receives the reused/rehydrated/searched
+/// partition counts and the total re-granted seconds.
 Result<std::vector<PartitionSearchResult>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     CostModel* cost_model, const SelectorOptions& options,
-    const std::vector<const PartitionSearchResult*>* preseeded = nullptr,
+    const std::vector<PreseededOutcome>* preseeded = nullptr,
     PipelineReport* report = nullptr);
 
 // ---- Stage 4: merge --------------------------------------------------------

@@ -139,14 +139,14 @@ std::vector<SearchLimits> ApportionSearchLimits(
 Result<std::vector<PartitionSearchResult>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     CostModel* cost_model, const SelectorOptions& options,
-    const std::vector<const PartitionSearchResult*>* preseeded,
+    const std::vector<PreseededOutcome>* preseeded,
     PipelineReport* report) {
   const size_t num_partitions = plan.groups.size();
   RDFVIEWS_CHECK(num_partitions > 0);
   RDFVIEWS_CHECK(preseeded == nullptr ||
                  preseeded->size() == num_partitions);
   auto seeded = [&](size_t p) {
-    return preseeded != nullptr && (*preseeded)[p] != nullptr;
+    return preseeded != nullptr && (*preseeded)[p].result != nullptr;
   };
 
   // Initial states of the partitions that will actually search, in
@@ -167,6 +167,12 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
   if (report != nullptr) {
     report->partitions_searched = dirty.size();
     report->partitions_reused = num_partitions - dirty.size();
+    report->partitions_rehydrated = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      if (seeded(p) && (*preseeded)[p].rehydrated) {
+        ++report->partitions_rehydrated;
+      }
+    }
   }
   {
     std::vector<State> warm;
@@ -196,7 +202,7 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
   std::vector<PartitionSearchResult> out(num_partitions);
   for (size_t p = 0; p < num_partitions; ++p) {
     if (!seeded(p)) continue;
-    out[p] = *(*preseeded)[p];  // cheap: views/rewritings are shared COW
+    out[p] = *(*preseeded)[p].result;  // cheap: views/rewritings shared COW
     if (options.limits.on_progress) {
       ProgressEvent ev;
       ev.kind = ProgressEvent::Kind::kPartitionDone;

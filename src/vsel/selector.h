@@ -41,6 +41,8 @@ struct SelectorOptions {
   EntailmentMode entailment = EntailmentMode::kNone;
   /// Workload partitioning (the pipeline's stage 2); see PartitionOptions.
   PartitionOptions partition;
+  /// Session partition-result cache storage; see SessionCacheOptions.
+  SessionCacheOptions cache;
 };
 
 /// Per-recommendation observability of the staged pipeline, including the
@@ -61,6 +63,11 @@ struct PipelineReport {
   /// reused == 0 and searched == num_partitions.
   size_t partitions_reused = 0;
   size_t partitions_searched = 0;
+  /// Of the reused partitions, how many came from a persistent backend —
+  /// deserialized from bytes, re-interned through the session's live
+  /// ViewInterner and re-costed (cost asserted equal to the persisted one)
+  /// before use. 0 when every reuse was served from process memory.
+  size_t partitions_rehydrated = 0;
   /// Seconds of time budget early-finishing partitions returned to the
   /// shared pool for still-running ones (stage 3 re-granting).
   double budget_regranted_sec = 0;

@@ -1,0 +1,232 @@
+#include "vsel/serialize/partition_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rdfviews::vsel::serialize {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kEntrySuffix[] = ".rvpo";
+/// In-flight writes; a crash between write and rename orphans one, so
+/// Clear() sweeps this extension too (Get/Size never look at them).
+constexpr char kTempSuffix[] = ".tmp";
+
+/// Reads a whole file into a string; nullopt on any failure (missing file,
+/// permission error, read error mid-way).
+std::optional<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return bytes;
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) std::remove(path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+// ---- InMemoryCacheBackend --------------------------------------------------
+
+std::optional<PartitionCacheBackend::Fetched> InMemoryCacheBackend::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  it->second.last_used = ++use_counter_;
+  ++counters_.hits;
+  // Cheap copy: the result's views / rewritings are shared COW pointers.
+  return Fetched{it->second.result, /*needs_rehydration=*/false};
+}
+
+void InMemoryCacheBackend::Put(const std::string& key,
+                               const pipeline::PartitionSearchResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = Entry{result, ++use_counter_};
+  ++counters_.stored;
+}
+
+void InMemoryCacheBackend::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t InMemoryCacheBackend::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void InMemoryCacheBackend::Trim(size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() <= max_entries) return;
+  std::vector<std::pair<uint64_t, const std::string*>> by_age;
+  by_age.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    by_age.emplace_back(entry.last_used, &key);
+  }
+  std::sort(by_age.begin(), by_age.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i + max_entries < by_age.size(); ++i) {
+    entries_.erase(*by_age[i].second);
+  }
+}
+
+void InMemoryCacheBackend::NoteRehydrationRejected() {
+  // Reachable when sessions share one backend object: a sibling session's
+  // entry can fail the consuming session's cost check (calibration skew).
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rehydration_rejected;
+}
+
+PartitionCacheBackend::Counters InMemoryCacheBackend::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+// ---- DirCacheBackend -------------------------------------------------------
+
+DirCacheBackend::DirCacheBackend(std::string root,
+                                 const CacheIdentity& identity)
+    : root_(std::move(root)), identity_(identity) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    RDFVIEWS_LOG(kWarning) << "partition cache root " << root_
+                           << " not creatable: " << ec.message()
+                           << " (every lookup will miss)";
+  }
+}
+
+std::string DirCacheBackend::PathForKey(const std::string& key) const {
+  // The identity participates in the name, not just in the file header:
+  // differently-configured jobs sharing one root then *coexist* (each
+  // warms its own entries) instead of identity-rejecting and overwriting
+  // each other's files on every run.
+  const std::string salted = IdentityKeyBytes(identity_) + key;
+  Hash128 h = HashBytes128(salted.data(), salted.size());
+  char name[33];
+  std::snprintf(name, sizeof(name), "%016llx%016llx",
+                static_cast<unsigned long long>(h.hi),
+                static_cast<unsigned long long>(h.lo));
+  return root_ + "/" + name + kEntrySuffix;
+}
+
+std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
+    const std::string& key) {
+  std::optional<std::string> bytes = ReadFileBytes(PathForKey(key));
+  if (!bytes.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  Result<pipeline::PartitionSearchResult> outcome =
+      DeserializePartitionOutcome(*bytes, key, identity_);
+  if (!outcome.ok()) {
+    // Corrupt / foreign-identity / hash-collision entries are misses, not
+    // errors: the partition simply stays dirty and gets re-searched (and
+    // its fresh result overwrites this file).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.misses;
+    ++counters_.rejected;
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.hits;
+  }
+  return Fetched{std::move(*outcome), /*needs_rehydration=*/true};
+}
+
+void DirCacheBackend::Put(const std::string& key,
+                          const pipeline::PartitionSearchResult& result) {
+  const std::string path = PathForKey(key);
+  // Private temp name (pid + process-wide counter — per-backend counters
+  // would collide across two backend instances in one process writing the
+  // same key), committed with an atomic rename: concurrent sessions on a
+  // shared directory never observe a torn file, and racing writers of one
+  // key both wrote the same completed search, so last-rename-wins is
+  // correct. The ".tmp" extension keeps crash-orphaned writes out of
+  // Get/Size and sweepable by Clear.
+  static std::atomic<uint64_t> process_temp_counter{0};
+  const std::string tmp =
+      path + "." + std::to_string(::getpid()) + "." +
+      std::to_string(
+          process_temp_counter.fetch_add(1, std::memory_order_relaxed)) +
+      kTempSuffix;
+  std::string bytes = SerializePartitionOutcome(key, result, identity_);
+  bool ok = WriteFileBytes(tmp, bytes);
+  if (ok) {
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::remove(tmp.c_str());
+      ok = false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++counters_.stored;
+  } else {
+    ++counters_.store_failures;
+  }
+}
+
+void DirCacheBackend::Clear() {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {
+    const fs::path ext = entry.path().extension();
+    if (ext == kEntrySuffix || ext == kTempSuffix) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+size_t DirCacheBackend::Size() const {
+  size_t n = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.path().extension() == kEntrySuffix) ++n;
+  }
+  return n;
+}
+
+void DirCacheBackend::NoteRehydrationRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rehydration_rejected;
+}
+
+PartitionCacheBackend::Counters DirCacheBackend::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace rdfviews::vsel::serialize

@@ -1,0 +1,161 @@
+// Pluggable storage for a TuningSession's per-partition search results.
+//
+// The session's invalidation rule (session.h) keys completed partition
+// outcomes by canonical workload keys — renaming-insensitive, minimized,
+// self-contained. This file extracts the *storage* of those (key, outcome)
+// pairs from the session into a backend interface with two implementations:
+//
+//   - InMemoryCacheBackend: the session's historical behavior — an
+//     LRU-stamped map confined to one process. Still the default.
+//   - DirCacheBackend: one file per canonical key under a cache root, in
+//     the versioned, identity-tagged, checksummed binary format of
+//     serialize.h. Outcomes survive process restarts, and any number of
+//     concurrent sessions (or tuning nodes mounting a shared directory)
+//     may point at the same root: writes go to a private temp file and
+//     commit with an atomic rename, so readers observe either the old or
+//     the new complete file, never a torn one. All failure handling is
+//     best-effort-miss: a missing, corrupt, foreign-identity or
+//     mid-replacement file is a cache miss (counted, never an error), and
+//     two racing writers of the same key leave whichever committed last —
+//     both wrote the same completed search result, so either is correct.
+//
+// Entries served by a persistent backend crossed a process boundary:
+// `Fetched::needs_rehydration` tells the session to re-intern the state's
+// views through its live CostModel and re-cost it, accepting the entry only
+// if the recomputed cost equals the persisted one (the last line of defense
+// against statistics or weight drift the identity tag did not encode).
+#ifndef RDFVIEWS_VSEL_SERIALIZE_PARTITION_CACHE_H_
+#define RDFVIEWS_VSEL_SERIALIZE_PARTITION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "vsel/pipeline/pipeline.h"
+#include "vsel/serialize/serialize.h"
+
+namespace rdfviews::vsel::serialize {
+
+/// Storage interface for (canonical workload key -> completed partition
+/// outcome) pairs. Implementations must be safe to call from multiple
+/// threads (sessions sharing one backend object) and must treat every
+/// storage failure as a miss — a cache can always fall back to searching.
+class PartitionCacheBackend {
+ public:
+  struct Fetched {
+    pipeline::PartitionSearchResult result;
+    /// True when the entry crossed a process boundary (was deserialized):
+    /// the session must rehydrate it (re-intern + re-cost) before trusting
+    /// it. In-memory entries are live objects and skip rehydration.
+    bool needs_rehydration = false;
+  };
+
+  /// Best-effort traffic counters (exact under single-threaded use).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Entries present but unusable: corrupt, foreign identity, or a
+    /// filename-hash collision with a different key.
+    uint64_t rejected = 0;
+    /// Entries that decoded fine (counted as hits) but failed the
+    /// session's rehydration checks — re-cost mismatch or structural
+    /// misfit — and were discarded (see NoteRehydrationRejected).
+    uint64_t rehydration_rejected = 0;
+    uint64_t stored = 0;
+    uint64_t store_failures = 0;
+  };
+
+  virtual ~PartitionCacheBackend() = default;
+
+  /// Looks up `key`; nullopt on miss (including any storage failure).
+  virtual std::optional<Fetched> Get(const std::string& key) = 0;
+
+  /// Stores a completed outcome under `key` (best-effort; replaces any
+  /// previous entry).
+  virtual void Put(const std::string& key,
+                   const pipeline::PartitionSearchResult& result) = 0;
+
+  /// Drops every entry this backend can reach.
+  virtual void Clear() = 0;
+
+  /// Number of entries currently addressable.
+  virtual size_t Size() const = 0;
+
+  /// Capacity hint after each session update: in-memory backends evict
+  /// least-recently-used entries beyond `max_entries`; persistent backends
+  /// may ignore it (the filesystem is the capacity owner there).
+  virtual void Trim(size_t max_entries) { (void)max_entries; }
+
+  /// Called by the session when an entry this backend served (a counted
+  /// hit) failed rehydration and was discarded, so the counters tell the
+  /// drift story instead of silently reporting hits with zero reuse.
+  virtual void NoteRehydrationRejected() {}
+
+  virtual Counters counters() const { return Counters{}; }
+};
+
+/// The session's historical in-process cache: an LRU-stamped map. Entries
+/// are live objects (shared COW views), so Get returns them without
+/// rehydration.
+class InMemoryCacheBackend : public PartitionCacheBackend {
+ public:
+  std::optional<Fetched> Get(const std::string& key) override;
+  void Put(const std::string& key,
+           const pipeline::PartitionSearchResult& result) override;
+  void Clear() override;
+  size_t Size() const override;
+  void Trim(size_t max_entries) override;
+  void NoteRehydrationRejected() override;
+  Counters counters() const override;
+
+ private:
+  struct Entry {
+    pipeline::PartitionSearchResult result;
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t use_counter_ = 0;
+  Counters counters_;
+};
+
+/// One file per canonical key under `root`, named by the hex of the key's
+/// 128-bit hash (keys themselves are long binary canonical strings; the
+/// embedded key is verified on load, so a filename collision degrades to a
+/// miss). See the header comment for the contention semantics.
+class DirCacheBackend : public PartitionCacheBackend {
+ public:
+  /// Creates `root` (and parents) when absent. `identity` tags every file
+  /// written and gates every file read.
+  DirCacheBackend(std::string root, const CacheIdentity& identity);
+
+  std::optional<Fetched> Get(const std::string& key) override;
+  void Put(const std::string& key,
+           const pipeline::PartitionSearchResult& result) override;
+  void NoteRehydrationRejected() override;
+  /// Removes every cache entry file under the root — all identities, plus
+  /// any crash-orphaned temp files (the caller owns the directory).
+  void Clear() override;
+  /// Counts entry files under the root (any identity).
+  size_t Size() const override;
+  Counters counters() const override;
+
+  const std::string& root() const { return root_; }
+  const CacheIdentity& identity() const { return identity_; }
+
+ private:
+  std::string PathForKey(const std::string& key) const;
+
+  std::string root_;
+  CacheIdentity identity_;
+  mutable std::mutex mu_;  // guards counters_ only
+  Counters counters_;
+};
+
+}  // namespace rdfviews::vsel::serialize
+
+#endif  // RDFVIEWS_VSEL_SERIALIZE_PARTITION_CACHE_H_

@@ -1,12 +1,40 @@
 #include "vsel/session/session.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace rdfviews::vsel {
+
+namespace {
+
+/// Validates and re-costs a backend entry that crossed a process boundary.
+/// The entry is structurally sound (the deserializer proved that), but its
+/// *costs* were computed by another process against its own statistics and
+/// weights: re-costing through the live model both registers every view in
+/// the session's ViewInterner (so later searches reuse the estimates) and
+/// asserts the persisted cost still holds — a drifted store or weight
+/// configuration that slipped past the identity tag fails here and the
+/// entry is discarded, leaving the partition dirty. Returns true when the
+/// outcome is safe to splice into this session's pipeline.
+bool RehydrateOutcome(pipeline::PartitionSearchResult* outcome,
+                      size_t group_size, const CostModel& model) {
+  // Only completed searches are ever cached; an in-flight flag combination
+  // in a file means it was not written by us.
+  if (!outcome->search.stats.completed) return false;
+  // The merge stage requires exactly one rewriting per member query.
+  if (outcome->search.best.rewritings().size() != group_size) return false;
+  const double persisted = outcome->search.stats.best_cost;
+  const double live = model.StateCost(outcome->search.best);
+  return std::abs(live - persisted) <= 1e-9 * (1.0 + std::abs(persisted));
+}
+
+}  // namespace
 
 // ---- TuningHandle ----------------------------------------------------------
 
@@ -42,12 +70,30 @@ Result<Recommendation> TuningHandle::Wait() {
 
 // ---- TuningSession ---------------------------------------------------------
 
-TuningSession::TuningSession(const rdf::TripleStore* store,
-                             const rdf::Dictionary* dict,
-                             const SelectorOptions& options,
-                             const rdf::Schema* schema)
-    : store_(store), dict_(dict), schema_(schema), options_(options) {
+TuningSession::TuningSession(
+    const rdf::TripleStore* store, const rdf::Dictionary* dict,
+    const SelectorOptions& options, const rdf::Schema* schema,
+    std::shared_ptr<serialize::PartitionCacheBackend> cache_backend)
+    : store_(store),
+      dict_(dict),
+      schema_(schema),
+      options_(options),
+      cache_backend_(std::move(cache_backend)) {
   RDFVIEWS_CHECK(store_ != nullptr && store_->built());
+  const serialize::CacheIdentity identity =
+      serialize::ComputeCacheIdentity(*store_, options_);
+  if (cache_backend_ == nullptr) {
+    if (!options_.cache.cache_dir.empty()) {
+      cache_backend_ = std::make_shared<serialize::DirCacheBackend>(
+          options_.cache.cache_dir, identity);
+    } else {
+      cache_backend_ = std::make_shared<serialize::InMemoryCacheBackend>();
+    }
+  }
+  // Identity-salt every key handed to the backend (see cache_key_prefix_):
+  // sessions with different options sharing one backend object address
+  // disjoint key spaces instead of consuming each other's outcomes.
+  cache_key_prefix_ = serialize::IdentityKeyBytes(identity);
 }
 
 TuningSession::~TuningSession() = default;
@@ -164,17 +210,45 @@ Result<Recommendation> TuningSession::DoUpdate(
     cost_model_ = std::make_unique<CostModel>(ingest->stats, opts.weights);
   }
 
-  // 4. Partition and classify: cached key -> clean, unseen key -> dirty.
-  const uint64_t generation = ++update_counter_;
+  // 4. Partition and classify: backend hit -> clean, miss -> dirty.
+  // Entries a persistent backend served crossed a process boundary and are
+  // rehydrated first — re-interned and re-costed through the live model —
+  // and discarded (the partition stays dirty) if the cost does not hold.
   pipeline::PartitionPlan plan = pipeline::PartitionWorkload(*ingest, opts);
-  std::vector<const pipeline::PartitionSearchResult*> preseeded(
-      plan.groups.size(), nullptr);
-  for (size_t p = 0; p < plan.groups.size(); ++p) {
-    auto it = partition_cache_.find(plan.group_keys[p]);
-    if (it != partition_cache_.end()) {
-      it->second.last_used = generation;
-      preseeded[p] = &it->second.result;
+  std::vector<pipeline::PreseededOutcome> preseeded(plan.groups.size());
+  std::vector<std::unique_ptr<pipeline::PartitionSearchResult>> fetched(
+      plan.groups.size());
+  // Cached entries are only usable once this session's weights are
+  // settled: a first update that still has cm calibration ahead of it must
+  // search *every* partition — the calibration gate in SearchPartitions
+  // needs every S0, and cached costs (a persistent file's, or a shared
+  // backend's entries from an already-calibrated sibling session) were
+  // computed under weights this model does not carry yet — so the backend
+  // is not even consulted. With auto_calibrate_cm off — the recommended
+  // configuration for persistent caches — restarts warm-start from the
+  // very first update.
+  const bool accept_cached = calibrated_ || !options_.auto_calibrate_cm;
+  for (size_t p = 0; accept_cached && p < plan.groups.size(); ++p) {
+    std::optional<serialize::PartitionCacheBackend::Fetched> hit =
+        cache_backend_->Get(cache_key_prefix_ + plan.group_keys[p]);
+    if (!hit.has_value()) continue;
+    // The re-cost check always runs for entries that crossed a process
+    // boundary, and also for in-memory entries when the session's
+    // *configured* calibration is on (opts carries the frozen effective
+    // flag, always off here): a caller-shared backend can hold a sibling
+    // session's entries searched under a *different* calibrated cm —
+    // identical identity salt, different first workload — which only the
+    // cost assertion can tell apart. (For this session's own entries the
+    // check is nearly free: the state's memoized cost cache is valid.)
+    if ((hit->needs_rehydration || options_.auto_calibrate_cm) &&
+        !RehydrateOutcome(&hit->result, plan.groups[p].size(),
+                          *cost_model_)) {
+      cache_backend_->NoteRehydrationRejected();
+      continue;
     }
+    fetched[p] = std::make_unique<pipeline::PartitionSearchResult>(
+        std::move(hit->result));
+    preseeded[p] = {fetched[p].get(), hit->needs_rehydration};
   }
 
   // 5. Search the dirty partitions (cache hits are copied through).
@@ -192,10 +266,11 @@ Result<Recommendation> TuningSession::DoUpdate(
   std::vector<std::pair<std::string, pipeline::PartitionSearchResult>>
       cacheable;
   for (size_t p = 0; p < plan.groups.size(); ++p) {
-    if (preseeded[p] != nullptr) continue;
+    if (preseeded[p].result != nullptr) continue;
     const pipeline::PartitionSearchResult& r = (*searches)[p];
     if (r.search.stats.completed) {
-      cacheable.emplace_back(plan.group_keys[p], r);  // cheap COW copy
+      // Cheap COW copy, filed under the identity-salted key.
+      cacheable.emplace_back(cache_key_prefix_ + plan.group_keys[p], r);
     }
   }
 
@@ -211,25 +286,16 @@ Result<Recommendation> TuningSession::DoUpdate(
   // caller can retry the same delta.
   workload_ = std::move(next);
   calibrated_ = true;
-  for (auto& [key, result] : cacheable) {
-    partition_cache_[key] = CachedPartition{std::move(result), generation};
+  for (const auto& [key, result] : cacheable) {
+    cache_backend_->Put(key, result);
   }
-  // Bound the cache: keep the most recently used max(64, 4x partitions)
+  // Bound the in-memory cache (persistent backends ignore the hint): keep
+  // the most recently used max(lru_floor, lru_per_partition x partitions)
   // entries, so recently retired sub-workloads remain instantly
   // re-addable while a drifting log can not grow the session unboundedly.
-  const size_t cap = std::max<size_t>(64, 4 * plan.groups.size());
-  if (partition_cache_.size() > cap) {
-    std::vector<std::pair<uint64_t, const std::string*>> by_age;
-    by_age.reserve(partition_cache_.size());
-    for (const auto& [key, cached] : partition_cache_) {
-      by_age.emplace_back(cached.last_used, &key);
-    }
-    std::sort(by_age.begin(), by_age.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (size_t i = 0; i + cap < by_age.size(); ++i) {
-      partition_cache_.erase(*by_age[i].second);
-    }
-  }
+  cache_backend_->Trim(
+      std::max(options_.cache.lru_floor,
+               options_.cache.lru_per_partition * plan.groups.size()));
   return rec;
 }
 

@@ -64,6 +64,7 @@
 #include "common/stop_token.h"
 #include "vsel/pipeline/pipeline.h"
 #include "vsel/selector.h"
+#include "vsel/serialize/partition_cache.h"
 
 namespace rdfviews::vsel {
 
@@ -141,9 +142,23 @@ class TuningSession {
   /// `schema` may be null when options.entailment is kNone. The options —
   /// strategy, heuristics, limits, weights, entailment, partitioning — are
   /// fixed for the session's lifetime (they shape every cached result).
-  TuningSession(const rdf::TripleStore* store, const rdf::Dictionary* dict,
-                const SelectorOptions& options,
-                const rdf::Schema* schema = nullptr);
+  ///
+  /// `cache_backend` chooses where completed partition outcomes live (see
+  /// vsel/serialize/partition_cache.h). Null picks from the options: a
+  /// DirCacheBackend rooted at options.cache.cache_dir when that is set —
+  /// outcomes then persist across process restarts, and any number of
+  /// concurrent sessions (this process or others) may share the directory —
+  /// otherwise the historical in-process LRU backend. Backend-served
+  /// entries that crossed a process boundary are *rehydrated* before use:
+  /// their views re-interned through the session's live CostModel and the
+  /// state re-costed, and an entry whose recomputed cost does not match the
+  /// persisted one (statistics or weight drift the identity tag missed) is
+  /// discarded — the partition is simply re-searched.
+  TuningSession(
+      const rdf::TripleStore* store, const rdf::Dictionary* dict,
+      const SelectorOptions& options, const rdf::Schema* schema = nullptr,
+      std::shared_ptr<serialize::PartitionCacheBackend> cache_backend =
+          nullptr);
   ~TuningSession();
 
   /// Applies a workload delta and recommends for the result: `add_queries`
@@ -177,13 +192,23 @@ class TuningSession {
     return workload_;
   }
 
-  /// Number of partition results currently cached (clean candidates).
-  size_t cached_partitions() const { return partition_cache_.size(); }
+  /// Number of entries the backend currently holds. For the in-memory
+  /// backend these are exactly this session's clean candidates; for a
+  /// directory backend this counts the entry files under the root, *any*
+  /// identity — a shared directory includes other configurations' entries.
+  size_t cached_partitions() const { return cache_backend_->Size(); }
 
   /// Drops every cached partition result (the next update re-searches all
-  /// partitions). The per-query minimization caches and the cost model
-  /// survive — they are delta-independent.
-  void InvalidateCachedResults() { partition_cache_.clear(); }
+  /// partitions); for a directory backend this removes the entry files.
+  /// The per-query minimization caches and the cost model survive — they
+  /// are delta-independent.
+  void InvalidateCachedResults() { cache_backend_->Clear(); }
+
+  /// The backend holding the cached partition results (for observability:
+  /// hit/miss/rejection counters, shared-directory inspection).
+  const serialize::PartitionCacheBackend& cache_backend() const {
+    return *cache_backend_;
+  }
 
  private:
   Result<Recommendation> DoUpdate(
@@ -201,18 +226,17 @@ class TuningSession {
   /// Set after the first update's cm calibration; later updates freeze the
   /// weights so cached best states stay cost-comparable.
   bool calibrated_ = false;
-  /// Canonical workload key -> completed search outcome, stamped with the
-  /// update that last used it. Bounded: after every update the cache is
-  /// trimmed to max(64, 4x current partitions) entries, evicting the
-  /// least-recently-used keys first — recently retired sub-workloads stay
-  /// instantly re-addable, but a drifting log can not grow the session
-  /// without bound.
-  struct CachedPartition {
-    pipeline::PartitionSearchResult result;
-    uint64_t last_used = 0;
-  };
-  std::unordered_map<std::string, CachedPartition> partition_cache_;
-  uint64_t update_counter_ = 0;
+  /// Canonical workload key -> completed search outcome storage (see the
+  /// constructor comment). After every update the backend is trimmed to
+  /// max(cache.lru_floor, cache.lru_per_partition x current partitions)
+  /// entries (in-memory backends evict LRU; persistent ones ignore it).
+  std::shared_ptr<serialize::PartitionCacheBackend> cache_backend_;
+  /// The session's CacheIdentity bytes, prepended to every canonical key
+  /// before it reaches the backend: canonical workload keys are
+  /// option-independent, so without the salt two sessions with different
+  /// strategies/heuristics/weights sharing one backend object would serve
+  /// each other results searched under foreign options.
+  std::string cache_key_prefix_;
   /// One in-flight update per session.
   std::atomic<bool> busy_{false};
 };
