@@ -17,7 +17,8 @@
 // Usage:
 //   ./incremental_tuning [--queries=500] [--add=25] [--group-size=3]
 //     [--atoms=3] [--budget-sec=0] [--max-states=0] [--strategy=GSTR]
-//     [--threads=1] [--max-update-ratio=0.5] [--csv=out.csv] [--seed=1]
+//     [--threads=1] [--max-update-ratio=0.5] [--csv=out.csv]
+//     [--json=BENCH_incremental.json] [--seed=1]
 //     [--cache-dir=DIR] [--expect-warm=0|1]
 //
 // With the default unlimited budget every partition search exhausts its
@@ -70,6 +71,7 @@ struct Row {
   double wall_sec;
   double best_cost;
   double rcr;
+  double states_per_sec;
 };
 
 void EmitCsv(const std::string& path, const std::vector<Row>& rows) {
@@ -89,6 +91,59 @@ void EmitCsv(const std::string& path, const std::vector<Row>& rows) {
   }
   std::fclose(f);
   std::printf("csv: %s\n", path.c_str());
+}
+
+/// Machine-readable run summary (the CI smoke uploads it as an artifact so
+/// regressions in update/full wall ratio or partition reuse are graphable
+/// across commits).
+void EmitJson(const std::string& path, const std::string& strategy,
+              size_t n, size_t k, size_t threads,
+              const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"incremental_tuning\",\n"
+               "  \"strategy\": \"%s\",\n"
+               "  \"queries\": %zu,\n  \"added\": %zu,\n"
+               "  \"threads\": %zu,\n  \"phases\": [\n",
+               strategy.c_str(), n, k, threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"queries\": %zu, "
+                 "\"partitions\": %zu, \"partitions_reused\": %zu, "
+                 "\"partitions_rehydrated\": %zu, "
+                 "\"partitions_searched\": %zu, \"wall_sec\": %.6f, "
+                 "\"best_cost\": %.9g, \"rcr\": %.6f, "
+                 "\"states_per_sec\": %.1f}%s\n",
+                 r.phase, r.queries, r.partitions, r.reused, r.rehydrated,
+                 r.searched, r.wall_sec, r.best_cost, r.rcr,
+                 r.states_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  double full_sec = 0;
+  double update_sec = 0;
+  size_t update_reused = 0;
+  size_t update_partitions = 0;
+  for (const Row& r : rows) {
+    if (std::string(r.phase) == "full") full_sec = r.wall_sec;
+    if (std::string(r.phase) == "update") {
+      update_sec = r.wall_sec;
+      update_reused = r.reused;
+      update_partitions = r.partitions;
+    }
+  }
+  std::fprintf(f,
+               "  ],\n  \"update_full_wall_ratio\": %.6f,\n"
+               "  \"update_reuse_ratio\": %.6f\n}\n",
+               full_sec > 0 ? update_sec / full_sec : 0.0,
+               update_partitions > 0
+                   ? static_cast<double>(update_reused) / update_partitions
+                   : 0.0);
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
 }
 
 }  // namespace
@@ -164,7 +219,8 @@ int main(int argc, char** argv) {
                        rec->pipeline.partitions_rehydrated,
                        rec->pipeline.partitions_searched, wall_sec,
                        rec->stats.best_cost,
-                       rec->stats.RelativeCostReduction()});
+                       rec->stats.RelativeCostReduction(),
+                       rec->stats.StatesPerSecond()});
     std::printf("%-10s %5zu queries  %3zu partitions (%3zu reused, %3zu "
                 "from disk / %3zu searched)  %8.3f s  cost %.4g  rcr %.3f\n",
                 phase, queries, rec->pipeline.num_partitions,
@@ -197,6 +253,11 @@ int main(int argc, char** argv) {
 
   const std::string csv = flags.GetString("csv", "");
   if (!csv.empty()) EmitCsv(csv, rows);
+  const std::string json = flags.GetString("json", "");
+  if (!json.empty()) {
+    EmitJson(json, flags.GetString("strategy", "GSTR"), n, k,
+             options.limits.num_threads, rows);
+  }
 
   // --- Assertions (the CI smoke gates). -------------------------------------
   // The wall-ratio and delta-dirtying gates presuppose a *cold* full tune;

@@ -1,0 +1,163 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace rdfviews::fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  SiteSpec spec;
+  uint64_t hits = 0;
+  uint64_t injected = 0;
+};
+
+/// The armed plan. Never freed (the injector is a process-lifetime test
+/// facility), so a thread mid-Evaluate can race a Disarm safely: it holds
+/// the mutex, and the worst outcome is one extra counted hit.
+struct Injector {
+  std::mutex mu;
+  uint64_t seed = 0;
+  std::map<std::string, SiteState> sites;
+};
+
+Injector& GetInjector() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+thread_local const StopToken* t_hang_token = nullptr;
+
+/// Deterministic per-(seed, site, hit) uniform draw in [0, 1).
+double UniformDraw(uint64_t seed, const std::string& site, uint64_t hit) {
+  Hash128 h = HashBytes128(site.data(), site.size());
+  uint64_t u = Mix64(seed ^ Mix64(h.lo ^ hit));
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+/// Blocks until the ambient token stops, the injector disarms, or the cap
+/// elapses. Runs without the injector mutex held.
+Status HangUntilReleased(const char* site, double cap_sec) {
+  const StopToken* token = t_hang_token;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (token != nullptr && token->stop_requested()) {
+      return Status::TimedOut(std::string("injected hang at ") + site +
+                              " released by stop token");
+    }
+    if (!internal::g_armed.load(std::memory_order_relaxed)) {
+      return Status::TimedOut(std::string("injected hang at ") + site +
+                              " released by disarm");
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (elapsed >= cap_sec) {
+      return Status::TimedOut(std::string("injected hang at ") + site +
+                              " hit its safety cap");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+void Arm(uint64_t seed, FaultPlan plan) {
+  Injector& inj = GetInjector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  inj.seed = seed;
+  inj.sites.clear();
+  for (auto& [name, spec] : plan) {
+    inj.sites.emplace(name, SiteState{spec, 0, 0});
+  }
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+uint64_t Hits(const char* site) {
+  Injector& inj = GetInjector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  auto it = inj.sites.find(site);
+  return it == inj.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Injected(const char* site) {
+  Injector& inj = GetInjector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  auto it = inj.sites.find(site);
+  return it == inj.sites.end() ? 0 : it->second.injected;
+}
+
+ScopedHangToken::ScopedHangToken(const StopToken& token)
+    : previous_(t_hang_token) {
+  t_hang_token = &token;
+}
+
+ScopedHangToken::~ScopedHangToken() { t_hang_token = previous_; }
+
+namespace internal {
+
+Status Evaluate(const char* site, bool allow_throw) {
+  Injector& inj = GetInjector();
+  Action action;
+  double hang_cap;
+  {
+    std::lock_guard<std::mutex> lock(inj.mu);
+    auto it = inj.sites.find(site);
+    if (it == inj.sites.end()) return Status::OK();
+    SiteState& state = it->second;
+    const uint64_t hit = ++state.hits;
+    bool fire;
+    if (state.spec.probability > 0) {
+      fire = UniformDraw(inj.seed, it->first, hit) < state.spec.probability;
+    } else {
+      fire = hit >= state.spec.nth &&
+             (state.spec.count == kForever ||
+              hit - state.spec.nth < state.spec.count);
+    }
+    if (!fire) return Status::OK();
+    ++state.injected;
+    action = state.spec.action;
+    hang_cap = state.spec.hang_max_sec;
+  }
+  switch (action) {
+    case Action::kFail:
+      return Status::Internal(std::string("injected fault at ") + site);
+    case Action::kThrow:
+      if (allow_throw) {
+        throw std::runtime_error(std::string("injected exception at ") +
+                                 site);
+      }
+      return Status::Internal(std::string("injected fault at ") + site);
+    case Action::kBadAlloc:
+      if (allow_throw) throw std::bad_alloc();
+      return Status::ResourceExhausted(
+          std::string("injected allocation failure at ") + site);
+    case Action::kHang:
+      return HangUntilReleased(site, hang_cap);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+}  // namespace rdfviews::fault

@@ -7,16 +7,28 @@
 // frontier), and barrier-style strategies (GSTR's per-stratum closures)
 // reuse the same threads across strata through WaitIdle() instead of
 // respawning them.
+//
+// Failure containment: a task that throws (including the armed
+// fault::kPoolTask injection, which fires *before* the task body — the
+// "worker dies before claiming its slot" scenario) is swallowed and
+// counted, never propagated: the worker thread survives, WaitIdle still
+// returns, and the submitter discovers the loss through whatever result
+// slot the dead task failed to fill (pipeline stage 3 pre-fills every slot
+// with an outcome naming exactly this cause).
 #ifndef RDFVIEWS_COMMON_THREAD_POOL_H_
 #define RDFVIEWS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/fault.h"
 
 namespace rdfviews {
 
@@ -60,6 +72,12 @@ class ThreadPool {
     idle_.wait(lock, [this] { return outstanding_ == 0; });
   }
 
+  /// Tasks that died (threw) instead of returning; their work is lost but
+  /// the pool, its workers, and WaitIdle are unaffected.
+  uint64_t tasks_died() const {
+    return tasks_died_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop() {
     for (;;) {
@@ -71,7 +89,12 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      try {
+        fault::MaybeThrow(fault::sites::kPoolTask);
+        task();
+      } catch (...) {
+        tasks_died_.fetch_add(1, std::memory_order_relaxed);
+      }
       {
         std::unique_lock<std::mutex> lock(mu_);
         if (--outstanding_ == 0) idle_.notify_all();
@@ -85,6 +108,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t outstanding_ = 0;  // queued + running
   bool stopping_ = false;
+  std::atomic<uint64_t> tasks_died_{0};
   std::vector<std::thread> threads_;
 };
 

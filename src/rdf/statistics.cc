@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/hash.h"
 
 namespace rdfviews::rdf {
@@ -55,6 +56,9 @@ Status SaveSnapshot(const StatisticsSnapshot& snapshot,
 
 Result<StatisticsSnapshot> LoadSnapshot(const std::string& path,
                                         uint64_t store_tag) {
+  // Injectable I/O failure: an unreadable snapshot must surface as a
+  // Status — callers fall back to re-measuring the store.
+  RDFVIEWS_RETURN_IF_ERROR(fault::Maybe(fault::sites::kSnapshotLoad));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("no statistics snapshot at " + path);

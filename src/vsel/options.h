@@ -52,15 +52,33 @@ struct ProgressEvent {
     /// One pipeline partition finished (or was served from a session
     /// cache); `partition` / `partitions_total` locate it.
     kPartitionDone,
+    /// One attempt at a partition's search failed (threw, returned an
+    /// error, or overran its watchdog deadline); `attempt` is the failed
+    /// attempt (1-based). A kPartitionRetry or kPartitionAbandoned for the
+    /// same partition follows.
+    kPartitionFailed,
+    /// A failed partition is about to be retried; `attempt` is the
+    /// *upcoming* attempt number.
+    kPartitionRetry,
+    /// A partition exhausted its retry budget (or its time slice) and was
+    /// abandoned for this update: the recommendation degrades to the
+    /// surviving partitions and, in a session, the partition stays dirty
+    /// for the next Update. `attempt` is the last attempt made. Terminal
+    /// for the partition, like kPartitionDone.
+    kPartitionAbandoned,
   };
   Kind kind = Kind::kBestImproved;
   /// Best cost known when the event fired (search-local for kBestImproved).
   double best_cost = 0;
   /// Seconds since the emitting search started.
   double elapsed_sec = 0;
-  /// kPartitionDone: which partition, out of how many.
+  /// kPartition*: which partition, out of how many.
   size_t partition = 0;
   size_t partitions_total = 1;
+  /// kPartitionFailed / kPartitionRetry / kPartitionAbandoned (and
+  /// kPartitionDone after a recovery): the 1-based attempt number; 0 for
+  /// events outside the retry machinery.
+  size_t attempt = 0;
 };
 
 /// Progress observer. May be invoked concurrently from search worker
@@ -116,6 +134,45 @@ struct PartitionOptions {
   bool parallel_partitions = true;
 };
 
+/// Per-partition retry policy of pipeline stage 3 (and, with the backend
+/// knobs in SessionCacheOptions, of the RetryingCacheBackend decorator): a
+/// failed attempt is retried up to max_attempts total tries, sleeping an
+/// exponentially growing, deterministically jittered backoff in between.
+/// Backoffs and retry attempts are budget-aware: a partition never sleeps
+/// or re-searches past its apportioned time slice.
+struct RetryPolicy {
+  /// Total attempts per partition, including the first (1 = never retry —
+  /// the default, so a deterministic failure is not paid for twice unless
+  /// the caller opts in).
+  size_t max_attempts = 1;
+  /// Backoff before retry k (k >= 2): initial * multiplier^(k-2), scaled
+  /// by a jitter factor in [0.5, 1.0] drawn deterministically from
+  /// (jitter_seed, partition, attempt), capped at max_backoff_sec, and
+  /// clipped to the partition's remaining time budget.
+  double initial_backoff_sec = 0.005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_sec = 0.25;
+  uint64_t jitter_seed = 0x5eedull;
+};
+
+/// Failure-containment knobs of the recommendation pipeline. Stage 3 always
+/// runs every partition search behind an exception -> Status boundary (a
+/// throwing, failing or hung partition is retried per `retry`, then
+/// abandoned — never propagated); MergePartitions then degrades gracefully,
+/// recommending over the surviving partitions and reporting the failed ones
+/// in PipelineReport::partition_health. Only when *no* partition survives
+/// does the update return an error.
+struct RobustnessOptions {
+  RetryPolicy retry;
+  /// Hard per-attempt watchdog deadline in seconds: a partition attempt
+  /// still running after this long has its stop token fired (composed into
+  /// the search's token via StopToken::Combine), releasing cooperative
+  /// waits — including injected hangs — and failing the attempt as
+  /// TimedOut. 0 (default) disables the watchdog; the plain time budget
+  /// (SearchLimits::time_budget_sec) still truncates healthy searches.
+  double partition_deadline_sec = 0;
+};
+
 /// Storage knobs of a TuningSession's per-partition result cache (see
 /// vsel/serialize/partition_cache.h). The cache maps canonical workload
 /// keys to completed search outcomes; these options pick where those pairs
@@ -143,6 +200,23 @@ struct SessionCacheOptions {
   /// owns capacity there).
   size_t lru_floor = 64;
   size_t lru_per_partition = 4;
+  /// Wrap the session's backend (self-constructed *or* caller-supplied) in
+  /// a robust::RetryingCacheBackend: transient storage failures are retried
+  /// with deterministic backoff, and a run of consecutive failures opens a
+  /// circuit breaker that skips the backend entirely (counted) until a
+  /// half-open probe succeeds — so a wedged shared filesystem costs one
+  /// timeout per breaker window, not one per partition. Off by default;
+  /// the knobs below only apply when set.
+  bool robust_backend = false;
+  /// Attempts per backend operation (including the first).
+  size_t backend_retry_attempts = 3;
+  /// Initial backoff between backend retries (doubles per retry, jittered
+  /// deterministically, capped at 16x).
+  double backend_retry_backoff_sec = 0.002;
+  /// Consecutive failures (across operations) that open the breaker.
+  size_t breaker_failure_threshold = 5;
+  /// How long an open breaker skips the backend before a half-open probe.
+  double breaker_open_sec = 1.0;
 };
 
 /// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost

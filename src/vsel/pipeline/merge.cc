@@ -35,7 +35,7 @@ namespace {
 /// stage can not reconstruct, so their events are placed at their
 /// search-relative lower bounds.
 std::vector<std::pair<double, double>> MergeTraces(
-    const std::vector<PartitionSearchResult>& results,
+    const std::vector<PartitionOutcome>& results,
     const std::vector<double>& start_offsets) {
   struct Event {
     double t;
@@ -45,8 +45,10 @@ std::vector<std::pair<double, double>> MergeTraces(
   std::vector<Event> events;
   std::vector<double> current(results.size());
   for (size_t p = 0; p < results.size(); ++p) {
-    current[p] = results[p].initial_cost;
-    for (const auto& [t, cost] : results[p].search.stats.best_trace) {
+    if (!results[p].ok()) continue;  // failed: no S0, no events
+    current[p] = results[p].result.initial_cost;
+    for (const auto& [t, cost] :
+         results[p].result.search.stats.best_trace) {
       events.push_back(Event{start_offsets[p] + t, p, cost});
     }
   }
@@ -63,11 +65,12 @@ std::vector<std::pair<double, double>> MergeTraces(
   return trace;
 }
 
-/// Re-bases every partition's best state into one merged state. Fills
-/// `rewritings_by_query` (indexed by workload position) and returns the
-/// number of cross-partition duplicate views folded away.
+/// Re-bases every surviving partition's best state into one merged state
+/// (failed outcomes are skipped — their queries keep null rewritings).
+/// Fills `rewritings_by_query` (indexed by workload position) and returns
+/// the number of cross-partition duplicate views folded away.
 size_t MergeStates(const PartitionPlan& plan,
-                   const std::vector<PartitionSearchResult>& results,
+                   const std::vector<PartitionOutcome>& results,
                    State* merged,
                    std::vector<engine::ExprPtr>* rewritings_by_query) {
   size_t folded = 0;
@@ -78,7 +81,8 @@ size_t MergeStates(const PartitionPlan& plan,
   // monolithic search keeps them too, and stage 4 must not out-optimize it.
   std::unordered_map<std::string, std::pair<size_t, uint32_t>> canon;
   for (size_t p = 0; p < results.size(); ++p) {
-    const State& best = results[p].search.best;
+    if (!results[p].ok()) continue;
+    const State& best = results[p].result.search.best;
     const cq::VarId var_offset = var_base;
     std::unordered_map<uint32_t, uint32_t> id_map;
     for (const View& v : best.views()) {
@@ -121,9 +125,22 @@ size_t MergeStates(const PartitionPlan& plan,
 
 Result<Recommendation> MergePartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
-    std::vector<PartitionSearchResult> results, CostModel* cost_model,
+    std::vector<PartitionOutcome> results, CostModel* cost_model,
     const SelectorOptions& options, const PipelineReport* report) {
   RDFVIEWS_CHECK(plan.groups.size() == results.size() && !results.empty());
+
+  size_t survivors = 0;
+  for (const PartitionOutcome& o : results) {
+    if (o.ok()) ++survivors;
+  }
+  if (survivors == 0) {
+    // Nothing to recommend over: surface the first failure as the update's
+    // error (this also keeps the monolithic single-partition path's
+    // historical error behavior — e.g. a failing [21] competitor search).
+    for (const PartitionOutcome& o : results) {
+      if (!o.ok()) return o.error;
+    }
+  }
 
   Recommendation rec;
   rec.entailment = options.entailment;
@@ -131,18 +148,35 @@ Result<Recommendation> MergePartitions(
   if (report != nullptr) rec.pipeline = *report;
   rec.pipeline.num_partitions = plan.groups.size();
   rec.pipeline.partition_fallback_reason = plan.fallback_reason;
+  const bool degraded = survivors < results.size();
 
   if (results.size() == 1) {
     // Monolithic fast path: the best state is the recommendation, ids and
     // rewritings untouched.
-    rec.best_state = std::move(results[0].search.best);
-    rec.stats = std::move(results[0].search.stats);
+    rec.best_state = std::move(results[0].result.search.best);
+    rec.stats = std::move(results[0].result.search.stats);
   } else {
     State merged;
     std::vector<engine::ExprPtr> rewritings(ingest.queries.size());
     rec.pipeline.merged_duplicate_views =
         MergeStates(plan, results, &merged, &rewritings);
-    *merged.mutable_rewritings() = std::move(rewritings);
+    if (degraded) {
+      // The merged state holds only the surviving rewritings, compacted in
+      // ascending workload order: its StateCost is then exactly what a
+      // from-scratch tune over the surviving sub-workload would report
+      // (null slots would poison the REC sum). The workload-aligned
+      // vector — nulls marking the failed partitions' queries — becomes
+      // Recommendation::rewritings below.
+      std::vector<engine::ExprPtr> compacted;
+      compacted.reserve(ingest.queries.size());
+      for (const engine::ExprPtr& e : rewritings) {
+        if (e != nullptr) compacted.push_back(e);
+      }
+      *merged.mutable_rewritings() = std::move(compacted);
+      rec.rewritings = std::move(rewritings);
+    } else {
+      *merged.mutable_rewritings() = std::move(rewritings);
+    }
 
     // Did stage 3 run the partitions concurrently? (Mirrors its policy.)
     const bool fanned_out = options.partition.parallel_partitions &&
@@ -154,15 +188,18 @@ Result<Recommendation> MergePartitions(
       double cumulative = 0;
       for (size_t p = 0; p < results.size(); ++p) {
         start_offsets[p] = cumulative;
-        cumulative += results[p].search.stats.elapsed_sec;
+        if (results[p].ok()) {
+          cumulative += results[p].result.search.stats.elapsed_sec;
+        }
       }
     }
     stats.best_trace = MergeTraces(results, start_offsets);
     double elapsed_max = 0;
     double elapsed_sum = 0;
     bool completed = true;
-    for (const PartitionSearchResult& r : results) {
-      const SearchStats& s = r.search.stats;
+    for (const PartitionOutcome& o : results) {
+      if (!o.ok()) continue;
+      const SearchStats& s = o.result.search.stats;
       stats.created += s.created;
       stats.duplicates += s.duplicates;
       stats.discarded += s.discarded;
@@ -176,7 +213,9 @@ Result<Recommendation> MergePartitions(
       elapsed_max = std::max(elapsed_max, s.elapsed_sec);
       elapsed_sum += s.elapsed_sec;
     }
-    stats.completed = completed;
+    // A degraded run never reports a completed (exhaustive) tune: some
+    // sub-workload was not searched at all.
+    stats.completed = completed && !degraded;
     // Wall-clock of stage 3: sum of the slices when the partitions ran
     // back to back; under the pool, the critical-path estimate for the
     // actual worker count (a pool smaller than the partition count runs
@@ -220,7 +259,12 @@ Result<Recommendation> MergePartitions(
     rec.view_columns.push_back(v.Columns());
     rec.view_ids.push_back(v.id);
   }
-  rec.rewritings = rec.best_state.rewritings();
+  if (rec.rewritings.empty()) {
+    // Healthy runs: workload-aligned by construction. Degraded runs filled
+    // rec.rewritings above (nulls marking the failed partitions' queries);
+    // the best state keeps only the compacted surviving ones.
+    rec.rewritings = rec.best_state.rewritings();
+  }
   return rec;
 }
 

@@ -20,7 +20,7 @@ Result<Recommendation> Run(const rdf::TripleStore* store,
 
   CostModel cost_model(ingest->stats, options.weights);
   PipelineReport report;
-  Result<std::vector<PartitionSearchResult>> searches = SearchPartitions(
+  Result<std::vector<PartitionOutcome>> searches = SearchPartitions(
       *ingest, plan, &cost_model, options, /*preseeded=*/nullptr, &report);
   if (!searches.ok()) return searches.status();
 

@@ -203,6 +203,20 @@ struct PartitionSearchResult {
   double initial_cost = 0;
 };
 
+/// One partition's *contained* outcome: either a usable search result
+/// (error.ok()) or the failure that exhausted the partition's retry budget,
+/// with the health record either way. Stage 3 pre-fills every slot with a
+/// real failure outcome ("never ran" — kInternal, attempts == 0) before
+/// scheduling, so a pool task that dies before claiming its slot leaves an
+/// honest record instead of a fabricated one.
+struct PartitionOutcome {
+  PartitionSearchResult result;
+  Status error = Status::OK();
+  PartitionHealth health;
+
+  bool ok() const { return error.ok(); }
+};
+
 /// Thread-safe pool of unused time budget. Partitions whose search finishes
 /// (space exhausted) before their apportioned slice expires Deposit the
 /// unused seconds; partitions about to start Take the accumulated spare and
@@ -254,8 +268,17 @@ struct PreseededOutcome {
 /// alone (and cm calibration, which must see every partition's S0, is the
 /// caller's responsibility: sessions calibrate on their first update and
 /// freeze). `report` (optional) receives the reused/rehydrated/searched
-/// partition counts and the total re-granted seconds.
-Result<std::vector<PartitionSearchResult>> SearchPartitions(
+/// partition counts, the total re-granted seconds, and the failure
+/// accounting (partitions_failed / partition_retries / partition_health).
+///
+/// Failure containment (options.robust): every partition search runs
+/// behind an exception -> Status boundary under an optional hard watchdog
+/// deadline, failed attempts are retried per the RetryPolicy, and a
+/// partition that exhausts its budget comes back as a failed
+/// PartitionOutcome — the call itself only errors when stage-wide setup
+/// fails (e.g. an unbuildable workload), never because some partition
+/// search died.
+Result<std::vector<PartitionOutcome>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     CostModel* cost_model, const SelectorOptions& options,
     const std::vector<PreseededOutcome>* preseeded = nullptr,
@@ -273,9 +296,17 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
 /// into Recommendation::pipeline; merge fills the merged-duplicate count.
 /// The results vector may mix cached (session-reused) and freshly searched
 /// partitions — the merge is agnostic, it only reads the best states.
+///
+/// Graceful degradation: failed outcomes (outcome.ok() == false) are merged
+/// *around* — the Recommendation covers the surviving partitions, its
+/// stats.completed is false, and the failed partitions' queries get null
+/// rewritings (Recommendation::rewritings stays workload-aligned). The
+/// merged cost equals a from-scratch tune over the surviving sub-workload
+/// alone. Only when no partition survived does the call return the first
+/// failure as its error.
 Result<Recommendation> MergePartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
-    std::vector<PartitionSearchResult> results, CostModel* cost_model,
+    std::vector<PartitionOutcome> results, CostModel* cost_model,
     const SelectorOptions& options, const PipelineReport* report = nullptr);
 
 // ---- The whole pipeline ----------------------------------------------------

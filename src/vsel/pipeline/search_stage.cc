@@ -17,13 +17,28 @@
 // apportioned over the dirty partitions only, and the reuse accounting
 // lands in the PipelineReport. Initial states are built from the ingest
 // stage's cached minimized components — no cq::Minimize here.
+//
+// Failure containment (options.robust): each partition's search attempt
+// runs behind an exception -> Status boundary under an optional hard
+// watchdog deadline (a per-attempt StopSource combined into the search's
+// token, so even an injected hang is cut loose), failed attempts are
+// retried with deterministic jittered backoff while the partition's time
+// slice lasts, and an exhausted partition comes back as a failed
+// PartitionOutcome for the merge stage to degrade around — never as a
+// stage error, and never as an escaped exception.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <exception>
+#include <new>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "vsel/pipeline/pipeline.h"
+#include "vsel/robust/retry.h"
+#include "vsel/robust/watchdog.h"
 #include "vsel/search.h"
 
 namespace rdfviews::vsel::pipeline {
@@ -136,7 +151,7 @@ std::vector<SearchLimits> ApportionSearchLimits(
   return out;
 }
 
-Result<std::vector<PartitionSearchResult>> SearchPartitions(
+Result<std::vector<PartitionOutcome>> SearchPartitions(
     const IngestResult& ingest, const PartitionPlan& plan,
     CostModel* cost_model, const SelectorOptions& options,
     const std::vector<PreseededOutcome>* preseeded,
@@ -149,9 +164,26 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     return preseeded != nullptr && (*preseeded)[p].result != nullptr;
   };
 
+  // Every slot starts as an honest failure: "never ran". A pool task that
+  // dies before claiming its slot (fault::kPoolTask) then leaves a real
+  // outcome — attempts == 0, abandoned — not a fabricated one, and the
+  // merge stage degrades around it like any other failed partition.
+  std::vector<PartitionOutcome> out(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    out[p].error =
+        Status::Internal("partition search never ran (task lost)");
+    out[p].health.partition = p;
+    out[p].health.queries = plan.groups[p].size();
+    out[p].health.attempts = 0;
+    out[p].health.last_code = StatusCode::kInternal;
+    out[p].health.last_error = out[p].error.message();
+    out[p].health.abandoned = true;
+  }
+
   // Initial states of the partitions that will actually search, in
   // partition order (cached partitions need none — their outcome already
-  // embodies it).
+  // embodies it). A partition whose S0 can not be built is contained as a
+  // failed outcome, not a stage error: its siblings still tune.
   std::vector<size_t> dirty;
   std::vector<State> initial_states(num_partitions);
   std::vector<size_t> weights;
@@ -159,7 +191,13 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     if (seeded(p)) continue;
     Result<State> s0 =
         MakePartitionInitialState(ingest, plan.groups[p], options);
-    if (!s0.ok()) return s0.status();
+    if (!s0.ok()) {
+      out[p].error = s0.status();
+      out[p].health.attempts = 1;
+      out[p].health.last_code = s0.status().code();
+      out[p].health.last_error = s0.status().message();
+      continue;
+    }
     initial_states[p] = std::move(*s0);
     dirty.push_back(p);
     weights.push_back(plan.groups[p].size());
@@ -185,6 +223,10 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
   // is the component-wise sum of the per-partition breakdowns. Sessions
   // calibrate on their first update (never preseeded) and freeze the
   // weights afterwards, so the cached best states stay cost-comparable.
+  // A partition whose S0 failed to build is excluded (its breakdown does
+  // not exist); its queries rejoin the calibration when a later update
+  // retries it — which is why exactness-sensitive chaos tests pin the
+  // weights (auto_calibrate_cm = false) instead.
   if (options.auto_calibrate_cm && dirty.size() == num_partitions) {
     CostBreakdown s0_breakdown;
     for (size_t p : dirty) {
@@ -199,18 +241,29 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     cost_model->set_weights(w);
   }
 
-  std::vector<PartitionSearchResult> out(num_partitions);
+  auto emit = [&](ProgressEvent::Kind kind, size_t p, size_t attempt,
+                  double best_cost, double elapsed) {
+    if (!options.limits.on_progress) return;
+    ProgressEvent ev;
+    ev.kind = kind;
+    ev.best_cost = best_cost;
+    ev.elapsed_sec = elapsed;
+    ev.partition = p;
+    ev.partitions_total = num_partitions;
+    ev.attempt = attempt;
+    options.limits.on_progress(ev);
+  };
+
   for (size_t p = 0; p < num_partitions; ++p) {
     if (!seeded(p)) continue;
-    out[p] = *(*preseeded)[p].result;  // cheap: views/rewritings shared COW
-    if (options.limits.on_progress) {
-      ProgressEvent ev;
-      ev.kind = ProgressEvent::Kind::kPartitionDone;
-      ev.best_cost = out[p].search.stats.best_cost;
-      ev.partition = p;
-      ev.partitions_total = num_partitions;
-      options.limits.on_progress(ev);
-    }
+    // Cheap: views/rewritings are shared COW pointers.
+    out[p].result = *(*preseeded)[p].result;
+    out[p].error = Status::OK();
+    out[p].health = PartitionHealth{};
+    out[p].health.partition = p;
+    out[p].health.queries = plan.groups[p].size();
+    emit(ProgressEvent::Kind::kPartitionDone, p, 0,
+         out[p].result.search.stats.best_cost, 0);
   }
   if (dirty.empty()) return out;
 
@@ -225,42 +278,141 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
     l.num_threads = fan_out ? 1 : options.limits.num_threads;
   }
 
+  const RetryPolicy& retry = options.robust.retry;
+  const size_t max_attempts = std::max<size_t>(retry.max_attempts, 1);
+  const double deadline_sec = options.robust.partition_deadline_sec;
+  robust::Watchdog watchdog;
+
   TimeBudgetPool spare;
   std::atomic<double> regranted{0};
-  std::vector<Result<SearchResult>> searches(
-      dirty.size(), Status::Internal("partition search did not run"));
   auto run_one = [&](size_t di) {
     const size_t p = dirty[di];
-    SearchLimits l = limits[di];
-    if (l.time_budget_sec > 0) {
+    PartitionOutcome& slot = out[p];
+    // The task claimed its slot: replace the "never ran" pre-fill with a
+    // fresh health record this loop now owns.
+    slot.health = PartitionHealth{};
+    slot.health.partition = p;
+    slot.health.queries = plan.groups[p].size();
+    const auto partition_start = std::chrono::steady_clock::now();
+    auto wall_spent = [&] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - partition_start)
+          .count();
+    };
+
+    double slice = limits[di].time_budget_sec;  // 0 = unlimited
+    if (slice > 0) {
       // Budget re-granting: adopt whatever early finishers returned.
       double bonus = spare.Take();
       if (bonus > 0) {
-        l.time_budget_sec += bonus;
+        slice += bonus;
         double cur = regranted.load(std::memory_order_relaxed);
         while (!regranted.compare_exchange_weak(
             cur, cur + bonus, std::memory_order_relaxed)) {
         }
       }
     }
-    searches[di] = RunSearch(options.strategy, initial_states[p],
-                             *cost_model, options.heuristics, l);
-    if (searches[di].ok() && l.time_budget_sec > 0 &&
-        searches[di]->stats.completed) {
-      // Space exhausted with time to spare: return the remainder.
-      spare.Deposit(l.time_budget_sec - searches[di]->stats.elapsed_sec);
-    }
-    if (options.limits.on_progress) {
-      ProgressEvent ev;
-      ev.kind = ProgressEvent::Kind::kPartitionDone;
-      if (searches[di].ok()) {
-        ev.best_cost = searches[di]->stats.best_cost;
-        ev.elapsed_sec = searches[di]->stats.elapsed_sec;
+
+    Status last = Status::Internal("partition search never ran");
+    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      // A user stop never skips the *first* attempt: a search started with
+      // a stopped token returns its valid S0 best immediately (the anytime
+      // contract) — it only suppresses retries.
+      if (attempt > 1 && options.limits.stop.stop_requested()) break;
+      const double remaining =
+          slice > 0 ? slice - wall_spent() : 0;
+      if (slice > 0 && attempt > 1 && remaining < kMinTimeBudgetSec) {
+        break;  // slice exhausted; don't start an attempt that can't run
       }
-      ev.partition = p;
-      ev.partitions_total = num_partitions;
-      options.limits.on_progress(ev);
+      slot.health.attempts = attempt;
+
+      SearchLimits l = limits[di];
+      l.time_budget_sec =
+          slice > 0 ? std::max(remaining, kMinTimeBudgetSec) : 0;
+      // Hard per-attempt deadline: the watchdog fires a StopSource combined
+      // into the attempt's token, so the search — and any injected hang
+      // under the containment boundary (ScopedHangToken) — observes the
+      // stop exactly like a user cancellation.
+      StopSource attempt_deadline;
+      uint64_t ticket = 0;
+      if (deadline_sec > 0) {
+        l.stop = StopToken::Combine(options.limits.stop,
+                                    attempt_deadline.token());
+        ticket = watchdog.Arm(deadline_sec, attempt_deadline);
+      }
+      const fault::ScopedHangToken hang_guard(l.stop);
+
+      Result<SearchResult> r =
+          Status::Internal("partition search attempt did not run");
+      try {
+        Status injected = fault::MaybeThrow(fault::sites::kPartitionSearch);
+        r = injected.ok()
+                ? RunSearch(options.strategy, initial_states[p], *cost_model,
+                            options.heuristics, l)
+                : Result<SearchResult>(injected);
+      } catch (const std::bad_alloc&) {
+        r = Status::ResourceExhausted("partition search ran out of memory");
+      } catch (const std::exception& e) {
+        r = Status::Internal(std::string("partition search threw: ") +
+                             e.what());
+      } catch (...) {
+        r = Status::Internal("partition search threw a non-exception");
+      }
+      if (ticket != 0) watchdog.Disarm(ticket);
+
+      const bool user_stopped = options.limits.stop.stop_requested();
+      if (r.ok() && ticket != 0 && watchdog.Fired(ticket) &&
+          r->stats.cancelled && !user_stopped) {
+        // The watchdog cut a still-running attempt: a deadline overrun is
+        // a failure (the hard deadline exists to bound wedged attempts),
+        // unlike an ordinary in-budget truncation, which stays a valid
+        // anytime result.
+        r = Status::TimedOut("partition search overran its watchdog "
+                             "deadline");
+      }
+
+      if (r.ok()) {
+        if (slice > 0 && r->stats.completed) {
+          // Space exhausted with time to spare: return the remainder.
+          spare.Deposit(slice - wall_spent());
+        }
+        slot.result.initial_cost = r->stats.initial_cost;
+        slot.result.search = std::move(*r);
+        slot.error = Status::OK();
+        slot.health.recovered = attempt > 1;
+        slot.health.wall_spent_sec = wall_spent();
+        // attempt 0 for a plain first-try success (the documented "outside
+        // the retry machinery" value); the real number marks a recovery.
+        emit(ProgressEvent::Kind::kPartitionDone, p, attempt > 1 ? attempt : 0,
+             slot.result.search.stats.best_cost,
+             slot.result.search.stats.elapsed_sec);
+        return;
+      }
+
+      last = r.status();
+      slot.health.last_code = last.code();
+      slot.health.last_error = last.message();
+      emit(ProgressEvent::Kind::kPartitionFailed, p, attempt, 0,
+           wall_spent());
+      if (attempt >= max_attempts || user_stopped) break;
+      double backoff = robust::BackoffDelaySec(retry, p, attempt + 1);
+      if (slice > 0) {
+        const double left = slice - wall_spent();
+        if (left < kMinTimeBudgetSec) break;  // no room for another try
+        backoff = std::min(backoff, std::max(left - kMinTimeBudgetSec, 0.0));
+      }
+      robust::SleepWithStop(backoff, &options.limits.stop);
+      if (options.limits.stop.stop_requested()) break;
+      emit(ProgressEvent::Kind::kPartitionRetry, p, attempt + 1, 0,
+           wall_spent());
     }
+
+    slot.error = last;
+    slot.health.abandoned = true;
+    slot.health.wall_spent_sec = wall_spent();
+    emit(ProgressEvent::Kind::kPartitionAbandoned, p,
+         std::max<size_t>(slot.health.attempts, 1), 0,
+         slot.health.wall_spent_sec);
   };
   if (fan_out) {
     ThreadPool pool(std::min(options.limits.num_threads, dirty.size()));
@@ -271,17 +423,23 @@ Result<std::vector<PartitionSearchResult>> SearchPartitions(
   } else {
     for (size_t di = 0; di < dirty.size(); ++di) run_one(di);
   }
+
   if (report != nullptr) {
     report->budget_regranted_sec = regranted.load(std::memory_order_relaxed);
-  }
-
-  for (size_t di = 0; di < dirty.size(); ++di) {
-    Result<SearchResult>& r = searches[di];
-    if (!r.ok()) return r.status();
-    PartitionSearchResult pr;
-    pr.initial_cost = r->stats.initial_cost;
-    pr.search = std::move(*r);
-    out[dirty[di]] = std::move(pr);
+    report->partitions_failed = 0;
+    report->partition_retries = 0;
+    report->partition_health.clear();
+    for (const PartitionOutcome& o : out) {
+      if (!o.ok()) ++report->partitions_failed;
+      if (o.health.attempts > 1) {
+        report->partition_retries += o.health.attempts - 1;
+      }
+      // Record every partition the retry machinery touched: failed at
+      // least once (recovered or abandoned) or never ran at all.
+      if (!o.ok() || o.health.recovered) {
+        report->partition_health.push_back(o.health);
+      }
+    }
   }
   return out;
 }

@@ -1,0 +1,80 @@
+#include "vsel/robust/circuit_breaker.h"
+
+#include <utility>
+
+namespace rdfviews::vsel::robust {
+
+CircuitBreaker::CircuitBreaker(Options options, Clock clock)
+    : options_(std::move(options)), clock_(std::move(clock)) {
+  if (!clock_) clock_ = [] { return std::chrono::steady_clock::now(); };
+  if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+}
+
+CircuitBreaker::State CircuitBreaker::StateLocked() const {
+  if (state_ != State::kOpen) return state_;
+  const double open_for =
+      std::chrono::duration<double>(clock_() - opened_at_).count();
+  return open_for >= options_.open_sec ? State::kHalfOpen : State::kOpen;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (StateLocked()) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++skips_;
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++skips_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to a fresh open window.
+    state_ = State::kOpen;
+    opened_at_ = clock_();
+    probe_in_flight_ = false;
+    ++opens_;
+    return;
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold &&
+      state_ == State::kClosed) {
+    state_ = State::kOpen;
+    opened_at_ = clock_();
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StateLocked();
+}
+
+uint64_t CircuitBreaker::skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skips_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+}  // namespace rdfviews::vsel::robust

@@ -1,0 +1,72 @@
+// A classic three-state circuit breaker (closed / open / half-open),
+// guarding the session's partition-result cache backend against a wedged
+// or persistently failing store.
+//
+//   closed    — operations flow; `failure_threshold` *consecutive* failures
+//               trip the breaker open (any success resets the run).
+//   open      — Allow() refuses for `open_sec`; every refusal is a counted
+//               skip (the RetryingCacheBackend reports them as breaker
+//               skips, and a skipped Get is just a cache miss).
+//   half-open — after `open_sec`, exactly one probe operation is let
+//               through: success re-closes the breaker, failure re-opens
+//               it for another window.
+//
+// Thread-safe. The clock is injectable so unit tests can step time instead
+// of sleeping through open windows.
+#ifndef RDFVIEWS_VSEL_ROBUST_CIRCUIT_BREAKER_H_
+#define RDFVIEWS_VSEL_ROBUST_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace rdfviews::vsel::robust {
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures that open the breaker.
+    size_t failure_threshold = 5;
+    /// Seconds an open breaker refuses before the half-open probe.
+    double open_sec = 1.0;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit CircuitBreaker(Options options, Clock clock = nullptr);
+
+  /// True when the caller may attempt the operation (closed, or the
+  /// half-open probe slot). False counts a skip. A true return from
+  /// half-open claims the probe: concurrent callers get false until the
+  /// probe reports back.
+  bool Allow();
+
+  /// Reports the outcome of an allowed operation.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  uint64_t skips() const;
+  uint64_t opens() const;
+
+ private:
+  State StateLocked() const;
+
+  Options options_;
+  Clock clock_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+  uint64_t skips_ = 0;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace rdfviews::vsel::robust
+
+#endif  // RDFVIEWS_VSEL_ROBUST_CIRCUIT_BREAKER_H_

@@ -1,0 +1,47 @@
+#include "vsel/robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace rdfviews::vsel::robust {
+
+double BackoffDelaySec(const RetryPolicy& policy, uint64_t stream,
+                       size_t attempt) {
+  if (attempt < 2) return 0;
+  if (policy.initial_backoff_sec <= 0) return 0;
+  double delay = policy.initial_backoff_sec;
+  for (size_t k = 2; k < attempt; ++k) {
+    delay *= policy.backoff_multiplier;
+    if (delay >= policy.max_backoff_sec) break;  // further growth is moot
+  }
+  // Uniform in [0.5, 1.0] from (seed, stream, attempt): deterministic per
+  // plan, decorrelated across streams.
+  const uint64_t u =
+      Mix64(policy.jitter_seed ^ Mix64(stream ^ (uint64_t{attempt} << 32)));
+  const double unit = static_cast<double>(u >> 11) * 0x1.0p-53;
+  delay *= 0.5 + 0.5 * unit;
+  return std::min(delay, policy.max_backoff_sec);
+}
+
+double SleepWithStop(double sec, const StopToken* stop) {
+  if (sec <= 0) return 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (stop != nullptr && stop->stop_requested()) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= sec) break;
+    const double remaining = sec - elapsed;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(remaining, 0.001)));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace rdfviews::vsel::robust

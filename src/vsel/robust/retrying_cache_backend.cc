@@ -1,0 +1,107 @@
+#include "vsel/robust/retrying_cache_backend.h"
+
+#include <utility>
+
+namespace rdfviews::vsel::robust {
+
+namespace {
+
+RetryPolicy MakePolicy(const RetryingCacheBackend::Options& options) {
+  RetryPolicy policy;
+  policy.max_attempts = options.max_attempts == 0 ? 1 : options.max_attempts;
+  policy.initial_backoff_sec = options.initial_backoff_sec;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_sec = options.initial_backoff_sec * 16;
+  policy.jitter_seed = options.jitter_seed;
+  return policy;
+}
+
+}  // namespace
+
+RetryingCacheBackend::RetryingCacheBackend(
+    serialize::PartitionCacheBackend* delegate, Options options)
+    : delegate_(delegate),
+      retry_(MakePolicy(options)),
+      max_attempts_(retry_.max_attempts),
+      breaker_(options.breaker) {}
+
+RetryingCacheBackend::RetryingCacheBackend(
+    std::shared_ptr<serialize::PartitionCacheBackend> owned, Options options)
+    : owned_(std::move(owned)),
+      delegate_(owned_.get()),
+      retry_(MakePolicy(options)),
+      max_attempts_(retry_.max_attempts),
+      breaker_(options.breaker) {}
+
+std::optional<serialize::PartitionCacheBackend::Fetched>
+RetryingCacheBackend::Get(const std::string& key, bool* io_failed) {
+  if (io_failed != nullptr) *io_failed = false;
+  if (!breaker_.Allow()) {
+    skipped_gets_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;  // a skipped lookup is just a miss
+  }
+  const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t attempt = 1;; ++attempt) {
+    bool io = false;
+    std::optional<Fetched> fetched = delegate_->Get(key, &io);
+    if (fetched.has_value() || !io) {
+      // A genuine miss is backend health too: the storage answered.
+      breaker_.RecordSuccess();
+      return fetched;
+    }
+    if (attempt >= max_attempts_) {
+      breaker_.RecordFailure();
+      if (io_failed != nullptr) *io_failed = true;
+      return std::nullopt;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+  }
+}
+
+bool RetryingCacheBackend::Put(const std::string& key,
+                               const pipeline::PartitionSearchResult& result) {
+  if (!breaker_.Allow()) {
+    skipped_puts_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // a skipped store is a future miss
+  }
+  const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t attempt = 1;; ++attempt) {
+    if (delegate_->Put(key, result)) {
+      breaker_.RecordSuccess();
+      return true;
+    }
+    if (attempt >= max_attempts_) {
+      breaker_.RecordFailure();
+      return false;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+  }
+}
+
+void RetryingCacheBackend::Clear() { delegate_->Clear(); }
+
+size_t RetryingCacheBackend::Size() const { return delegate_->Size(); }
+
+void RetryingCacheBackend::Trim(size_t max_entries) {
+  delegate_->Trim(max_entries);
+}
+
+void RetryingCacheBackend::NoteRehydrationRejected() {
+  delegate_->NoteRehydrationRejected();
+}
+
+serialize::PartitionCacheBackend::Counters RetryingCacheBackend::counters()
+    const {
+  Counters c = delegate_->counters();
+  c.retries += retries_.load(std::memory_order_relaxed);
+  c.breaker_skips += skipped_gets_.load(std::memory_order_relaxed) +
+                     skipped_puts_.load(std::memory_order_relaxed);
+  // Skipped Gets never reached the delegate; fold them into misses so the
+  // session's hit/miss accounting still sums to its lookup count.
+  c.misses += skipped_gets_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace rdfviews::vsel::robust

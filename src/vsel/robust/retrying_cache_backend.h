@@ -1,0 +1,91 @@
+// A PartitionCacheBackend decorator adding retry-with-backoff and a
+// circuit breaker in front of any delegate backend (enabled through
+// SessionCacheOptions::robust_backend).
+//
+// Semantics layered on the delegate:
+//
+//   - Get: a storage-layer failure (the delegate's `io_failed` signal — an
+//     existing entry it could not open/read) is retried up to
+//     `max_attempts` times with deterministic jittered backoff; a genuine
+//     miss (entry absent) is returned immediately and counts as backend
+//     health. Put: retried on a false return the same way.
+//   - A run of `breaker.failure_threshold` consecutive exhausted
+//     operations opens the breaker: for `breaker.open_sec` every operation
+//     is skipped outright (a skipped Get is a miss, a skipped Put reports
+//     false), each skip counted, so a wedged shared filesystem costs one
+//     failure window, not one timeout per partition per update. After the
+//     window one half-open probe operation is let through; its outcome
+//     closes or re-opens the breaker.
+//
+// Failure containment only — the decorator never changes what a healthy
+// delegate returns. Maintenance calls (Clear / Size / Trim /
+// NoteRehydrationRejected) pass straight through, ungated: they must work
+// on a sick backend too.
+#ifndef RDFVIEWS_VSEL_ROBUST_RETRYING_CACHE_BACKEND_H_
+#define RDFVIEWS_VSEL_ROBUST_RETRYING_CACHE_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "vsel/robust/circuit_breaker.h"
+#include "vsel/robust/retry.h"
+#include "vsel/serialize/partition_cache.h"
+
+namespace rdfviews::vsel::robust {
+
+class RetryingCacheBackend : public serialize::PartitionCacheBackend {
+ public:
+  struct Options {
+    /// Attempts per operation, including the first.
+    size_t max_attempts = 3;
+    /// Backoff between attempts (see RetryPolicy; multiplier 2, capped at
+    /// 16x the initial).
+    double initial_backoff_sec = 0.002;
+    uint64_t jitter_seed = 0x5eedull;
+    CircuitBreaker::Options breaker;
+  };
+
+  /// Non-owning: `delegate` must outlive the decorator.
+  RetryingCacheBackend(serialize::PartitionCacheBackend* delegate,
+                       Options options);
+  /// Owning: the decorator keeps the delegate alive (the session wraps its
+  /// backend — self-constructed or caller-supplied — through this one).
+  RetryingCacheBackend(
+      std::shared_ptr<serialize::PartitionCacheBackend> owned,
+      Options options);
+
+  std::optional<Fetched> Get(const std::string& key,
+                             bool* io_failed = nullptr) override;
+  bool Put(const std::string& key,
+           const pipeline::PartitionSearchResult& result) override;
+  void Clear() override;
+  size_t Size() const override;
+  void Trim(size_t max_entries) override;
+  void NoteRehydrationRejected() override;
+  /// The delegate's counters plus this decorator's `retries` and
+  /// `breaker_skips` (and with breaker-skipped Gets folded into `misses`,
+  /// so hit/miss accounting stays coherent for the session).
+  Counters counters() const override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+  serialize::PartitionCacheBackend* delegate() const { return delegate_; }
+
+ private:
+  std::shared_ptr<serialize::PartitionCacheBackend> owned_;
+  serialize::PartitionCacheBackend* delegate_;
+  RetryPolicy retry_;
+  size_t max_attempts_;
+  CircuitBreaker breaker_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> skipped_gets_{0};
+  std::atomic<uint64_t> skipped_puts_{0};
+};
+
+}  // namespace rdfviews::vsel::robust
+
+#endif  // RDFVIEWS_VSEL_ROBUST_RETRYING_CACHE_BACKEND_H_

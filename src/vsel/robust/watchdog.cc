@@ -1,0 +1,85 @@
+#include "vsel/robust/watchdog.h"
+
+#include <utility>
+
+namespace rdfviews::vsel::robust {
+
+Watchdog::~Watchdog() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t Watchdog::Arm(double deadline_sec, StopSource source) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  const auto due = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           deadline_sec > 0 ? deadline_sec : 0));
+  pending_.emplace(ticket, Entry{due, std::move(source)});
+  if (!thread_started_) {
+    thread_started_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  lock.unlock();
+  wake_.notify_all();
+  return ticket;
+}
+
+void Watchdog::Disarm(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;  // already fired (or never existed)
+  pending_.erase(it);
+  fired_tickets_.emplace(ticket, false);
+}
+
+bool Watchdog::Fired(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fired_tickets_.find(ticket);
+  return it != fired_tickets_.end() && it->second;
+}
+
+uint64_t Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_count_;
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (pending_.empty()) {
+      wake_.wait(lock,
+                 [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    // Earliest deadline across pending entries.
+    auto earliest = pending_.begin();
+    for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+      if (it->second.due < earliest->second.due) earliest = it;
+    }
+    const auto due = earliest->second.due;
+    if (std::chrono::steady_clock::now() < due) {
+      // A new Arm may register an earlier deadline; re-scan on wake.
+      wake_.wait_until(lock, due);
+      continue;
+    }
+    StopSource source = std::move(earliest->second.source);
+    const uint64_t ticket = earliest->first;
+    pending_.erase(earliest);
+    fired_tickets_.emplace(ticket, true);
+    ++fired_count_;
+    // Firing is a relaxed atomic store; safe under the lock, but release it
+    // anyway so a long chain of due entries never blocks Arm/Disarm.
+    lock.unlock();
+    source.RequestStop();
+    lock.lock();
+  }
+}
+
+}  // namespace rdfviews::vsel::robust

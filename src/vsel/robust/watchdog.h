@@ -1,0 +1,77 @@
+// A single-thread deadline watchdog: Arm(deadline, source) registers "fire
+// this StopSource in `deadline` seconds unless disarmed first", and one
+// background thread sleeps until the earliest registered deadline and
+// fires whatever is due.
+//
+// Pipeline stage 3 arms one entry per partition search *attempt*: the
+// armed StopSource is combined (StopToken::Combine) with the caller's own
+// token into the token the search — and any injected hang under it
+// (fault::ScopedHangToken) — polls, so an attempt that wedges anywhere
+// cooperative is cut loose after its hard per-partition deadline without
+// the containment loop itself having to wait on it. Disarm on the happy
+// path is cheap (erase under the lock); a fired entry counts toward
+// fired() so the loop can distinguish "deadline cut it" from "user
+// cancelled".
+//
+// The thread is started lazily on first Arm and joined in the destructor;
+// a Watchdog that is never armed costs nothing.
+#ifndef RDFVIEWS_VSEL_ROBUST_WATCHDOG_H_
+#define RDFVIEWS_VSEL_ROBUST_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/stop_token.h"
+
+namespace rdfviews::vsel::robust {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers `source` to be fired `deadline_sec` seconds from now.
+  /// Returns a ticket for Disarm. Non-positive deadlines fire immediately
+  /// (still through the watchdog thread, still counted).
+  uint64_t Arm(double deadline_sec, StopSource source);
+
+  /// Cancels a pending entry. Idempotent; disarming an already-fired
+  /// ticket is a no-op (the firing is not undone — the attempt's combined
+  /// token has already observed it).
+  void Disarm(uint64_t ticket);
+
+  /// True iff this ticket's deadline elapsed and its source was fired.
+  bool Fired(uint64_t ticket) const;
+
+  /// Total entries fired since construction.
+  uint64_t fired() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point due;
+    StopSource source;
+  };
+
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::map<uint64_t, Entry> pending_;
+  std::map<uint64_t, bool> fired_tickets_;  // ticket -> fired (vs disarmed)
+  uint64_t next_ticket_ = 1;
+  uint64_t fired_count_ = 0;
+  bool stopping_ = false;
+  bool thread_started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rdfviews::vsel::robust
+
+#endif  // RDFVIEWS_VSEL_ROBUST_WATCHDOG_H_

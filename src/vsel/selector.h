@@ -43,6 +43,33 @@ struct SelectorOptions {
   PartitionOptions partition;
   /// Session partition-result cache storage; see SessionCacheOptions.
   SessionCacheOptions cache;
+  /// Failure containment of the pipeline's stage 3 (retry policy, watchdog
+  /// deadline); see RobustnessOptions.
+  RobustnessOptions robust;
+};
+
+/// Per-partition health record of one pipeline run: how many attempts the
+/// partition took, what the last failure was, and whether it ended
+/// abandoned (degraded out of the recommendation) or recovered (succeeded
+/// on a retry). Healthy first-try partitions get attempts == 1 and kOk.
+struct PartitionHealth {
+  /// Partition index within the run's PartitionPlan.
+  size_t partition = 0;
+  /// Queries in the partition (the degradation blast radius).
+  size_t queries = 0;
+  /// Search attempts made this update (0 = never ran: its pool task died
+  /// before claiming the slot, or the update failed before stage 3).
+  size_t attempts = 0;
+  /// Last failure observed (kOk when the partition never failed).
+  StatusCode last_code = StatusCode::kOk;
+  std::string last_error;
+  /// Wall seconds spent across all attempts, including backoff sleeps.
+  double wall_spent_sec = 0;
+  /// Exhausted its retry budget; its queries have null rewritings in the
+  /// degraded Recommendation and the partition stays dirty in a session.
+  bool abandoned = false;
+  /// Failed at least once but succeeded on a later attempt.
+  bool recovered = false;
 };
 
 /// Per-recommendation observability of the staged pipeline, including the
@@ -71,6 +98,15 @@ struct PipelineReport {
   /// Seconds of time budget early-finishing partitions returned to the
   /// shared pool for still-running ones (stage 3 re-granting).
   double budget_regranted_sec = 0;
+  /// Partitions abandoned this update (the recommendation is degraded when
+  /// nonzero; see Sec. "Failure semantics" in the README).
+  size_t partitions_failed = 0;
+  /// Retry attempts made beyond each partition's first try.
+  size_t partition_retries = 0;
+  /// One record per partition that needed the retry machinery this update
+  /// (failed at least once, recovered, or was abandoned), ordered by
+  /// partition index. Healthy runs leave it empty.
+  std::vector<PartitionHealth> partition_health;
 };
 
 /// A recommended view set: everything needed to deploy the three-tier

@@ -1,14 +1,17 @@
 #include "vsel/serialize/partition_cache.h"
 
+#include <cerrno>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -23,11 +26,23 @@ constexpr char kEntrySuffix[] = ".rvpo";
 /// Clear() sweeps this extension too (Get/Size never look at them).
 constexpr char kTempSuffix[] = ".tmp";
 
-/// Reads a whole file into a string; nullopt on any failure (missing file,
-/// permission error, read error mid-way).
-std::optional<std::string> ReadFileBytes(const std::string& path) {
+/// Reads a whole file into a string; nullopt on any failure. `io_error`
+/// distinguishes why: false means the file simply does not exist (a
+/// genuine cache miss), true means the storage layer misbehaved — open
+/// failure other than ENOENT, or a read error mid-way — which a retrying
+/// caller may reasonably try again.
+std::optional<std::string> ReadFileBytes(const std::string& path,
+                                         bool* io_error) {
+  *io_error = false;
+  if (!fault::Maybe(fault::sites::kDirCacheGetOpen).ok()) {
+    *io_error = true;
+    return std::nullopt;
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
+  if (f == nullptr) {
+    *io_error = errno != ENOENT;
+    return std::nullopt;
+  }
   std::string bytes;
   char buf[1 << 16];
   size_t n;
@@ -36,7 +51,11 @@ std::optional<std::string> ReadFileBytes(const std::string& path) {
   }
   bool ok = std::ferror(f) == 0;
   std::fclose(f);
-  if (!ok) return std::nullopt;
+  if (ok && !fault::Maybe(fault::sites::kDirCacheGetRead).ok()) ok = false;
+  if (!ok) {
+    *io_error = true;
+    return std::nullopt;
+  }
   return bytes;
 }
 
@@ -54,7 +73,8 @@ bool WriteFileBytes(const std::string& path, const std::string& bytes) {
 // ---- InMemoryCacheBackend --------------------------------------------------
 
 std::optional<PartitionCacheBackend::Fetched> InMemoryCacheBackend::Get(
-    const std::string& key) {
+    const std::string& key, bool* io_failed) {
+  if (io_failed != nullptr) *io_failed = false;  // memory never I/O-fails
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -67,11 +87,12 @@ std::optional<PartitionCacheBackend::Fetched> InMemoryCacheBackend::Get(
   return Fetched{it->second.result, /*needs_rehydration=*/false};
 }
 
-void InMemoryCacheBackend::Put(const std::string& key,
+bool InMemoryCacheBackend::Put(const std::string& key,
                                const pipeline::PartitionSearchResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = Entry{result, ++use_counter_};
   ++counters_.stored;
+  return true;
 }
 
 void InMemoryCacheBackend::Clear() {
@@ -114,7 +135,8 @@ PartitionCacheBackend::Counters InMemoryCacheBackend::counters() const {
 // ---- DirCacheBackend -------------------------------------------------------
 
 DirCacheBackend::DirCacheBackend(std::string root,
-                                 const CacheIdentity& identity)
+                                 const CacheIdentity& identity,
+                                 double reap_temp_older_than_sec)
     : root_(std::move(root)), identity_(identity) {
   std::error_code ec;
   fs::create_directories(root_, ec);
@@ -122,6 +144,31 @@ DirCacheBackend::DirCacheBackend(std::string root,
     RDFVIEWS_LOG(kWarning) << "partition cache root " << root_
                            << " not creatable: " << ec.message()
                            << " (every lookup will miss)";
+    return;
+  }
+  if (reap_temp_older_than_sec <= 0) return;
+  // Reap crash-orphaned temp files: live writers rename within
+  // milliseconds of creating theirs, so anything older than the threshold
+  // belongs to a process that died mid-Put. Best-effort throughout — a
+  // concurrent reaper racing us on the same file just loses the remove.
+  const auto cutoff = fs::file_time_type::clock::now() -
+                      std::chrono::duration_cast<fs::file_time_type::duration>(
+                          std::chrono::duration<double>(
+                              reap_temp_older_than_sec));
+  uint64_t reaped = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.path().extension() != kTempSuffix) continue;
+    std::error_code ft_ec;
+    const auto mtime = fs::last_write_time(entry.path(), ft_ec);
+    if (ft_ec || mtime > cutoff) continue;
+    std::error_code rm_ec;
+    if (fs::remove(entry.path(), rm_ec) && !rm_ec) ++reaped;
+  }
+  if (reaped > 0) {
+    RDFVIEWS_LOG(kInfo) << "partition cache " << root_ << ": reaped "
+                        << reaped << " orphaned temp file(s)";
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.temp_files_reaped += reaped;
   }
 }
 
@@ -140,11 +187,14 @@ std::string DirCacheBackend::PathForKey(const std::string& key) const {
 }
 
 std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
-    const std::string& key) {
-  std::optional<std::string> bytes = ReadFileBytes(PathForKey(key));
+    const std::string& key, bool* io_failed) {
+  bool io_error = false;
+  std::optional<std::string> bytes = ReadFileBytes(PathForKey(key), &io_error);
+  if (io_failed != nullptr) *io_failed = io_error;
   if (!bytes.has_value()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.misses;
+    if (io_error) ++counters_.io_failures;
     return std::nullopt;
   }
   Result<pipeline::PartitionSearchResult> outcome =
@@ -165,7 +215,7 @@ std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
   return Fetched{std::move(*outcome), /*needs_rehydration=*/true};
 }
 
-void DirCacheBackend::Put(const std::string& key,
+bool DirCacheBackend::Put(const std::string& key,
                           const pipeline::PartitionSearchResult& result) {
   const std::string path = PathForKey(key);
   // Private temp name (pid + process-wide counter — per-backend counters
@@ -182,13 +232,21 @@ void DirCacheBackend::Put(const std::string& key,
           process_temp_counter.fetch_add(1, std::memory_order_relaxed)) +
       kTempSuffix;
   std::string bytes = SerializePartitionOutcome(key, result, identity_);
-  bool ok = WriteFileBytes(tmp, bytes);
+  bool ok = fault::Maybe(fault::sites::kDirCachePutWrite).ok() &&
+            WriteFileBytes(tmp, bytes);
   if (ok) {
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
+    if (!fault::Maybe(fault::sites::kDirCachePutRename).ok()) {
+      // Behave exactly as if rename(2) failed: remove the temp, report the
+      // store failure (the entry is a future miss, never a torn file).
       std::remove(tmp.c_str());
       ok = false;
+    } else {
+      std::error_code ec;
+      fs::rename(tmp, path, ec);
+      if (ec) {
+        std::remove(tmp.c_str());
+        ok = false;
+      }
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -197,6 +255,7 @@ void DirCacheBackend::Put(const std::string& key,
   } else {
     ++counters_.store_failures;
   }
+  return ok;
 }
 
 void DirCacheBackend::Clear() {

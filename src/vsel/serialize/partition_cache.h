@@ -66,16 +66,33 @@ class PartitionCacheBackend {
     uint64_t rehydration_rejected = 0;
     uint64_t stored = 0;
     uint64_t store_failures = 0;
+    /// Misses caused by the storage layer misbehaving (open/read failure
+    /// on an *existing* entry) rather than by genuine absence — the subset
+    /// of `misses` a RetryingCacheBackend decorator retries.
+    uint64_t io_failures = 0;
+    /// DirCacheBackend only: crash-orphaned temp files swept at
+    /// construction (see the reap_temp_older_than_sec constructor knob).
+    uint64_t temp_files_reaped = 0;
+    /// RetryingCacheBackend decorator only: operations retried after a
+    /// transient failure, and operations skipped outright by an open
+    /// circuit breaker.
+    uint64_t retries = 0;
+    uint64_t breaker_skips = 0;
   };
 
   virtual ~PartitionCacheBackend() = default;
 
   /// Looks up `key`; nullopt on miss (including any storage failure).
-  virtual std::optional<Fetched> Get(const std::string& key) = 0;
+  /// `io_failed` (optional) is set true when the miss was a storage-layer
+  /// failure rather than genuine absence — the signal a retrying decorator
+  /// keys on; callers that only care hit-vs-miss pass nothing.
+  virtual std::optional<Fetched> Get(const std::string& key,
+                                     bool* io_failed = nullptr) = 0;
 
   /// Stores a completed outcome under `key` (best-effort; replaces any
-  /// previous entry).
-  virtual void Put(const std::string& key,
+  /// previous entry). Returns false when the store failed — callers may
+  /// ignore it (a failed Put is a future miss), decorators retry on it.
+  virtual bool Put(const std::string& key,
                    const pipeline::PartitionSearchResult& result) = 0;
 
   /// Drops every entry this backend can reach.
@@ -102,8 +119,9 @@ class PartitionCacheBackend {
 /// rehydration.
 class InMemoryCacheBackend : public PartitionCacheBackend {
  public:
-  std::optional<Fetched> Get(const std::string& key) override;
-  void Put(const std::string& key,
+  std::optional<Fetched> Get(const std::string& key,
+                             bool* io_failed = nullptr) override;
+  bool Put(const std::string& key,
            const pipeline::PartitionSearchResult& result) override;
   void Clear() override;
   size_t Size() const override;
@@ -130,11 +148,18 @@ class InMemoryCacheBackend : public PartitionCacheBackend {
 class DirCacheBackend : public PartitionCacheBackend {
  public:
   /// Creates `root` (and parents) when absent. `identity` tags every file
-  /// written and gates every file read.
-  DirCacheBackend(std::string root, const CacheIdentity& identity);
+  /// written and gates every file read. Temp files older than
+  /// `reap_temp_older_than_sec` under the root are removed (and counted in
+  /// Counters::temp_files_reaped): they are writes orphaned by a crashed
+  /// process — live writers rename within milliseconds — and without the
+  /// sweep a crash-looping job leaks one per attempt forever. Pass <= 0 to
+  /// disable the sweep (tests exercising racing writers do).
+  DirCacheBackend(std::string root, const CacheIdentity& identity,
+                  double reap_temp_older_than_sec = 3600.0);
 
-  std::optional<Fetched> Get(const std::string& key) override;
-  void Put(const std::string& key,
+  std::optional<Fetched> Get(const std::string& key,
+                             bool* io_failed = nullptr) override;
+  bool Put(const std::string& key,
            const pipeline::PartitionSearchResult& result) override;
   void NoteRehydrationRejected() override;
   /// Removes every cache entry file under the root — all identities, plus

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "vsel/robust/retrying_cache_backend.h"
 
 namespace rdfviews::vsel {
 
@@ -90,6 +91,18 @@ TuningSession::TuningSession(
       cache_backend_ = std::make_shared<serialize::InMemoryCacheBackend>();
     }
   }
+  if (options_.cache.robust_backend) {
+    // Wrap whatever backend we ended up with (self-constructed or
+    // caller-supplied) in the retry + circuit-breaker decorator; the
+    // decorator shares ownership of the delegate.
+    robust::RetryingCacheBackend::Options ro;
+    ro.max_attempts = options_.cache.backend_retry_attempts;
+    ro.initial_backoff_sec = options_.cache.backend_retry_backoff_sec;
+    ro.breaker.failure_threshold = options_.cache.breaker_failure_threshold;
+    ro.breaker.open_sec = options_.cache.breaker_open_sec;
+    cache_backend_ =
+        std::make_shared<robust::RetryingCacheBackend>(cache_backend_, ro);
+  }
   // Identity-salt every key handed to the backend (see cache_key_prefix_):
   // sessions with different options sharing one backend object address
   // disjoint key spaces instead of consuming each other's outcomes.
@@ -134,6 +147,18 @@ std::shared_ptr<TuningHandle> TuningSession::UpdateAsync(
         break;
       case ProgressEvent::Kind::kPartitionDone:
         ++shared->progress.partitions_done;
+        shared->progress.partitions_total = ev.partitions_total;
+        break;
+      case ProgressEvent::Kind::kPartitionFailed:
+        // Not terminal: a retry or an abandonment for the same partition
+        // follows, and only those move the done/failed counts.
+        break;
+      case ProgressEvent::Kind::kPartitionRetry:
+        ++shared->progress.partition_retries;
+        break;
+      case ProgressEvent::Kind::kPartitionAbandoned:
+        ++shared->progress.partitions_done;
+        ++shared->progress.partitions_failed;
         shared->progress.partitions_total = ev.partitions_total;
         break;
     }
@@ -251,26 +276,29 @@ Result<Recommendation> TuningSession::DoUpdate(
     preseeded[p] = {fetched[p].get(), hit->needs_rehydration};
   }
 
-  // 5. Search the dirty partitions (cache hits are copied through).
+  // 5. Search the dirty partitions (cache hits are copied through). A
+  // failed partition comes back as a failed PartitionOutcome, never as a
+  // stage error (SearchPartitions only errors on stage-wide setup).
   PipelineReport report;
-  Result<std::vector<pipeline::PartitionSearchResult>> searches =
+  Result<std::vector<pipeline::PartitionOutcome>> searches =
       pipeline::SearchPartitions(*ingest, plan, cost_model_.get(), opts,
                                  &preseeded, &report);
   if (!searches.ok()) return searches.status();
 
   // 6. Collect the cacheable outcomes before the merge consumes the
   // results vector: every fresh partition whose search exhausted its space
-  // is reusable. Truncated results (time / memory / cancel) are *not*
-  // cached — those partitions stay dirty so a later update (or
-  // Recommend()) retries them.
+  // is reusable. Truncated results (time / memory / cancel) and abandoned
+  // partitions are *not* cached — those partitions stay dirty so a later
+  // update (or Recommend()) retries exactly them.
   std::vector<std::pair<std::string, pipeline::PartitionSearchResult>>
       cacheable;
   for (size_t p = 0; p < plan.groups.size(); ++p) {
     if (preseeded[p].result != nullptr) continue;
-    const pipeline::PartitionSearchResult& r = (*searches)[p];
-    if (r.search.stats.completed) {
+    const pipeline::PartitionOutcome& o = (*searches)[p];
+    if (o.ok() && o.result.search.stats.completed) {
       // Cheap COW copy, filed under the identity-salted key.
-      cacheable.emplace_back(cache_key_prefix_ + plan.group_keys[p], r);
+      cacheable.emplace_back(cache_key_prefix_ + plan.group_keys[p],
+                             o.result);
     }
   }
 

@@ -80,9 +80,15 @@ struct TuningProgress {
   double best_cost = 0;
   /// How many best-cost improvement events have fired.
   uint64_t improvements = 0;
-  /// Partitions finished (searched or served from cache) / total.
+  /// Partitions finished (searched, served from cache, or abandoned after
+  /// exhausting their retry budget) / total.
   size_t partitions_done = 0;
   size_t partitions_total = 0;
+  /// Partitions abandoned so far this update (each also counts toward
+  /// partitions_done; the recommendation will be degraded when nonzero).
+  size_t partitions_failed = 0;
+  /// Retry attempts made beyond partitions' first tries so far.
+  size_t partition_retries = 0;
   bool cancel_requested = false;
   bool done = false;
 };
@@ -168,6 +174,16 @@ class TuningSession {
   /// workload advances even when the update is cancelled mid-search (the
   /// returned recommendation is the valid current best; the partitions cut
   /// short simply stay dirty for the next update).
+  ///
+  /// Failure semantics (see SelectorOptions::robust): a partition search
+  /// that throws, fails, or overruns its watchdog deadline is retried per
+  /// the session's RetryPolicy and then abandoned — Update still returns a
+  /// valid *degraded* recommendation over the surviving partitions
+  /// (stats.completed == false, null rewritings for the failed partitions'
+  /// queries, the failure roster in pipeline.partition_health). Abandoned
+  /// partitions are never cached, so they stay dirty: the next Update
+  /// re-searches exactly them. Only when no partition survives does Update
+  /// return an error, and an erroring Update leaves the session untouched.
   Result<Recommendation> Update(
       const std::vector<cq::ConjunctiveQuery>& add_queries,
       const std::vector<std::string>& remove_queries = {});

@@ -389,7 +389,7 @@ TEST(PipelineTest, MergeFoldsCrossPartitionDuplicateViews) {
   PartitionPlan plan;
   plan.groups = {{0}, {1}};
   CostModel cost_model(ingest->stats, options.weights);
-  Result<std::vector<PartitionSearchResult>> searches =
+  Result<std::vector<PartitionOutcome>> searches =
       SearchPartitions(*ingest, plan, &cost_model, options);
   ASSERT_TRUE(searches.ok()) << searches.status().ToString();
   Result<Recommendation> rec = MergePartitions(

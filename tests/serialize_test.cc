@@ -121,11 +121,14 @@ SearchedPartitions RunPartitionSearches(
   out.plan = pipeline::PartitionWorkload(*out.ingest, options);
   out.cost_model =
       std::make_shared<CostModel>(out.ingest->stats, options.weights);
-  Result<std::vector<pipeline::PartitionSearchResult>> searches =
+  Result<std::vector<pipeline::PartitionOutcome>> searches =
       pipeline::SearchPartitions(*out.ingest, out.plan,
                                  out.cost_model.get(), options);
   EXPECT_TRUE(searches.ok()) << searches.status().ToString();
-  out.results = std::move(*searches);
+  for (pipeline::PartitionOutcome& o : *searches) {
+    EXPECT_TRUE(o.ok()) << o.error.ToString();
+    out.results.push_back(std::move(o.result));
+  }
   return out;
 }
 

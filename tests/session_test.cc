@@ -10,9 +10,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <thread>
 #include <tuple>
+#include <vector>
 
+#include "common/fault.h"
 #include "engine/evaluator.h"
 #include "test_util.h"
 #include "vsel/pipeline/pipeline.h"
@@ -458,6 +461,121 @@ TEST(SessionParallelAsyncTest, SecondUpdateWhileInFlightIsRejected) {
   EXPECT_FALSE(rejected_async->Wait().ok());
   inflight->Cancel();
   EXPECT_TRUE(inflight->Wait().ok());
+}
+
+// ---- Failure / retry event ordering ----------------------------------------
+
+/// Thread-safe collector for the retry-machinery events of one update
+/// (kPartitionFailed / kPartitionRetry / kPartitionAbandoned, plus
+/// kPartitionDone events carrying a recovery attempt number), with a
+/// fault-injector disarm guard so a failing assertion can not leak an
+/// armed plan into later tests.
+struct RetryEventLog {
+  std::mutex mu;
+  std::vector<ProgressEvent> events;
+
+  ~RetryEventLog() { fault::Disarm(); }
+
+  ProgressFn Collector() {
+    return [this](const ProgressEvent& ev) {
+      using Kind = ProgressEvent::Kind;
+      if (ev.kind == Kind::kPartitionFailed ||
+          ev.kind == Kind::kPartitionRetry ||
+          ev.kind == Kind::kPartitionAbandoned ||
+          (ev.kind == Kind::kPartitionDone && ev.attempt > 0)) {
+        std::lock_guard<std::mutex> lock(mu);
+        events.push_back(ev);
+      }
+    };
+  }
+};
+
+TEST(SessionRetryEventsTest, RecoveryEmitsFailedRetryDoneInOrder) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(StrategyKind::kDfs);  // serial
+  options.robust.retry.max_attempts = 3;
+  options.robust.retry.initial_backoff_sec = 0.001;
+  options.robust.retry.max_backoff_sec = 0.002;
+  RetryEventLog log;
+  options.limits.on_progress = log.Collector();
+
+  // The first two evaluations fail: the first-searched partition loses
+  // attempts 1 and 2, then recovers on attempt 3; everyone else is clean.
+  fault::SiteSpec spec;
+  spec.count = 2;
+  fault::Arm(1, {{fault::sites::kPartitionSearch, spec}});
+  TuningSession session(&fx.store, &fx.dict, options);
+  Result<Recommendation> rec = session.Update(fx.initial);
+  fault::Disarm();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->stats.completed);
+  EXPECT_EQ(rec->pipeline.partitions_failed, 0u);
+  EXPECT_EQ(rec->pipeline.partition_retries, 2u);
+
+  using Kind = ProgressEvent::Kind;
+  ASSERT_EQ(log.events.size(), 5u);
+  const std::vector<std::pair<Kind, size_t>> expected = {
+      {Kind::kPartitionFailed, 1}, {Kind::kPartitionRetry, 2},
+      {Kind::kPartitionFailed, 2}, {Kind::kPartitionRetry, 3},
+      {Kind::kPartitionDone, 3},
+  };
+  const size_t partition = log.events[0].partition;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(log.events[i].kind, expected[i].first) << "event " << i;
+    EXPECT_EQ(log.events[i].attempt, expected[i].second) << "event " << i;
+    // One flaky partition: every retry event names it.
+    EXPECT_EQ(log.events[i].partition, partition) << "event " << i;
+  }
+  // Recovery is recorded in the health report, not just the event stream.
+  ASSERT_EQ(rec->pipeline.partition_health.size(), 1u);
+  EXPECT_TRUE(rec->pipeline.partition_health[0].recovered);
+  EXPECT_EQ(rec->pipeline.partition_health[0].attempts, 3u);
+}
+
+TEST(SessionRetryEventsTest, AbandonmentEventsAndAsyncProgressCounters) {
+  SessionFixture fx;
+  SelectorOptions options = fx.Options(StrategyKind::kDfs);
+  options.robust.retry.max_attempts = 2;
+  options.robust.retry.initial_backoff_sec = 0.001;
+  options.robust.retry.max_backoff_sec = 0.002;
+  RetryEventLog log;
+  options.limits.on_progress = log.Collector();
+
+  // Both attempts of the first-searched partition fail: it is abandoned,
+  // and the async update degrades to the other partitions.
+  fault::SiteSpec spec;
+  spec.count = 2;
+  fault::Arm(1, {{fault::sites::kPartitionSearch, spec}});
+  TuningSession session(&fx.store, &fx.dict, options);
+  std::shared_ptr<TuningHandle> handle = session.UpdateAsync(fx.initial);
+  Result<Recommendation> rec = handle->Wait();
+  fault::Disarm();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE(rec->stats.completed);  // degraded
+  EXPECT_EQ(rec->pipeline.partitions_failed, 1u);
+
+  using Kind = ProgressEvent::Kind;
+  ASSERT_EQ(log.events.size(), 4u);
+  const std::vector<std::pair<Kind, size_t>> expected = {
+      {Kind::kPartitionFailed, 1},
+      {Kind::kPartitionRetry, 2},
+      {Kind::kPartitionFailed, 2},
+      {Kind::kPartitionAbandoned, 2},
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(log.events[i].kind, expected[i].first) << "event " << i;
+    EXPECT_EQ(log.events[i].attempt, expected[i].second) << "event " << i;
+    EXPECT_EQ(log.events[i].partition, log.events[0].partition)
+        << "event " << i;
+  }
+
+  // The async tracker folds the events into TuningProgress: the abandoned
+  // partition still counts as done (the update is not stuck on it).
+  TuningProgress progress = handle->Current();
+  EXPECT_TRUE(progress.done);
+  EXPECT_EQ(progress.partitions_done, progress.partitions_total);
+  EXPECT_EQ(progress.partitions_failed, 1u);
+  EXPECT_EQ(progress.partition_retries, 1u);
 }
 
 // ---- Budget re-granting observability --------------------------------------
