@@ -34,10 +34,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <numeric>
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "common/telemetry/export.h"
 #include "rdf/statistics.h"
 #include "vsel/pipeline/pipeline.h"
 #include "workload/generator.h"
@@ -125,7 +127,7 @@ int main(int argc, char** argv) {
     std::fprintf(csv,
                  "strategy,commonality,shape,queries,groups,partitions,rcr,"
                  "atoms_per_view,states_per_sec,est_per_state,elapsed_sec,"
-                 "completed\n");
+                 "completed,ingest_sec,partition_sec,search_sec,merge_sec\n");
   }
 
   std::vector<workload::QueryShape> shapes;
@@ -257,14 +259,24 @@ int main(int argc, char** argv) {
                FormatDouble(rec->stats.StatesPerSecond(), 0),
                FormatDouble(est_per_state, 2)});
           if (csv != nullptr) {
+            // Per-stage wall times come from the run's span tree (summed
+            // per stage name); all zero if tracing were disabled.
+            std::map<std::string, double> stage_sec;
+            if (rec->pipeline.telemetry != nullptr) {
+              stage_sec = rec->pipeline.telemetry->SpanSecondsByName();
+            }
             std::fprintf(
-                csv, "%s,%s,%s,%zu,%zu,%zu,%.6f,%.3f,%.1f,%.3f,%.3f,%d\n",
+                csv,
+                "%s,%s,%s,%zu,%zu,%zu,%.6f,%.3f,%.1f,%.3f,%.3f,%d,"
+                "%.6f,%.6f,%.6f,%.6f\n",
                 vsel::StrategyName(strategy),
                 workload::CommonalityName(commonality),
                 workload::QueryShapeName(shape), num_queries,
                 spec.partition_groups, rec->pipeline.num_partitions, rcr,
                 atoms_per_view, rec->stats.StatesPerSecond(), est_per_state,
-                rec->stats.elapsed_sec, rec->stats.completed ? 1 : 0);
+                rec->stats.elapsed_sec, rec->stats.completed ? 1 : 0,
+                stage_sec["pipeline.ingest"], stage_sec["pipeline.partition"],
+                stage_sec["pipeline.search"], stage_sec["pipeline.merge"]);
             std::fflush(csv);
           }
         }

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/telemetry/export.h"
 #include "common/timer.h"
 #include "vsel/session/session.h"
 #include "workload/generator.h"
@@ -98,7 +99,8 @@ void EmitCsv(const std::string& path, const std::vector<Row>& rows) {
 /// across commits).
 void EmitJson(const std::string& path, const std::string& strategy,
               size_t n, size_t k, size_t threads,
-              const std::vector<Row>& rows) {
+              const std::vector<Row>& rows,
+              const telemetry::RunTelemetry* update_telemetry) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -137,11 +139,20 @@ void EmitJson(const std::string& path, const std::string& strategy,
   }
   std::fprintf(f,
                "  ],\n  \"update_full_wall_ratio\": %.6f,\n"
-               "  \"update_reuse_ratio\": %.6f\n}\n",
+               "  \"update_reuse_ratio\": %.6f",
                full_sec > 0 ? update_sec / full_sec : 0.0,
                update_partitions > 0
                    ? static_cast<double>(update_reused) / update_partitions
                    : 0.0);
+  // Telemetry makes the report a strict superset of the historical schema:
+  // the update phase's span tree plus the end-of-run registry snapshot.
+  if (update_telemetry != nullptr) {
+    std::fprintf(f, ",\n  \"spans\": %s,\n  \"metrics\": %s\n}\n",
+                 telemetry::SpansJson(update_telemetry->spans).c_str(),
+                 telemetry::MetricsJson(update_telemetry->metrics).c_str());
+  } else {
+    std::fprintf(f, "\n}\n");
+  }
   std::fclose(f);
   std::printf("json: %s\n", path.c_str());
 }
@@ -256,7 +267,8 @@ int main(int argc, char** argv) {
   const std::string json = flags.GetString("json", "");
   if (!json.empty()) {
     EmitJson(json, flags.GetString("strategy", "GSTR"), n, k,
-             options.limits.num_threads, rows);
+             options.limits.num_threads, rows,
+             update->pipeline.telemetry.get());
   }
 
   // --- Assertions (the CI smoke gates). -------------------------------------

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_incremental.json against a committed baseline.
+
+Only machine-independent fields are gated: best costs, relative cost
+reduction, and the partition/reuse accounting are deterministic for a
+fixed seed, so any drift there is a code change, not noise. Wall-clock
+fields are compared loosely (the update/full ratio is self-normalizing
+but still jittery on loaded CI runners) and absolute wall seconds are
+never compared at all.
+
+Regressions are emitted as GitHub `::warning::` annotations and the
+script exits 0 — the CI step is advisory. Pass --strict to turn any
+regression into a non-zero exit (for local gating or a future hard CI
+gate).
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+# Relative tolerance for cost-model outputs: exact modulo floating-point
+# re-association across compilers/optimization levels.
+COST_RTOL = 1e-6
+# The update/full wall ratio gate: warn when the current ratio exceeds
+# the baseline by this factor AND the harness's own 0.5 gate headroom.
+WALL_RATIO_FACTOR = 1.5
+WALL_RATIO_CEILING = 0.5
+
+
+def close(a, b, rtol):
+    return abs(a - b) <= rtol * (1.0 + max(abs(a), abs(b)))
+
+
+def phases_by_name(report):
+    return {p["phase"]: p for p in report.get("phases", [])}
+
+
+def compare(baseline, current):
+    """Returns a list of human-readable regression strings."""
+    problems = []
+    base_phases = phases_by_name(baseline)
+    cur_phases = phases_by_name(current)
+
+    missing = sorted(set(base_phases) - set(cur_phases))
+    if missing:
+        problems.append(f"phases missing from current report: {missing}")
+
+    for name, base in base_phases.items():
+        cur = cur_phases.get(name)
+        if cur is None:
+            continue
+        # Deterministic search outputs: exact integer match expected.
+        for field in ("queries", "partitions", "partitions_reused",
+                      "partitions_searched"):
+            if base.get(field) != cur.get(field):
+                problems.append(
+                    f"{name}.{field}: baseline {base.get(field)} "
+                    f"!= current {cur.get(field)}")
+        # Cost-model outputs: exact modulo float re-association.
+        for field in ("best_cost", "rcr"):
+            b, c = base.get(field), cur.get(field)
+            if b is None or c is None:
+                continue
+            if not close(b, c, COST_RTOL):
+                problems.append(
+                    f"{name}.{field}: baseline {b:.9g} != current {c:.9g} "
+                    f"(rtol {COST_RTOL:g})")
+
+    # Reuse ratio is derived from the integer accounting — exact.
+    b = baseline.get("update_reuse_ratio")
+    c = current.get("update_reuse_ratio")
+    if b is not None and c is not None and not close(b, c, COST_RTOL):
+        problems.append(
+            f"update_reuse_ratio: baseline {b:.6f} != current {c:.6f}")
+
+    # Wall ratio: noisy, gate loosely. Only flag when it both grew past
+    # the baseline by the slack factor and approaches the harness's own
+    # hard 0.5 gate.
+    b = baseline.get("update_full_wall_ratio")
+    c = current.get("update_full_wall_ratio")
+    if b is not None and c is not None:
+        if c > max(b * WALL_RATIO_FACTOR, 0.05) and c > WALL_RATIO_CEILING:
+            problems.append(
+                f"update_full_wall_ratio: current {c:.3f} > "
+                f"{WALL_RATIO_FACTOR:g}x baseline {b:.3f} and > "
+                f"{WALL_RATIO_CEILING:g}")
+
+    # Telemetry presence: the report schema is a superset of the old one;
+    # losing the spans/metrics sections is a regression in itself.
+    for section in ("spans", "metrics"):
+        if section in baseline and section not in current:
+            problems.append(f"current report lost its '{section}' section")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on any regression")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    problems = compare(baseline, current)
+    if not problems:
+        print(f"bench_diff: {args.current} matches {args.baseline} "
+              "on all gated fields")
+        return 0
+    for p in problems:
+        print(f"::warning title=bench_diff::{p}")
+        print(f"bench_diff: {p}", file=sys.stderr)
+    print(f"bench_diff: {len(problems)} regression(s) vs {args.baseline}",
+          file=sys.stderr)
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

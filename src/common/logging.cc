@@ -1,11 +1,15 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "common/telemetry/metrics.h"
 
 namespace rdfviews {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -13,12 +17,34 @@ const char* LevelName(LogLevel level) {
     case LogLevel::kInfo: return "INFO";
     case LogLevel::kWarning: return "WARN";
     case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+void InitLogLevelFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("RDFVIEWS_LOG_LEVEL");
+    if (env == nullptr) return;
+    if (std::strcmp(env, "debug") == 0) {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (std::strcmp(env, "info") == 0) {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (std::strcmp(env, "warn") == 0 ||
+               std::strcmp(env, "warning") == 0) {
+      SetLogLevel(LogLevel::kWarning);
+    } else if (std::strcmp(env, "error") == 0) {
+      SetLogLevel(LogLevel::kError);
+    } else if (std::strcmp(env, "off") == 0) {
+      SetLogLevel(LogLevel::kOff);
+    }
+  });
 }
 }  // namespace
 
 LogLevel GetLogLevel() {
+  InitLogLevelFromEnv();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
@@ -41,6 +67,20 @@ LogMessage::~LogMessage() {
   stream_ << "\n";
   std::cerr << stream_.str();
   if (level_ == LogLevel::kError) std::cerr.flush();
+  // Count emitted (not suppressed) messages per level; the lookup is
+  // amortized to one relaxed add via per-level static caches.
+  static telemetry::Counter* const counters[] = {
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "common_log_messages_total", "level=\"debug\""),
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "common_log_messages_total", "level=\"info\""),
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "common_log_messages_total", "level=\"warn\""),
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "common_log_messages_total", "level=\"error\""),
+  };
+  const int idx = static_cast<int>(level_);
+  if (idx >= 0 && idx < 4) counters[idx]->Add(1);
 }
 
 void FatalCheckFailure(const char* file, int line, const char* expr,

@@ -9,9 +9,13 @@
 
 namespace rdfviews {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                      kOff = 4 };
 
-/// Global log threshold; messages below it are suppressed.
+/// Global log threshold; messages below it are suppressed. The initial
+/// threshold comes from the RDFVIEWS_LOG_LEVEL env var
+/// (debug|info|warn|error|off, read once at first use) and defaults to
+/// `warn` — info-level chatter is opt-in, so tests run quiet.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

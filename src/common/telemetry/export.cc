@@ -1,0 +1,189 @@
+#include "common/telemetry/export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rdfviews {
+namespace telemetry {
+
+std::map<std::string, double> RunTelemetry::SpanSecondsByName() const {
+  std::map<std::string, double> by_name;
+  for (const auto& s : spans) {
+    if (!s.closed) continue;
+    by_name[s.name] += static_cast<double>(s.end_ns - s.start_ns) * 1e-9;
+  }
+  return by_name;
+}
+
+bool RunTelemetry::SpanTreeBalanced() const {
+  for (const auto& s : spans) {
+    if (!s.closed) return false;
+    if (s.end_ns < s.start_ns) return false;
+    if (s.parent != 0) {
+      if (s.parent > spans.size()) return false;
+      const SpanRecord& p = spans[s.parent - 1];
+      if (p.id != s.parent) return false;
+      if (p.start_ns > s.start_ns) return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string SpansJson(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"id\": " << s.id << ", \"parent\": " << s.parent
+       << ", \"name\": \"" << JsonEscape(s.name) << "\""
+       << ", \"start_ns\": " << s.start_ns << ", \"end_ns\": " << s.end_ns;
+    if (!s.attrs.empty()) {
+      os << ", \"attrs\": {";
+      for (size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "\"" << JsonEscape(s.attrs[i].first) << "\": \""
+           << JsonEscape(s.attrs[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << (first ? "]" : "\n  ]");
+  return os.str();
+}
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& s : snapshot.samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << JsonEscape(s.name) << "\"";
+    if (!s.labels.empty()) {
+      os << ", \"labels\": \"" << JsonEscape(s.labels) << "\"";
+    }
+    os << ", \"kind\": \"" << KindName(s.kind) << "\"";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << ", \"value\": " << s.value;
+        break;
+      case MetricKind::kGauge:
+        os << ", \"value\": " << s.gauge_value;
+        break;
+      case MetricKind::kHistogram: {
+        os << ", \"count\": " << s.histogram.count
+           << ", \"sum\": " << s.histogram.sum << ", \"buckets\": [";
+        for (size_t i = 0; i < s.histogram.cumulative_buckets.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << "[" << s.histogram.cumulative_buckets[i].first << ", "
+             << s.histogram.cumulative_buckets[i].second << "]";
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << (first ? "]" : "\n  ]");
+  return os.str();
+}
+
+std::string RunReportJson(
+    const std::vector<std::pair<std::string, std::string>>& extra_fields,
+    const RunTelemetry& telemetry) {
+  std::ostringstream os;
+  os << "{\n";
+  for (const auto& [key, value] : extra_fields) {
+    os << "  \"" << JsonEscape(key) << "\": " << value << ",\n";
+  }
+  os << "  \"spans\": " << SpansJson(telemetry.spans) << ",\n";
+  os << "  \"metrics\": " << MetricsJson(telemetry.metrics) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string last_typed;
+  for (const auto& s : snapshot.samples) {
+    if (s.name != last_typed) {
+      os << "# TYPE " << s.name << " " << KindName(s.kind) << "\n";
+      last_typed = s.name;
+    }
+    const std::string base_labels = s.labels;
+    auto with_labels = [&](const std::string& extra) {
+      if (base_labels.empty() && extra.empty()) return std::string();
+      std::string body = base_labels;
+      if (!extra.empty()) {
+        if (!body.empty()) body += ",";
+        body += extra;
+      }
+      return "{" + body + "}";
+    };
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << s.name << with_labels("") << " " << s.value << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << s.name << with_labels("") << " " << s.gauge_value << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        for (const auto& [bound, cum] : s.histogram.cumulative_buckets) {
+          os << s.name << "_bucket"
+             << with_labels("le=\"" + std::to_string(bound) + "\"") << " "
+             << cum << "\n";
+        }
+        os << s.name << "_bucket" << with_labels("le=\"+Inf\"") << " "
+           << s.histogram.count << "\n";
+        os << s.name << "_sum" << with_labels("") << " " << s.histogram.sum
+           << "\n";
+        os << s.name << "_count" << with_labels("") << " " << s.histogram.count
+           << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace rdfviews

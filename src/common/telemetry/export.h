@@ -1,0 +1,64 @@
+// Telemetry exporters: JSON run reports and Prometheus-style text.
+//
+// RunTelemetry is the per-run bundle a pipeline/session attaches to its
+// report: the run's span tree plus a registry snapshot taken at the end
+// of the run. The JSON run-report writer renders it as {"spans": [...],
+// "metrics": [...]} — callers (bench harnesses, TuningSession) splice
+// those objects into their existing top-level schema, which is how
+// BENCH_incremental.json stays a strict superset of its old self.
+#ifndef RDFVIEWS_COMMON_TELEMETRY_EXPORT_H_
+#define RDFVIEWS_COMMON_TELEMETRY_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+
+namespace rdfviews {
+namespace telemetry {
+
+/// Everything observed during one logical run (one Update / pipeline Run).
+struct RunTelemetry {
+  std::vector<SpanRecord> spans;
+  MetricsSnapshot metrics;
+
+  /// Sum of (end - start) per span name, in seconds. Backing for the
+  /// per-stage wall-time columns in fig6's CSV.
+  std::map<std::string, double> SpanSecondsByName() const;
+
+  /// True iff every span is closed and every non-zero parent id refers
+  /// to an existing span that opened no later than its child.
+  bool SpanTreeBalanced() const;
+};
+
+/// JSON array of span objects:
+///   {"id":1,"parent":0,"name":"session.update","start_ns":...,
+///    "end_ns":...,"attrs":{"k":"v",...}}
+std::string SpansJson(const std::vector<SpanRecord>& spans);
+
+/// JSON array of metric objects:
+///   {"name":"...","labels":"...","kind":"counter","value":123}
+///   {"name":"...","kind":"histogram","count":n,"sum":s,
+///    "buckets":[[le,cumulative],...]}
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Full run report: an object holding `extra_fields` (pre-rendered
+/// `"key": value` JSON fragments, rendered verbatim) followed by
+/// "spans" and "metrics".
+std::string RunReportJson(
+    const std::vector<std::pair<std::string, std::string>>& extra_fields,
+    const RunTelemetry& telemetry);
+
+/// Prometheus text exposition: # TYPE lines, {labels}, histograms as
+/// _bucket{le="..."} / _sum / _count.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace telemetry
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_TELEMETRY_EXPORT_H_

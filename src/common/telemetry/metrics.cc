@@ -1,0 +1,196 @@
+#include "common/telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rdfviews {
+namespace telemetry {
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                       const std::string& labels) const {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) {
+      return s.kind == MetricKind::kGauge ? static_cast<uint64_t>(s.gauge_value)
+                                          : s.value;
+    }
+  }
+  return 0;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CollectorHandle::~CollectorHandle() { Reset(); }
+
+void CollectorHandle::Reset() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const kDefault = new MetricsRegistry();
+  return kDefault;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& inst = instruments_[{name, labels}];
+  if (inst.counter == nullptr) {
+    RDFVIEWS_CHECK_MSG(inst.gauge == nullptr && inst.histogram == nullptr,
+                       "metric kind mismatch for " << name);
+    inst.kind = MetricKind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& inst = instruments_[{name, labels}];
+  if (inst.gauge == nullptr) {
+    RDFVIEWS_CHECK_MSG(inst.counter == nullptr && inst.histogram == nullptr,
+                       "metric kind mismatch for " << name);
+    inst.kind = MetricKind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& inst = instruments_[{name, labels}];
+  if (inst.histogram == nullptr) {
+    RDFVIEWS_CHECK_MSG(inst.counter == nullptr && inst.gauge == nullptr,
+                       "metric kind mismatch for " << name);
+    inst.kind = MetricKind::kHistogram;
+    inst.histogram = std::make_unique<Histogram>();
+  }
+  return inst.histogram.get();
+}
+
+CollectorHandle MetricsRegistry::RegisterCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(collector));
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+namespace {
+
+HistogramSnapshot SnapshotHistogram(const Histogram& h) {
+  HistogramSnapshot snap;
+  uint64_t cumulative = 0;
+  for (int i = 0; i <= Histogram::kBuckets; ++i) {
+    const uint64_t c = h.BucketCount(i);
+    if (c == 0) continue;
+    cumulative += c;
+    snap.cumulative_buckets.emplace_back(Histogram::BucketUpperBound(i),
+                                         cumulative);
+  }
+  snap.count = cumulative;
+  snap.sum = h.Sum();
+  return snap;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Key → merged sample. Collectors run under mu_ (they only read their
+  // component's atomics / take the component's own lock; see lock-order
+  // note in the header).
+  std::map<std::pair<std::string, std::string>, MetricSample> merged;
+
+  auto fold = [&merged](MetricSample&& s) {
+    auto key = std::make_pair(s.name, s.labels);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(std::move(key), std::move(s));
+      return;
+    }
+    MetricSample& dst = it->second;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        dst.value += s.value;
+        break;
+      case MetricKind::kGauge:
+        dst.gauge_value += s.gauge_value;
+        break;
+      case MetricKind::kHistogram: {
+        // Merge cumulative bucket lists: convert to per-bucket deltas,
+        // sum by bound, re-accumulate.
+        std::map<uint64_t, uint64_t> by_bound;
+        for (const auto* hs : {&dst.histogram, &s.histogram}) {
+          uint64_t prev = 0;
+          for (const auto& [bound, cum] : hs->cumulative_buckets) {
+            by_bound[bound] += cum - prev;
+            prev = cum;
+          }
+        }
+        HistogramSnapshot out;
+        uint64_t cumulative = 0;
+        for (const auto& [bound, delta] : by_bound) {
+          cumulative += delta;
+          out.cumulative_buckets.emplace_back(bound, cumulative);
+        }
+        out.count = cumulative;
+        out.sum = dst.histogram.sum + s.histogram.sum;
+        dst.histogram = std::move(out);
+        break;
+      }
+    }
+  };
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, inst] : instruments_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = inst.kind;
+    switch (inst.kind) {
+      case MetricKind::kCounter:
+        s.value = inst.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge_value = inst.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = SnapshotHistogram(*inst.histogram);
+        break;
+    }
+    fold(std::move(s));
+  }
+  std::vector<MetricSample> collected;
+  for (const auto& [id, collector] : collectors_) {
+    collected.clear();
+    collector(&collected);
+    for (auto& s : collected) fold(std::move(s));
+  }
+
+  MetricsSnapshot snap;
+  snap.samples.reserve(merged.size());
+  for (auto& [key, sample] : merged) snap.samples.push_back(std::move(sample));
+  return snap;
+}
+
+}  // namespace telemetry
+}  // namespace rdfviews

@@ -1,0 +1,215 @@
+// Process-wide metrics registry: lock-free counters, gauges, and
+// log-bucketed histograms, registered by (name, labels), snapshot on
+// demand.
+//
+// Design
+// ------
+// The hot path is ONE relaxed atomic op: Counter::Add / Gauge::Set /
+// Histogram::Observe each touch only std::atomic<uint64_t> cells with
+// memory_order_relaxed. Registration (GetCounter / GetHistogram / ...)
+// takes a mutex and should be done once at construction time, never per
+// event; the returned pointers are stable for the registry's lifetime.
+//
+// Components that already maintain their own relaxed-atomic counter
+// structs (ViewInterner::Counters, PartitionCacheBackend::Counters, ...)
+// do NOT double-increment. They register a *collector* — a callback that
+// reads their live counters into samples at snapshot time. Snapshot()
+// sums samples with identical (name, labels) across all live collectors,
+// so three cache backends in one process roll up into one
+// `vsel_cache_gets_total` series while each instance keeps its own
+// exact per-instance API.
+//
+// Lock order: MetricsRegistry::mu_ may be held while a collector runs,
+// and collectors may take their component's own lock — never the other
+// way around (no component calls back into the registry while holding
+// its lock; registration happens in constructors before the component
+// is shared).
+#ifndef RDFVIEWS_COMMON_TELEMETRY_METRICS_H_
+#define RDFVIEWS_COMMON_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdfviews {
+namespace telemetry {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotone counter. Add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge. Set() is one relaxed store.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram for latencies (ns) and sizes (bytes).
+///
+/// Bucket i counts observations v with bit_width(v) == i, i.e. bucket 0
+/// holds v == 0, bucket i >= 1 holds 2^(i-1) <= v < 2^i. Observe() is two
+/// relaxed fetch_adds (bucket + sum); count is derived at snapshot time.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  static int BucketIndex(uint64_t v) {
+    int width = 0;
+    while (v != 0) {
+      ++width;
+      v >>= 1;
+    }
+    return width;  // 0 for v==0, else floor(log2(v)) + 1; max 64.
+  }
+
+  /// Upper bound (inclusive-exclusive boundary) of bucket i: 2^i - 1 < 2^i.
+  static uint64_t BucketUpperBound(int i) {
+    if (i >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << i) - 1;
+  }
+
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One flattened histogram for snapshots: only non-empty buckets.
+struct HistogramSnapshot {
+  // (upper_bound, cumulative_count) pairs for non-empty buckets, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> cumulative_buckets;
+  uint64_t sum = 0;
+  uint64_t count = 0;
+};
+
+/// One metric sample at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // e.g. R"(backend="dir")" — Prometheus body, no braces.
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;       // counters
+  int64_t gauge_value = 0;  // gauges
+  HistogramSnapshot histogram;  // histograms
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  /// Counter/gauge lookup; returns 0 when absent.
+  uint64_t CounterValue(const std::string& name,
+                        const std::string& labels = "") const;
+};
+
+/// Snapshot-time callback: append samples describing a component's live
+/// counters. Samples with identical (name, labels) from different
+/// collectors (or registry-owned instruments) are summed.
+using Collector = std::function<void(std::vector<MetricSample>*)>;
+
+class MetricsRegistry;
+
+/// RAII registration: unregisters the collector on destruction. Movable,
+/// not copyable. A default-constructed handle is empty (no-op).
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept { *this = std::move(other); }
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  ~CollectorHandle();
+
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  CollectorHandle(MetricsRegistry* registry, uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry. Leaky singleton: never destroyed, so
+  /// instrument pointers and collector handles registered by static-ish
+  /// components stay valid through exit.
+  static MetricsRegistry* Default();
+
+  /// Find-or-create. The returned pointer is stable for the registry's
+  /// lifetime. Same (name, labels) always returns the same instrument;
+  /// kind mismatches on an existing key fail a CHECK.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "");
+
+  /// Registers a snapshot-time collector; alive until the handle dies.
+  CollectorHandle RegisterCollector(Collector collector);
+
+  /// Reads every instrument and runs every collector; merges (sums)
+  /// samples sharing (name, labels); returns samples sorted by key.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  friend class CollectorHandle;
+  void Unregister(uint64_t id);
+
+  struct Instrument {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, Instrument> instruments_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace telemetry
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_TELEMETRY_METRICS_H_

@@ -1,0 +1,115 @@
+#include "common/telemetry/trace.h"
+
+#include <chrono>
+
+namespace rdfviews {
+namespace telemetry {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local TraceContext g_trace_context;
+
+}  // namespace
+
+Tracer::Tracer() : clock_(&SteadyNowNs) {}
+
+Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {
+  if (!clock_) clock_ = &SteadyNowNs;
+}
+
+SpanId Tracer::Open(const std::string& name, SpanId parent) {
+  const uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.id = spans_.size() + 1;
+  rec.parent = parent;
+  rec.name = name;
+  rec.start_ns = now;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::Close(SpanId id) {
+  const uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& rec = spans_[id - 1];
+  if (rec.closed) return;
+  rec.end_ns = now;
+  rec.closed = true;
+}
+
+void Tracer::Annotate(SpanId id, const std::string& key,
+                      const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+bool Tracer::AllClosed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : spans_) {
+    if (!s.closed) return false;
+  }
+  return true;
+}
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : saved_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_trace_context = saved_; }
+
+TraceSpan::TraceSpan(const char* name) {
+  const TraceContext& ctx = g_trace_context;
+  if (ctx.tracer == nullptr) return;
+  tracer_ = ctx.tracer;
+  saved_parent_ = ctx.span;
+  id_ = tracer_->Open(name, saved_parent_);
+  g_trace_context.span = id_;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (tracer_ == nullptr || ended_) return;
+  ended_ = true;
+  tracer_->Close(id_);
+  g_trace_context.span = saved_parent_;
+}
+
+void TraceSpan::Annotate(const std::string& key, const std::string& value) {
+  if (tracer_ != nullptr) tracer_->Annotate(id_, key, value);
+}
+
+void TraceSpan::Annotate(const std::string& key, uint64_t value) {
+  if (tracer_ != nullptr) tracer_->Annotate(id_, key, std::to_string(value));
+}
+
+void TraceEvent(const char* name,
+                std::initializer_list<std::pair<std::string, std::string>>
+                    attrs) {
+  const TraceContext& ctx = g_trace_context;
+  if (ctx.tracer == nullptr) return;
+  const SpanId id = ctx.tracer->Open(name, ctx.span);
+  for (const auto& [k, v] : attrs) ctx.tracer->Annotate(id, k, v);
+  ctx.tracer->Close(id);
+}
+
+}  // namespace telemetry
+}  // namespace rdfviews

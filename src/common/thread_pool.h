@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/telemetry/metrics.h"
 
 namespace rdfviews {
 
@@ -36,6 +37,13 @@ class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads) {
     if (num_threads == 0) num_threads = 1;
+    metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+        [this](std::vector<telemetry::MetricSample>* out) {
+          telemetry::MetricSample s;
+          s.name = "common_pool_tasks_died_total";
+          s.value = tasks_died_.load(std::memory_order_relaxed);
+          out->push_back(std::move(s));
+        });
     threads_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
@@ -110,6 +118,10 @@ class ThreadPool {
   bool stopping_ = false;
   std::atomic<uint64_t> tasks_died_{0};
   std::vector<std::thread> threads_;
+  // Declared after threads_ so it unregisters from the registry first,
+  // while the atomic it reads is still alive. (Workers are joined in the
+  // destructor body, which runs before any member is destroyed.)
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews

@@ -48,7 +48,30 @@ struct CostBreakdown {
 class CostModel {
  public:
   CostModel(const rdf::Statistics* stats, const CostWeights& weights)
-      : stats_(stats), weights_(weights), cache_key_(NextCacheKey()) {}
+      : stats_(stats), weights_(weights), cache_key_(NextCacheKey()) {
+    metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+        [this](std::vector<telemetry::MetricSample>* out) {
+          auto add = [out](const char* name, uint64_t v) {
+            telemetry::MetricSample s;
+            s.name = name;
+            s.value = v;
+            out->push_back(std::move(s));
+          };
+          const Counters& c = counters_;
+          add("vsel_cost_state_costs_total",
+              c.state_costs.load(std::memory_order_relaxed));
+          add("vsel_cost_card_raw_total",
+              c.card_raw.load(std::memory_order_relaxed));
+          add("vsel_cost_rec_computed_total",
+              c.rec_computed.load(std::memory_order_relaxed));
+          add("vsel_cost_rec_reused_total",
+              c.rec_reused.load(std::memory_order_relaxed));
+          add("vsel_cost_view_terms_computed_total",
+              c.view_terms_computed.load(std::memory_order_relaxed));
+          add("vsel_cost_view_terms_reused_total",
+              c.view_terms_reused.load(std::memory_order_relaxed));
+        });
+  }
 
   const CostWeights& weights() const { return weights_; }
   void set_weights(const CostWeights& w) {
@@ -169,6 +192,8 @@ class CostModel {
   bool memoize_ = true;
   mutable ViewInterner interner_;
   mutable Counters counters_;
+  // Last member: unregistered before counters_ dies.
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews::vsel

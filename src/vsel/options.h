@@ -219,6 +219,17 @@ struct SessionCacheOptions {
   double breaker_open_sec = 1.0;
 };
 
+/// Observability knobs (src/common/telemetry/). Metrics are process-wide
+/// and always on (their hot-path cost is one relaxed atomic per event);
+/// tracing is per-run and controls whether a pipeline Run / session Update
+/// records a span tree into its report's `telemetry` attachment.
+struct TelemetryOptions {
+  /// Record spans (pipeline stages, partition attempts, retries, watchdog
+  /// fires, cache and serialization operations) for each run. Disarmed,
+  /// every span site costs one thread-local read and a branch.
+  bool trace = true;
+};
+
 /// Weights of the cost components (Sec. 3.3 and Sec. 6 "Weights of cost
 /// components").
 struct CostWeights {

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/telemetry/metrics.h"
 #include "common/thread_pool.h"
 #include "vsel/parallel/parallel_context.h"
 #include "vsel/parallel/sharded_frontier.h"
@@ -17,6 +18,16 @@ namespace {
 
 /// Entries processed per frontier lock acquisition.
 constexpr size_t kExpandBatch = 8;
+
+/// Frontiers are per-run stack objects, so their steal counts are folded
+/// into the process-wide registry when the run retires its frontier.
+void PublishSteals(uint64_t steals) {
+  if (steals == 0) return;
+  static telemetry::Counter* const counter =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_frontier_steals_total");
+  counter->Add(steals);
+}
 
 size_t FrontierShards(size_t workers) {
   return std::max<size_t>(16, workers * 4);
@@ -104,6 +115,7 @@ SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
     }
     pool.WaitIdle();
   }
+  PublishSteals(frontier.steals());
   return ctx->Finish(!ctx->stopped());
 }
 
@@ -172,6 +184,7 @@ SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
     }
     pool.WaitIdle();
   }
+  PublishSteals(frontier.steals());
   // The root itself tops out the kind ladder (the serial engine counts it
   // explored once its last stratum is done).
   SearchStats root;
@@ -230,6 +243,7 @@ SearchResult RunParallelGstr(ParallelSearchContext* ctx, const State& s0,
       });
     }
     pool.WaitIdle();  // stratum barrier: the closure is complete (or cut)
+    PublishSteals(frontier.steals());
     current = std::move(phase_best);
     current_cost = phase_best_cost;
   }

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -67,7 +68,10 @@ class ShardedFrontier {
           sh.items.pop_front();
           ++got;
         }
-        if (got > 0) return got;
+        if (got > 0) {
+          if (i > 0) steals_.fetch_add(1, std::memory_order_relaxed);
+          return got;
+        }
       }
       if (pending_.load(std::memory_order_acquire) == 0) return 0;
       if (cancelled()) return 0;
@@ -88,6 +92,9 @@ class ShardedFrontier {
     }
   }
 
+  /// Batches served from a non-home shard (work stealing events).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
  private:
   struct alignas(64) Shard {
     std::mutex mu;
@@ -97,6 +104,7 @@ class ShardedFrontier {
   std::unique_ptr<Shard[]> shards_;
   size_t mask_ = 0;
   std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> steals_{0};
   std::mutex wake_mu_;
   std::condition_variable wake_;
 };

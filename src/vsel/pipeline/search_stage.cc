@@ -35,6 +35,8 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "vsel/pipeline/pipeline.h"
 #include "vsel/robust/retry.h"
@@ -256,6 +258,10 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
 
   for (size_t p = 0; p < num_partitions; ++p) {
     if (!seeded(p)) continue;
+    telemetry::TraceEvent(
+        "partition.reused",
+        {{"partition", std::to_string(p)},
+         {"rehydrated", (*preseeded)[p].rehydrated ? "1" : "0"}});
     // Cheap: views/rewritings are shared COW pointers.
     out[p].result = *(*preseeded)[p].result;
     out[p].error = Status::OK();
@@ -285,9 +291,18 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
 
   TimeBudgetPool spare;
   std::atomic<double> regranted{0};
+  // Captured on the submitting thread so pool tasks parent their spans
+  // under the caller's pipeline.search span instead of losing the tree at
+  // the thread boundary.
+  const telemetry::TraceContext trace_ctx = telemetry::CurrentTraceContext();
   auto run_one = [&](size_t di) {
+    const telemetry::ScopedTraceContext trace_scope(trace_ctx);
     const size_t p = dirty[di];
     PartitionOutcome& slot = out[p];
+    telemetry::TraceSpan partition_span("partition.search");
+    partition_span.Annotate("partition", static_cast<uint64_t>(p));
+    partition_span.Annotate("queries",
+                            static_cast<uint64_t>(plan.groups[p].size()));
     // The task claimed its slot: replace the "never ran" pre-fill with a
     // fresh health record this loop now owns.
     slot.health = PartitionHealth{};
@@ -325,6 +340,10 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
         break;  // slice exhausted; don't start an attempt that can't run
       }
       slot.health.attempts = attempt;
+
+      telemetry::TraceSpan attempt_span("search.attempt");
+      attempt_span.Annotate("attempt", static_cast<uint64_t>(attempt));
+      const auto attempt_start = std::chrono::steady_clock::now();
 
       SearchLimits l = limits[di];
       l.time_budget_sec =
@@ -369,7 +388,29 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
         // anytime result.
         r = Status::TimedOut("partition search overran its watchdog "
                              "deadline");
+        telemetry::TraceEvent("watchdog.fire",
+                              {{"partition", std::to_string(p)},
+                               {"attempt", std::to_string(attempt)}});
       }
+
+      // Close the attempt span here — outcome annotated, latency observed —
+      // so a retry's backoff sleep is charged to the partition, not to the
+      // attempt that already failed.
+      {
+        static telemetry::Histogram* const attempt_ns =
+            telemetry::MetricsRegistry::Default()->GetHistogram(
+                "vsel_partition_attempt_ns");
+        attempt_ns->Observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - attempt_start)
+                .count()));
+      }
+      attempt_span.Annotate(
+          "outcome", r.ok() ? "ok"
+                            : (r.status().code() == StatusCode::kTimedOut
+                                   ? "timeout"
+                                   : "error"));
+      attempt_span.End();
 
       if (r.ok()) {
         if (slice > 0 && r->stats.completed) {
@@ -401,7 +442,13 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
         if (left < kMinTimeBudgetSec) break;  // no room for another try
         backoff = std::min(backoff, std::max(left - kMinTimeBudgetSec, 0.0));
       }
-      robust::SleepWithStop(backoff, &options.limits.stop);
+      {
+        telemetry::TraceSpan backoff_span("retry.backoff");
+        backoff_span.Annotate("partition", static_cast<uint64_t>(p));
+        backoff_span.Annotate("next_attempt",
+                              static_cast<uint64_t>(attempt + 1));
+        robust::SleepWithStop(backoff, &options.limits.stop);
+      }
       if (options.limits.stop.stop_requested()) break;
       emit(ProgressEvent::Kind::kPartitionRetry, p, attempt + 1, 0,
            wall_spent());

@@ -8,6 +8,25 @@ CircuitBreaker::CircuitBreaker(Options options, Clock clock)
     : options_(std::move(options)), clock_(std::move(clock)) {
   if (!clock_) clock_ = [] { return std::chrono::steady_clock::now(); };
   if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        uint64_t skips, opens, closes;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          skips = skips_;
+          opens = opens_;
+          closes = closes_;
+        }
+        auto add = [out](const char* name, uint64_t v) {
+          telemetry::MetricSample s;
+          s.name = name;
+          s.value = v;
+          out->push_back(std::move(s));
+        };
+        add("vsel_breaker_skips_total", skips);
+        add("vsel_breaker_opens_total", opens);
+        add("vsel_breaker_closes_total", closes);
+      });
 }
 
 CircuitBreaker::State CircuitBreaker::StateLocked() const {
@@ -39,6 +58,7 @@ bool CircuitBreaker::Allow() {
 
 void CircuitBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kClosed) ++closes_;  // successful half-open probe
   state_ = State::kClosed;
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
@@ -75,6 +95,11 @@ uint64_t CircuitBreaker::skips() const {
 uint64_t CircuitBreaker::opens() const {
   std::lock_guard<std::mutex> lock(mu_);
   return opens_;
+}
+
+uint64_t CircuitBreaker::closes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closes_;
 }
 
 }  // namespace rdfviews::vsel::robust

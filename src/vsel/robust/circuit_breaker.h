@@ -22,6 +22,8 @@
 #include <functional>
 #include <mutex>
 
+#include "common/telemetry/metrics.h"
+
 namespace rdfviews::vsel::robust {
 
 class CircuitBreaker {
@@ -52,6 +54,8 @@ class CircuitBreaker {
   State state() const;
   uint64_t skips() const;
   uint64_t opens() const;
+  /// Successful half-open probes (open → closed recoveries).
+  uint64_t closes() const;
 
  private:
   State StateLocked() const;
@@ -65,6 +69,11 @@ class CircuitBreaker {
   std::chrono::steady_clock::time_point opened_at_{};
   uint64_t skips_ = 0;
   uint64_t opens_ = 0;
+  uint64_t closes_ = 0;
+  // Last member: unregisters before the counters above die. The collector
+  // takes mu_, which is only ever acquired *after* the registry lock
+  // (snapshot path) or with no registry lock held — never the inverse.
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews::vsel::robust

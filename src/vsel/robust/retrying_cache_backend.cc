@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/telemetry/trace.h"
+
 namespace rdfviews::vsel::robust {
 
 namespace {
@@ -23,7 +25,9 @@ RetryingCacheBackend::RetryingCacheBackend(
     : delegate_(delegate),
       retry_(MakePolicy(options)),
       max_attempts_(retry_.max_attempts),
-      breaker_(options.breaker) {}
+      breaker_(options.breaker) {
+  RegisterMetrics();
+}
 
 RetryingCacheBackend::RetryingCacheBackend(
     std::shared_ptr<serialize::PartitionCacheBackend> owned, Options options)
@@ -31,13 +35,33 @@ RetryingCacheBackend::RetryingCacheBackend(
       delegate_(owned_.get()),
       retry_(MakePolicy(options)),
       max_attempts_(retry_.max_attempts),
-      breaker_(options.breaker) {}
+      breaker_(options.breaker) {
+  RegisterMetrics();
+}
+
+void RetryingCacheBackend::RegisterMetrics() {
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        const uint64_t skipped_gets =
+            skipped_gets_.load(std::memory_order_relaxed);
+        Counters own;
+        // Skipped Gets are lookups absorbed at this layer (they never reach
+        // the delegate's series); counting them as this label's misses keeps
+        // gets == hits + misses + io_failures true per label and in total.
+        own.misses = skipped_gets;
+        own.retries = retries_.load(std::memory_order_relaxed);
+        own.breaker_skips =
+            skipped_gets + skipped_puts_.load(std::memory_order_relaxed);
+        serialize::AppendCacheCounterSamples(own, "retrying", out);
+      });
+}
 
 std::optional<serialize::PartitionCacheBackend::Fetched>
 RetryingCacheBackend::Get(const std::string& key, bool* io_failed) {
   if (io_failed != nullptr) *io_failed = false;
   if (!breaker_.Allow()) {
     skipped_gets_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::TraceEvent("cache.breaker.skip", {{"op", "get"}});
     return std::nullopt;  // a skipped lookup is just a miss
   }
   const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
@@ -55,7 +79,12 @@ RetryingCacheBackend::Get(const std::string& key, bool* io_failed) {
       return std::nullopt;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
-    SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+    {
+      telemetry::TraceSpan span("cache.retry.backoff");
+      span.Annotate("op", "get");
+      span.Annotate("attempt", static_cast<uint64_t>(attempt));
+      SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+    }
   }
 }
 
@@ -63,6 +92,7 @@ bool RetryingCacheBackend::Put(const std::string& key,
                                const pipeline::PartitionSearchResult& result) {
   if (!breaker_.Allow()) {
     skipped_puts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::TraceEvent("cache.breaker.skip", {{"op", "put"}});
     return false;  // a skipped store is a future miss
   }
   const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +106,12 @@ bool RetryingCacheBackend::Put(const std::string& key,
       return false;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
-    SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+    {
+      telemetry::TraceSpan span("cache.retry.backoff");
+      span.Annotate("op", "put");
+      span.Annotate("attempt", static_cast<uint64_t>(attempt));
+      SleepWithStop(BackoffDelaySec(retry_, stream, attempt + 1), nullptr);
+    }
   }
 }
 

@@ -80,10 +80,15 @@ class RetryingCacheBackend : public serialize::PartitionCacheBackend {
   RetryPolicy retry_;
   size_t max_attempts_;
   CircuitBreaker breaker_;
+  void RegisterMetrics();
+
   std::atomic<uint64_t> op_counter_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> skipped_gets_{0};
   std::atomic<uint64_t> skipped_puts_{0};
+  // Own deltas only (backend="retrying"); the delegate registers its own
+  // series, so nothing is double-counted. Last member: unregisters first.
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews::vsel::robust

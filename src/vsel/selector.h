@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "common/status.h"
+#include "common/telemetry/export.h"
 #include "cq/query.h"
 #include "cq/ucq.h"
 #include "engine/relation.h"
@@ -46,6 +47,8 @@ struct SelectorOptions {
   /// Failure containment of the pipeline's stage 3 (retry policy, watchdog
   /// deadline); see RobustnessOptions.
   RobustnessOptions robust;
+  /// Observability: per-run span recording; see TelemetryOptions.
+  TelemetryOptions telemetry;
 };
 
 /// Per-partition health record of one pipeline run: how many attempts the
@@ -107,6 +110,11 @@ struct PipelineReport {
   /// (failed at least once, recovered, or was abandoned), ordered by
   /// partition index. Healthy runs leave it empty.
   std::vector<PartitionHealth> partition_health;
+
+  /// The run's span tree plus a registry snapshot taken when the run
+  /// finished (null when TelemetryOptions::trace is off). Shared const:
+  /// copying a report/Recommendation stays cheap.
+  std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
 /// A recommended view set: everything needed to deploy the three-tier

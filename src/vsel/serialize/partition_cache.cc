@@ -14,6 +14,7 @@
 #include "common/fault.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/telemetry/trace.h"
 
 namespace rdfviews::vsel::serialize {
 
@@ -70,7 +71,40 @@ bool WriteFileBytes(const std::string& path, const std::string& bytes) {
 
 }  // namespace
 
+void AppendCacheCounterSamples(const PartitionCacheBackend::Counters& c,
+                               const char* label,
+                               std::vector<telemetry::MetricSample>* out) {
+  const std::string labels = std::string("backend=\"") + label + "\"";
+  auto add = [&](const char* name, uint64_t v) {
+    telemetry::MetricSample s;
+    s.name = name;
+    s.labels = labels;
+    s.value = v;
+    out->push_back(std::move(s));
+  };
+  // Native Counters count an io_failure inside misses; the registry series
+  // split them so gets == hits + misses + io_failures exactly.
+  add("vsel_cache_gets_total", c.hits + c.misses);
+  add("vsel_cache_hits_total", c.hits);
+  add("vsel_cache_misses_total", c.misses - c.io_failures);
+  add("vsel_cache_io_failures_total", c.io_failures);
+  add("vsel_cache_rejected_total", c.rejected);
+  add("vsel_cache_rehydration_rejected_total", c.rehydration_rejected);
+  add("vsel_cache_stored_total", c.stored);
+  add("vsel_cache_store_failures_total", c.store_failures);
+  add("vsel_cache_temp_files_reaped_total", c.temp_files_reaped);
+  add("vsel_cache_retries_total", c.retries);
+  add("vsel_cache_breaker_skips_total", c.breaker_skips);
+}
+
 // ---- InMemoryCacheBackend --------------------------------------------------
+
+InMemoryCacheBackend::InMemoryCacheBackend() {
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        AppendCacheCounterSamples(counters(), "memory", out);
+      });
+}
 
 std::optional<PartitionCacheBackend::Fetched> InMemoryCacheBackend::Get(
     const std::string& key, bool* io_failed) {
@@ -138,6 +172,10 @@ DirCacheBackend::DirCacheBackend(std::string root,
                                  const CacheIdentity& identity,
                                  double reap_temp_older_than_sec)
     : root_(std::move(root)), identity_(identity) {
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        AppendCacheCounterSamples(counters(), "dir", out);
+      });
   std::error_code ec;
   fs::create_directories(root_, ec);
   if (ec) {
@@ -197,8 +235,15 @@ std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
     if (io_error) ++counters_.io_failures;
     return std::nullopt;
   }
-  Result<pipeline::PartitionSearchResult> outcome =
-      DeserializePartitionOutcome(*bytes, key, identity_);
+  Result<pipeline::PartitionSearchResult> outcome = [&] {
+    telemetry::TraceSpan span("serialize.decode");
+    span.Annotate("bytes", static_cast<uint64_t>(bytes->size()));
+    static telemetry::Histogram* const sizes =
+        telemetry::MetricsRegistry::Default()->GetHistogram(
+            "vsel_serialize_bytes", "op=\"decode\"");
+    sizes->Observe(bytes->size());
+    return DeserializePartitionOutcome(*bytes, key, identity_);
+  }();
   if (!outcome.ok()) {
     // Corrupt / foreign-identity / hash-collision entries are misses, not
     // errors: the partition simply stays dirty and gets re-searched (and
@@ -231,7 +276,16 @@ bool DirCacheBackend::Put(const std::string& key,
       std::to_string(
           process_temp_counter.fetch_add(1, std::memory_order_relaxed)) +
       kTempSuffix;
-  std::string bytes = SerializePartitionOutcome(key, result, identity_);
+  std::string bytes = [&] {
+    telemetry::TraceSpan span("serialize.encode");
+    std::string encoded = SerializePartitionOutcome(key, result, identity_);
+    span.Annotate("bytes", static_cast<uint64_t>(encoded.size()));
+    static telemetry::Histogram* const sizes =
+        telemetry::MetricsRegistry::Default()->GetHistogram(
+            "vsel_serialize_bytes", "op=\"encode\"");
+    sizes->Observe(encoded.size());
+    return encoded;
+  }();
   bool ok = fault::Maybe(fault::sites::kDirCachePutWrite).ok() &&
             WriteFileBytes(tmp, bytes);
   if (ok) {

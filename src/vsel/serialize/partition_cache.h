@@ -34,6 +34,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/telemetry/metrics.h"
 #include "vsel/pipeline/pipeline.h"
 #include "vsel/serialize/serialize.h"
 
@@ -114,11 +115,22 @@ class PartitionCacheBackend {
   virtual Counters counters() const { return Counters{}; }
 };
 
+/// Emits one backend's counters as registry samples labeled
+/// `backend="<label>"`. The registry series re-derive the counts so the
+/// invariant `gets == hits + misses + io_failures` holds exactly: the
+/// native Counters treat an io_failure as a kind of miss (misses includes
+/// it), so the emitted misses series is genuine absences only.
+void AppendCacheCounterSamples(const PartitionCacheBackend::Counters& c,
+                               const char* label,
+                               std::vector<telemetry::MetricSample>* out);
+
 /// The session's historical in-process cache: an LRU-stamped map. Entries
 /// are live objects (shared COW views), so Get returns them without
 /// rehydration.
 class InMemoryCacheBackend : public PartitionCacheBackend {
  public:
+  InMemoryCacheBackend();
+
   std::optional<Fetched> Get(const std::string& key,
                              bool* io_failed = nullptr) override;
   bool Put(const std::string& key,
@@ -139,6 +151,8 @@ class InMemoryCacheBackend : public PartitionCacheBackend {
   std::unordered_map<std::string, Entry> entries_;
   uint64_t use_counter_ = 0;
   Counters counters_;
+  // Last member: unregisters before counters_/mu_ die.
+  telemetry::CollectorHandle metrics_;
 };
 
 /// One file per canonical key under `root`, named by the hex of the key's
@@ -179,6 +193,8 @@ class DirCacheBackend : public PartitionCacheBackend {
   CacheIdentity identity_;
   mutable std::mutex mu_;  // guards counters_ only
   Counters counters_;
+  // Last member: unregisters before counters_/mu_ die.
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews::vsel::serialize

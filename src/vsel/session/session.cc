@@ -1,6 +1,7 @@
 #include "vsel/session/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <optional>
@@ -8,6 +9,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "vsel/robust/retrying_cache_backend.h"
 
 namespace rdfviews::vsel {
@@ -186,6 +189,21 @@ Result<Recommendation> TuningSession::DoUpdate(
     const std::vector<cq::ConjunctiveQuery>& add_queries,
     const std::vector<std::string>& remove_queries,
     const StopToken* stop_override, const ProgressFn& progress_override) {
+  // One tracer per update, armed through the thread-local context so every
+  // stage below — and every cache access, serialize round-trip, partition
+  // attempt, and backoff sleep inside them — lands in one tree rooted at
+  // session.update. (pipeline::Run is the one-shot analogue.)
+  std::unique_ptr<telemetry::Tracer> tracer;
+  std::unique_ptr<telemetry::ScopedTraceContext> scope;
+  if (options_.telemetry.trace) {
+    tracer = std::make_unique<telemetry::Tracer>();
+    scope = std::make_unique<telemetry::ScopedTraceContext>(
+        telemetry::TraceContext{tracer.get(), 0});
+  }
+  telemetry::TraceSpan root("session.update");
+  root.Annotate("adds", static_cast<uint64_t>(add_queries.size()));
+  root.Annotate("removes", static_cast<uint64_t>(remove_queries.size()));
+
   // 1. Apply the delta to a working copy (committed only on success).
   std::vector<cq::ConjunctiveQuery> next = workload_;
   if (!remove_queries.empty()) {
@@ -205,6 +223,7 @@ Result<Recommendation> TuningSession::DoUpdate(
     }
   }
   next.insert(next.end(), add_queries.begin(), add_queries.end());
+  root.Annotate("queries", static_cast<uint64_t>(next.size()));
 
   // 2. Effective options for this update: freeze cm after the first
   // calibration, and splice in the async stop token / progress tracker
@@ -227,9 +246,11 @@ Result<Recommendation> TuningSession::DoUpdate(
   // 3. Ingest through the session caches: only never-seen queries are
   // validated / reformulated / minimized, and the statistics provider +
   // materialization store are built exactly once per session.
-  Result<pipeline::IngestResult> ingest = pipeline::Ingest(
-      store_, dict_, schema_, next, opts, /*external_stats=*/nullptr,
-      &caches_);
+  Result<pipeline::IngestResult> ingest = [&] {
+    telemetry::TraceSpan span("pipeline.ingest");
+    return pipeline::Ingest(store_, dict_, schema_, next, opts,
+                            /*external_stats=*/nullptr, &caches_);
+  }();
   if (!ingest.ok()) return ingest.status();
   if (cost_model_ == nullptr) {
     cost_model_ = std::make_unique<CostModel>(ingest->stats, opts.weights);
@@ -239,7 +260,10 @@ Result<Recommendation> TuningSession::DoUpdate(
   // Entries a persistent backend served crossed a process boundary and are
   // rehydrated first — re-interned and re-costed through the live model —
   // and discarded (the partition stays dirty) if the cost does not hold.
-  pipeline::PartitionPlan plan = pipeline::PartitionWorkload(*ingest, opts);
+  pipeline::PartitionPlan plan = [&] {
+    telemetry::TraceSpan span("pipeline.partition");
+    return pipeline::PartitionWorkload(*ingest, opts);
+  }();
   std::vector<pipeline::PreseededOutcome> preseeded(plan.groups.size());
   std::vector<std::unique_ptr<pipeline::PartitionSearchResult>> fetched(
       plan.groups.size());
@@ -254,8 +278,22 @@ Result<Recommendation> TuningSession::DoUpdate(
   // very first update.
   const bool accept_cached = calibrated_ || !options_.auto_calibrate_cm;
   for (size_t p = 0; accept_cached && p < plan.groups.size(); ++p) {
-    std::optional<serialize::PartitionCacheBackend::Fetched> hit =
-        cache_backend_->Get(cache_key_prefix_ + plan.group_keys[p]);
+    std::optional<serialize::PartitionCacheBackend::Fetched> hit = [&] {
+      telemetry::TraceSpan span("cache.get");
+      span.Annotate("partition", static_cast<uint64_t>(p));
+      const auto t0 = std::chrono::steady_clock::now();
+      auto fetched = cache_backend_->Get(cache_key_prefix_ +
+                                         plan.group_keys[p]);
+      static telemetry::Histogram* const latency =
+          telemetry::MetricsRegistry::Default()->GetHistogram(
+              "vsel_cache_op_ns", "op=\"get\"");
+      latency->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      span.Annotate("hit", fetched.has_value() ? "1" : "0");
+      return fetched;
+    }();
     if (!hit.has_value()) continue;
     // The re-cost check always runs for entries that crossed a process
     // boundary, and also for in-memory entries when the session's
@@ -281,8 +319,12 @@ Result<Recommendation> TuningSession::DoUpdate(
   // stage error (SearchPartitions only errors on stage-wide setup).
   PipelineReport report;
   Result<std::vector<pipeline::PartitionOutcome>> searches =
-      pipeline::SearchPartitions(*ingest, plan, cost_model_.get(), opts,
-                                 &preseeded, &report);
+      [&]() -> Result<std::vector<pipeline::PartitionOutcome>> {
+    telemetry::TraceSpan span("pipeline.search");
+    span.Annotate("partitions", static_cast<uint64_t>(plan.groups.size()));
+    return pipeline::SearchPartitions(*ingest, plan, cost_model_.get(), opts,
+                                      &preseeded, &report);
+  }();
   if (!searches.ok()) return searches.status();
 
   // 6. Collect the cacheable outcomes before the merge consumes the
@@ -303,8 +345,11 @@ Result<Recommendation> TuningSession::DoUpdate(
   }
 
   // 7. Merge cached + fresh partitions into the recommendation.
-  Result<Recommendation> rec = pipeline::MergePartitions(
-      *ingest, plan, std::move(*searches), cost_model_.get(), opts, &report);
+  Result<Recommendation> rec = [&] {
+    telemetry::TraceSpan span("pipeline.merge");
+    return pipeline::MergePartitions(*ingest, plan, std::move(*searches),
+                                     cost_model_.get(), opts, &report);
+  }();
   if (!rec.ok()) return rec.status();
 
   // 8. Commit only now that the whole update succeeded (a cancelled update
@@ -315,7 +360,16 @@ Result<Recommendation> TuningSession::DoUpdate(
   workload_ = std::move(next);
   calibrated_ = true;
   for (const auto& [key, result] : cacheable) {
+    telemetry::TraceSpan span("cache.put");
+    const auto t0 = std::chrono::steady_clock::now();
     cache_backend_->Put(key, result);
+    static telemetry::Histogram* const latency =
+        telemetry::MetricsRegistry::Default()->GetHistogram(
+            "vsel_cache_op_ns", "op=\"put\"");
+    latency->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
   }
   // Bound the in-memory cache (persistent backends ignore the hint): keep
   // the most recently used max(lru_floor, lru_per_partition x partitions)
@@ -324,7 +378,28 @@ Result<Recommendation> TuningSession::DoUpdate(
   cache_backend_->Trim(
       std::max(options_.cache.lru_floor,
                options_.cache.lru_per_partition * plan.groups.size()));
+
+  // Close the root before harvesting so the exported tree is balanced, then
+  // publish: the recommendation carries the bundle, and TelemetrySnapshot
+  // serves it as the session's last completed update.
+  if (tracer != nullptr) {
+    root.End();
+    auto bundle = std::make_shared<telemetry::RunTelemetry>();
+    bundle->spans = tracer->Spans();
+    bundle->metrics = telemetry::MetricsRegistry::Default()->Snapshot();
+    rec->pipeline.telemetry = bundle;
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    last_run_ = std::move(bundle);
+  }
   return rec;
+}
+
+SessionTelemetry TuningSession::TelemetrySnapshot() const {
+  SessionTelemetry out;
+  out.metrics = telemetry::MetricsRegistry::Default()->Snapshot();
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  out.last_update = last_run_;
+  return out;
 }
 
 }  // namespace rdfviews::vsel

@@ -62,11 +62,22 @@
 
 #include "common/status.h"
 #include "common/stop_token.h"
+#include "common/telemetry/export.h"
 #include "vsel/pipeline/pipeline.h"
 #include "vsel/selector.h"
 #include "vsel/serialize/partition_cache.h"
 
 namespace rdfviews::vsel {
+
+/// What TuningSession::TelemetrySnapshot returns: a fresh process-wide
+/// registry snapshot plus the last completed update's span bundle.
+struct SessionTelemetry {
+  telemetry::MetricsSnapshot metrics;
+  /// The last successful Update's telemetry (same object the update's
+  /// Recommendation carries in pipeline.telemetry); null before the first
+  /// completed update or when tracing is disabled.
+  std::shared_ptr<const telemetry::RunTelemetry> last_update;
+};
 
 /// Snapshot of an asynchronous update's progress (TuningHandle::Current).
 /// The counts are monotone over the run, so polling callers can render a
@@ -226,6 +237,12 @@ class TuningSession {
     return *cache_backend_;
   }
 
+  /// A fresh process-wide metrics snapshot plus the last completed update's
+  /// span bundle (see SessionTelemetry). Thread-safe: may be called while an
+  /// asynchronous update is in flight — it observes the previous update's
+  /// spans and the registry's live counters.
+  SessionTelemetry TelemetrySnapshot() const;
+
  private:
   Result<Recommendation> DoUpdate(
       const std::vector<cq::ConjunctiveQuery>& add_queries,
@@ -255,6 +272,10 @@ class TuningSession {
   std::string cache_key_prefix_;
   /// One in-flight update per session.
   std::atomic<bool> busy_{false};
+  /// Last completed update's telemetry, for TelemetrySnapshot(). Guarded by
+  /// its own mutex because async updates publish from the worker thread.
+  mutable std::mutex telemetry_mu_;
+  std::shared_ptr<const telemetry::RunTelemetry> last_run_;
 };
 
 }  // namespace rdfviews::vsel

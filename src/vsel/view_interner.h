@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/telemetry/metrics.h"
 #include "vsel/state_graph.h"
 #include "vsel/view.h"
 
@@ -42,6 +43,25 @@ namespace rdfviews::vsel {
 
 class ViewInterner {
  public:
+  ViewInterner()
+      : metrics_(telemetry::MetricsRegistry::Default()->RegisterCollector(
+            [this](std::vector<telemetry::MetricSample>* out) {
+              auto add = [out](const char* name, uint64_t v) {
+                telemetry::MetricSample s;
+                s.name = name;
+                s.value = v;
+                out->push_back(std::move(s));
+              };
+              const Counters& c = counters_;
+              add("vsel_interner_card_hits_total",
+                  c.card_hits.load(std::memory_order_relaxed));
+              add("vsel_interner_card_computed_total",
+                  c.card_computed.load(std::memory_order_relaxed));
+              add("vsel_interner_bytes_hits_total",
+                  c.bytes_hits.load(std::memory_order_relaxed));
+              add("vsel_interner_bytes_computed_total",
+                  c.bytes_computed.load(std::memory_order_relaxed));
+            })) {}
   /// Counters of cache traffic, for benchmarks and regression tests.
   /// Relaxed atomics: exact under single-threaded use; under concurrency a
   /// racing compute of the same key counts once per racer (hits + computed
@@ -166,6 +186,10 @@ class ViewInterner {
 
   Shard shards_[kNumShards];
   Counters counters_;
+  // Snapshot-time registry hook; unregisters itself on destruction, so the
+  // registry never sees a dangling interner. Last member: destroyed first,
+  // before the counters it reads.
+  telemetry::CollectorHandle metrics_;
 };
 
 }  // namespace rdfviews::vsel

@@ -223,9 +223,13 @@ TEST_F(ChaosSweepTest, RandomizedMultiSiteChaosConvergesAfterDisarm) {
   fault::Arm(ChaosSeed(), plan);
 
   Result<Recommendation> first = session.Update(initial);
-  if (first.ok()) EXPECT_GE(first->rewritings.size(), initial.size());
+  if (first.ok()) {
+    EXPECT_GE(first->rewritings.size(), initial.size());
+  }
   Result<Recommendation> second = session.Update(delta);
-  if (second.ok()) EXPECT_LE(second->rewritings.size(), All().size());
+  if (second.ok()) {
+    EXPECT_LE(second->rewritings.size(), All().size());
+  }
 
   fault::Disarm();
   std::set<std::string> present;
