@@ -4,6 +4,8 @@
 // that the search and the executor depend on.
 #include <benchmark/benchmark.h>
 
+#include "common/arena.h"
+#include "common/telemetry/metrics.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
@@ -146,6 +148,78 @@ void BM_ApplyScTransition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApplyScTransition);
+
+void BM_ApplyScTransitionArena(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  vsel::TransitionOptions topts;
+  std::vector<vsel::Transition> scs =
+      vsel::EnumerateTransitions(s0, vsel::TransitionKind::kSC, topts);
+  Arena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vsel::ApplyTransition(s0, scs[0], &arena).views().size());
+  }
+}
+BENCHMARK(BM_ApplyScTransitionArena);
+
+/// Batched enumeration into a reusable caller-owned buffer versus the
+/// vector-returning legacy API above (BM_EnumerateTransitions): same
+/// transitions in the same order, no per-call vector churn.
+void BM_EnumerateTransitionsBatch(benchmark::State& state) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  vsel::TransitionOptions topts;
+  vsel::TransitionBuffer buf;
+  for (auto _ : state) {
+    size_t total = 0;
+    for (vsel::TransitionKind kind :
+         {vsel::TransitionKind::kVB, vsel::TransitionKind::kSC,
+          vsel::TransitionKind::kJC, vsel::TransitionKind::kVF}) {
+      buf.Clear();
+      vsel::EnumerateTransitionsInto(s0, kind, topts, &buf);
+      total += buf.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EnumerateTransitionsBatch);
+
+/// Allocation cost of a state clone: the legacy heap path mallocs one flat
+/// block per clone; the arena path bump-allocates a span inside shared
+/// 64 KiB blocks. The mallocs/clone counter (from the metrics registry)
+/// quantifies the per-state allocation reduction the arena buys.
+void StateCloneLoop(benchmark::State& state, Arena* arena) {
+  BartonFixture& fx = BartonFixture::Get();
+  vsel::State s0 = *vsel::MakeInitialState(fx.queries);
+  auto* reg = telemetry::MetricsRegistry::Default();
+  telemetry::Counter* heap =
+      reg->GetCounter("vsel_state_alloc_heap_blocks_total");
+  telemetry::Counter* blocks = reg->GetCounter("vsel_arena_blocks_total");
+  const uint64_t mallocs0 = heap->Value() + blocks->Value();
+  uint64_t clones = 0;
+  for (auto _ : state) {
+    vsel::State c = s0.CloneForTransition(arena);
+    benchmark::DoNotOptimize(c.views().size());
+    ++clones;
+  }
+  state.counters["mallocs/clone"] =
+      clones > 0 ? static_cast<double>(heap->Value() + blocks->Value() -
+                                      mallocs0) /
+                       static_cast<double>(clones)
+                 : 0;
+}
+
+void BM_StateCloneHeap(benchmark::State& state) {
+  StateCloneLoop(state, nullptr);
+}
+BENCHMARK(BM_StateCloneHeap);
+
+void BM_StateCloneArena(benchmark::State& state) {
+  Arena arena;
+  StateCloneLoop(state, &arena);
+}
+BENCHMARK(BM_StateCloneArena);
 
 void BM_StateSignature(benchmark::State& state) {
   BartonFixture& fx = BartonFixture::Get();

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "common/telemetry/metrics.h"
 #include "rdf/statistics.h"
 #include "search_probe.h"
 #include "workload/barton.h"
@@ -25,6 +26,37 @@ std::string FingerprintString(const rdfviews::Hash128& fp) {
                 static_cast<unsigned long long>(fp.lo));
   return buf;
 }
+
+/// Registry snapshot of the state-allocation instruments. Heap mallocs per
+/// state = (heap state blocks + arena blocks) / states created: arena spans
+/// are pointer bumps, so the only mallocs on the arena path are the shared
+/// 64 KiB blocks. The legacy (pre-arena) layout paid one-plus mallocs per
+/// state; this ratio is the headline allocation-reduction number.
+struct AllocSnapshot {
+  uint64_t heap_blocks = 0;
+  uint64_t arena_blocks = 0;
+  uint64_t arena_spans = 0;
+  uint64_t states = 0;
+
+  static AllocSnapshot Take() {
+    auto* reg = rdfviews::telemetry::MetricsRegistry::Default();
+    AllocSnapshot s;
+    s.heap_blocks = reg->GetCounter("vsel_state_alloc_heap_blocks_total")->Value();
+    s.arena_blocks = reg->GetCounter("vsel_arena_blocks_total")->Value();
+    s.arena_spans = reg->GetCounter("vsel_state_alloc_arena_spans_total")->Value();
+    s.states = reg->GetCounter("vsel_states_created_total")->Value();
+    return s;
+  }
+
+  /// Heap allocations per state created since `since`.
+  double MallocsPerState(const AllocSnapshot& since) const {
+    uint64_t states_d = states - since.states;
+    if (states_d == 0) return 0;
+    uint64_t mallocs =
+        (heap_blocks - since.heap_blocks) + (arena_blocks - since.arena_blocks);
+    return static_cast<double>(mallocs) / static_cast<double>(states_d);
+  }
+};
 
 }  // namespace
 
@@ -50,25 +82,42 @@ int main(int argc, char** argv) {
   vsel::State s0 = *vsel::MakeInitialState(queries);
 
   bench::PrintRow({"strategy", "mode", "created", "states/sec", "card est",
-                   "est/state", "distinct"});
-  bench::PrintRule(7);
+                   "est/state", "distinct", "mallocs/state"});
+  bench::PrintRule(8);
   for (vsel::StrategyKind strategy :
        {vsel::StrategyKind::kDfs, vsel::StrategyKind::kExStr}) {
     for (bool memoized : {true, false}) {
+      AllocSnapshot before = AllocSnapshot::Take();
       std::optional<bench::SearchProbeResult> r =
           bench::RunSearchProbe(stats, s0, strategy, memoized, budget);
       if (!r.has_value()) {
         std::printf("search failed\n");
         return 1;
       }
+      AllocSnapshot after = AllocSnapshot::Take();
       bench::PrintRow(
           {vsel::StrategyName(strategy), memoized ? "memoized" : "uncached",
            std::to_string(r->created),
            bench::FormatDouble(r->StatesPerSecond(), 0),
            std::to_string(r->card_estimations),
            bench::FormatDouble(r->EstimationsPerState(), 2),
-           std::to_string(r->distinct_views)});
+           std::to_string(r->distinct_views),
+           bench::FormatDouble(after.MallocsPerState(before), 4)});
     }
+  }
+  {
+    // The state-storage allocation budget at a glance: arena states malloc
+    // once per shared 64 KiB block; the legacy layout paid >= 1 malloc per
+    // state (and the pre-flat layout several), so mallocs/state under the
+    // arena is the claimed >= 5x reduction.
+    AllocSnapshot total = AllocSnapshot::Take();
+    std::printf(
+        "\nstate storage: %llu states, %llu arena spans, %llu arena blocks, "
+        "%llu heap blocks\n",
+        static_cast<unsigned long long>(total.states),
+        static_cast<unsigned long long>(total.arena_spans),
+        static_cast<unsigned long long>(total.arena_blocks),
+        static_cast<unsigned long long>(total.heap_blocks));
   }
 
   // Parallel scaling sweep. Warm counts are shared across runs through a

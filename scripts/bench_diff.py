@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_incremental.json against a committed baseline.
 
-Only machine-independent fields are gated: best costs, relative cost
-reduction, and the partition/reuse accounting are deterministic for a
-fixed seed, so any drift there is a code change, not noise. Wall-clock
-fields are compared loosely (the update/full ratio is self-normalizing
-but still jittery on loaded CI runners) and absolute wall seconds are
-never compared at all.
+Machine-independent fields are gated HARD: best costs, relative cost
+reduction, the partition/reuse accounting, and the presence of the
+report's phases and telemetry sections are deterministic for a fixed
+seed, so any drift there is a code change, not noise. A mismatch is
+emitted as a GitHub `::error::` annotation and the script exits
+non-zero, failing the CI step.
 
-Regressions are emitted as GitHub `::warning::` annotations and the
-script exits 0 — the CI step is advisory. Pass --strict to turn any
-regression into a non-zero exit (for local gating or a future hard CI
-gate).
+Wall-clock derived fields stay advisory: the update/full ratio is
+self-normalizing but still jittery on loaded CI runners, so it is
+compared loosely and only ever produces `::warning::` annotations.
+Absolute wall seconds are never compared at all. Pass --strict to turn
+the wall-clock warnings into failures too (for local gating on a quiet
+machine).
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--strict]
 """
@@ -38,14 +40,16 @@ def phases_by_name(report):
 
 
 def compare(baseline, current):
-    """Returns a list of human-readable regression strings."""
-    problems = []
+    """Returns (hard, soft): machine-independent regressions that must
+    fail the build, and advisory wall-clock drifts that must not."""
+    hard = []
+    soft = []
     base_phases = phases_by_name(baseline)
     cur_phases = phases_by_name(current)
 
     missing = sorted(set(base_phases) - set(cur_phases))
     if missing:
-        problems.append(f"phases missing from current report: {missing}")
+        hard.append(f"phases missing from current report: {missing}")
 
     for name, base in base_phases.items():
         cur = cur_phases.get(name)
@@ -55,7 +59,7 @@ def compare(baseline, current):
         for field in ("queries", "partitions", "partitions_reused",
                       "partitions_searched"):
             if base.get(field) != cur.get(field):
-                problems.append(
+                hard.append(
                     f"{name}.{field}: baseline {base.get(field)} "
                     f"!= current {cur.get(field)}")
         # Cost-model outputs: exact modulo float re-association.
@@ -64,7 +68,7 @@ def compare(baseline, current):
             if b is None or c is None:
                 continue
             if not close(b, c, COST_RTOL):
-                problems.append(
+                hard.append(
                     f"{name}.{field}: baseline {b:.9g} != current {c:.9g} "
                     f"(rtol {COST_RTOL:g})")
 
@@ -72,17 +76,17 @@ def compare(baseline, current):
     b = baseline.get("update_reuse_ratio")
     c = current.get("update_reuse_ratio")
     if b is not None and c is not None and not close(b, c, COST_RTOL):
-        problems.append(
+        hard.append(
             f"update_reuse_ratio: baseline {b:.6f} != current {c:.6f}")
 
-    # Wall ratio: noisy, gate loosely. Only flag when it both grew past
-    # the baseline by the slack factor and approaches the harness's own
-    # hard 0.5 gate.
+    # Wall ratio: noisy, gate loosely and advisorily. Only flag when it
+    # both grew past the baseline by the slack factor and approaches the
+    # harness's own hard 0.5 gate.
     b = baseline.get("update_full_wall_ratio")
     c = current.get("update_full_wall_ratio")
     if b is not None and c is not None:
         if c > max(b * WALL_RATIO_FACTOR, 0.05) and c > WALL_RATIO_CEILING:
-            problems.append(
+            soft.append(
                 f"update_full_wall_ratio: current {c:.3f} > "
                 f"{WALL_RATIO_FACTOR:g}x baseline {b:.3f} and > "
                 f"{WALL_RATIO_CEILING:g}")
@@ -91,8 +95,8 @@ def compare(baseline, current):
     # losing the spans/metrics sections is a regression in itself.
     for section in ("spans", "metrics"):
         if section in baseline and section not in current:
-            problems.append(f"current report lost its '{section}' section")
-    return problems
+            hard.append(f"current report lost its '{section}' section")
+    return hard, soft
 
 
 def main():
@@ -100,7 +104,7 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero on any regression")
+                        help="exit non-zero on wall-clock warnings too")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -108,17 +112,22 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    problems = compare(baseline, current)
-    if not problems:
+    hard, soft = compare(baseline, current)
+    if not hard and not soft:
         print(f"bench_diff: {args.current} matches {args.baseline} "
               "on all gated fields")
         return 0
-    for p in problems:
+    for p in hard:
+        print(f"::error title=bench_diff::{p}")
+        print(f"bench_diff: FAIL {p}", file=sys.stderr)
+    for p in soft:
         print(f"::warning title=bench_diff::{p}")
-        print(f"bench_diff: {p}", file=sys.stderr)
-    print(f"bench_diff: {len(problems)} regression(s) vs {args.baseline}",
-          file=sys.stderr)
-    return 1 if args.strict else 0
+        print(f"bench_diff: warn {p}", file=sys.stderr)
+    print(f"bench_diff: {len(hard)} hard regression(s), "
+          f"{len(soft)} warning(s) vs {args.baseline}", file=sys.stderr)
+    if hard:
+        return 1
+    return 1 if (args.strict and soft) else 0
 
 
 if __name__ == "__main__":

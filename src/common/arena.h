@@ -1,0 +1,141 @@
+// Per-run bump allocator with reference-counted blocks.
+//
+// The search engines allocate one flat storage span per candidate state
+// (see vsel::State). Spans are tiny (a few hundred bytes), extremely
+// frequent (one per state created), and mostly short-lived — exactly the
+// profile malloc is slowest at. An Arena turns each span into a pointer
+// bump inside a large block.
+//
+// Lifetime rules
+// --------------
+//  * Allocation is single-threaded: an Arena belongs to one search worker
+//    (or one serial search context) and is never shared between allocating
+//    threads. The engines create one Arena per worker.
+//  * Every span holds one reference on its block, and the arena holds one
+//    on the block it is currently filling. Release() is a single atomic
+//    decrement and is safe from ANY thread — a state allocated by worker A
+//    may migrate through the frontier and die on worker B.
+//  * A span may outlive the Arena object: destroying the arena only drops
+//    its own reference, so a best state escaping its search run pins
+//    exactly the blocks its spans live in, nothing more. Memory returns to
+//    the system when the last span of a block dies.
+//
+// A span is handed out as (pointer, Block*); the holder calls
+// Arena::Release(block) exactly once when done. Allocations larger than
+// the block size get a dedicated block owned solely by their span.
+#ifndef RDFVIEWS_COMMON_ARENA_H_
+#define RDFVIEWS_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/telemetry/metrics.h"
+
+namespace rdfviews {
+
+class Arena {
+ public:
+  struct Block {
+    std::atomic<uint64_t> refs;
+    uint64_t cap = 0;   // data bytes available
+    uint64_t used = 0;  // bump offset; touched only by the owning thread
+    // Data follows the header, kAlign-aligned.
+  };
+
+  struct Span {
+    void* ptr = nullptr;
+    Block* block = nullptr;  // pass to Release() when the span dies
+  };
+
+  static constexpr size_t kAlign = 16;
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kAlign ? kAlign : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    if (current_ != nullptr) Release(current_);
+  }
+
+  /// Bump-allocates `bytes` (rounded up to kAlign) from the current block,
+  /// retiring it and starting a fresh one when full. The returned span
+  /// holds one reference on its block; the caller owns that reference and
+  /// must Release() it exactly once. Not thread-safe (one arena per
+  /// allocating thread); never returns null.
+  Span Allocate(size_t bytes) {
+    const size_t need = RoundUp(bytes);
+    ++spans_;
+    if (need > block_bytes_) {
+      // Oversized: a dedicated block owned solely by this span.
+      Block* b = NewBlock(need);
+      b->used = need;
+      return Span{Data(b), b};
+    }
+    if (current_ == nullptr || current_->used + need > current_->cap) {
+      if (current_ != nullptr) Release(current_);  // drop the arena's ref
+      current_ = NewBlock(block_bytes_);
+    }
+    Block* b = current_;
+    void* p = Data(b) + b->used;
+    b->used += need;
+    b->refs.fetch_add(1, std::memory_order_relaxed);  // the span's ref
+    return Span{p, b};
+  }
+
+  /// Drops one reference; frees the block when the last span (or the
+  /// arena) lets go. Thread-safe: acquire/release so the freeing thread
+  /// sees every write made into the block before other holders released.
+  static void Release(Block* b) {
+    if (b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::free(b);
+    }
+  }
+
+  static void AddRef(Block* b) {
+    b->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Blocks malloc'd over the arena's lifetime (allocation-rate telemetry).
+  uint64_t blocks_allocated() const { return blocks_; }
+  /// Spans handed out over the arena's lifetime.
+  uint64_t spans_allocated() const { return spans_; }
+
+ private:
+  static size_t RoundUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+  static char* Data(Block* b) {
+    return reinterpret_cast<char*>(b) + RoundUp(sizeof(Block));
+  }
+
+  Block* NewBlock(size_t data_bytes) {
+    void* mem = std::malloc(RoundUp(sizeof(Block)) + data_bytes);
+    if (mem == nullptr) throw std::bad_alloc();
+    Block* b = new (mem) Block();
+    b->refs.store(1, std::memory_order_relaxed);  // the arena's own ref
+    b->cap = data_bytes;
+    b->used = 0;
+    ++blocks_;
+    // Process-wide malloc rate of all arenas; one increment per 64 KiB
+    // block, so the counter itself is far off the span hot path.
+    static telemetry::Counter* const blocks_total =
+        telemetry::MetricsRegistry::Default()->GetCounter(
+            "vsel_arena_blocks_total");
+    blocks_total->Add(1);
+    return b;
+  }
+
+  size_t block_bytes_;
+  Block* current_ = nullptr;
+  uint64_t blocks_ = 0;
+  uint64_t spans_ = 0;
+};
+
+}  // namespace rdfviews
+
+#endif  // RDFVIEWS_COMMON_ARENA_H_

@@ -7,15 +7,27 @@
 
 namespace rdfviews::engine {
 
+namespace {
+
+uint64_t MaskOfChildren(const std::vector<ExprPtr>& children) {
+  uint64_t mask = 0;
+  for (const ExprPtr& c : children) mask |= c->scan_mask();
+  return mask;
+}
+
+}  // namespace
+
 ExprPtr Expr::Scan(uint32_t view_id, std::vector<cq::VarId> columns) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kScan));
   e->view_id_ = view_id;
+  e->scan_mask_ = ScanMaskBit(view_id);
   e->columns_ = std::move(columns);
   return e;
 }
 
 ExprPtr Expr::Select(ExprPtr child, std::vector<Condition> conditions) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kSelect));
+  e->scan_mask_ = child->scan_mask();
   e->children_.push_back(std::move(child));
   e->conditions_ = std::move(conditions);
   return e;
@@ -23,6 +35,7 @@ ExprPtr Expr::Select(ExprPtr child, std::vector<Condition> conditions) {
 
 ExprPtr Expr::Project(ExprPtr child, std::vector<cq::VarId> columns) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kProject));
+  e->scan_mask_ = child->scan_mask();
   e->children_.push_back(std::move(child));
   e->columns_ = std::move(columns);
   return e;
@@ -31,6 +44,7 @@ ExprPtr Expr::Project(ExprPtr child, std::vector<cq::VarId> columns) {
 ExprPtr Expr::Join(ExprPtr left, ExprPtr right,
                    std::vector<std::pair<cq::VarId, cq::VarId>> pairs) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kJoin));
+  e->scan_mask_ = left->scan_mask() | right->scan_mask();
   e->children_.push_back(std::move(left));
   e->children_.push_back(std::move(right));
   e->join_pairs_ = std::move(pairs);
@@ -40,6 +54,7 @@ ExprPtr Expr::Join(ExprPtr left, ExprPtr right,
 ExprPtr Expr::Rename(ExprPtr child,
                      std::unordered_map<cq::VarId, cq::VarId> mapping) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kRename));
+  e->scan_mask_ = child->scan_mask();
   e->children_.push_back(std::move(child));
   e->rename_ = std::move(mapping);
   return e;
@@ -48,12 +63,14 @@ ExprPtr Expr::Rename(ExprPtr child,
 ExprPtr Expr::Union(std::vector<ExprPtr> children) {
   RDFVIEWS_CHECK(!children.empty());
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kUnion));
+  e->scan_mask_ = MaskOfChildren(children);
   e->children_ = std::move(children);
   return e;
 }
 
 ExprPtr Expr::Arrange(ExprPtr child, std::vector<ArrangeCol> spec) {
   auto e = std::shared_ptr<Expr>(new Expr(Kind::kArrange));
+  e->scan_mask_ = child->scan_mask();
   e->children_.push_back(std::move(child));
   e->arrange_ = std::move(spec);
   return e;
@@ -107,6 +124,8 @@ void Expr::ForEachScan(const std::function<void(const Expr&)>& fn) const {
 ExprPtr Expr::ReplaceScans(
     const ExprPtr& root, uint32_t view_id,
     const std::function<ExprPtr(const Expr& scan)>& replacement) {
+  // Bloom short-circuit: the subtree provably scans no such view.
+  if ((root->scan_mask_ & ScanMaskBit(view_id)) == 0) return root;
   if (root->kind_ == Kind::kScan) {
     if (root->view_id_ == view_id) return replacement(*root);
     return root;
@@ -122,6 +141,7 @@ ExprPtr Expr::ReplaceScans(
   if (!changed) return root;
   auto e = std::shared_ptr<Expr>(new Expr(root->kind_));
   e->view_id_ = root->view_id_;
+  e->scan_mask_ = MaskOfChildren(new_children);
   e->columns_ = root->columns_;
   e->children_ = std::move(new_children);
   e->conditions_ = root->conditions_;
@@ -193,6 +213,8 @@ ExprPtr Expr::Remap(const ExprPtr& root,
   if (!changed) return root;
   auto e = std::shared_ptr<Expr>(new Expr(root->kind_));
   e->view_id_ = new_view_id;
+  e->scan_mask_ = root->kind_ == Kind::kScan ? ScanMaskBit(new_view_id)
+                                             : MaskOfChildren(new_children);
   e->columns_ = std::move(new_columns);
   e->children_ = std::move(new_children);
   e->conditions_ = std::move(new_conditions);

@@ -96,6 +96,15 @@ class Expr {
   /// Calls `fn` on every Scan node in the tree.
   void ForEachScan(const std::function<void(const Expr&)>& fn) const;
 
+  /// 64-bit Bloom filter over the view ids scanned anywhere in this tree
+  /// (bit view_id % 64), maintained by every constructor. A clear bit
+  /// proves the tree does not scan the view; a set bit is only a maybe.
+  /// ReplaceScans uses it to skip whole subtrees without walking them.
+  uint64_t scan_mask() const { return scan_mask_; }
+  static uint64_t ScanMaskBit(uint32_t view_id) {
+    return 1ull << (view_id & 63u);
+  }
+
   /// Returns a copy of the tree where every Scan of `view_id` is replaced by
   /// `replacement(scan)`. Shared subtrees without matches are reused.
   static ExprPtr ReplaceScans(
@@ -123,6 +132,7 @@ class Expr {
 
   Kind kind_;
   uint32_t view_id_ = 0;
+  uint64_t scan_mask_ = 0;
   std::vector<cq::VarId> columns_;  // scan or project columns
   std::vector<ExprPtr> children_;
   std::vector<Condition> conditions_;

@@ -35,7 +35,7 @@ State ExtractSingleQueryState(const State& s0, size_t qi) {
     // Shares the View object with s0 (copy-on-write).
     if (used.contains(s0.views()[i].id)) out.AddView(s0.views().ptr(i));
   }
-  out.mutable_rewritings()->push_back(s0.rewritings()[qi]);
+  out.AddRewriting(s0.rewritings()[qi]);
   // Disjoint allocation ranges so that merged states never collide.
   out.set_next_var(s0.next_var() + static_cast<cq::VarId>(qi) * 1000000u);
   out.set_next_view_id(s0.next_view_id() +
@@ -98,7 +98,7 @@ State MergeStates(const State& a, const State& b) {
     out.AddView(b.views().ptr(i));  // shared, not copied
   }
   for (const engine::ExprPtr& r : b.rewritings()) {
-    out.mutable_rewritings()->push_back(r);
+    out.AddRewriting(r);
   }
   out.set_next_var(std::max(a.next_var(), b.next_var()));
   out.set_next_view_id(std::max(a.next_view_id(), b.next_view_id()));

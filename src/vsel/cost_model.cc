@@ -275,93 +275,73 @@ CostBreakdown CostModel::Breakdown(const State& state) const {
   if (!memoize_) return BreakdownUncached(state);
 
   State::CostCache& cache = state.cost_cache();
-  // Terms cached under a different (model, weights) key cannot be reused.
-  const bool reuse = cache.valid && cache.model_key == cache_key_;
   const ViewList& views = state.views();
+  const RewritingList rewritings = state.rewritings();
+  // Terms cached under a different (model, weights) key cannot be reused.
+  const bool model_ok = cache.model_key == cache_key_;
 
-  // Fast path: every term still valid — an identity sweep, no allocation.
-  if (reuse && cache.view_keys.size() == views.size() &&
-      cache.rec_keys.size() == state.rewritings().size()) {
-    bool all_valid = true;
-    for (size_t i = 0; i < views.size(); ++i) {
-      if (cache.view_keys[i] != views.ptr(i)) {
-        all_valid = false;
-        break;
-      }
-    }
-    for (size_t i = 0; all_valid && i < state.rewritings().size(); ++i) {
-      if (cache.rec_keys[i] != state.rewritings()[i]) all_valid = false;
-    }
-    if (all_valid) {
-      counters_.view_terms_reused += views.size();
-      counters_.rec_reused += state.rewritings().size();
-      CostBreakdown b;
-      b.vso = cache.vso;
-      b.rec = cache.rec;
-      b.vmc = cache.vmc;
-      b.total = cache.total;
-      return b;
-    }
+  // Fast path: the state was costed under this model and not mutated since
+  // (every mutator clears cache.valid), so the cached sums are current.
+  if (model_ok && cache.valid) {
+    counters_.view_terms_reused += views.size();
+    counters_.rec_reused += rewritings.size();
+    CostBreakdown b;
+    b.vso = cache.vso;
+    b.rec = cache.rec;
+    b.vmc = cache.vmc;
+    b.total = cache.total;
+    return b;
   }
 
+  // Slow path: re-sum, reusing every memoized term whose key still matches.
+  // The per-view terms live in the state's flat block (slot i valid iff
+  // term_keys[i] == ids[i]); mutators poison exactly the slots they touch,
+  // so a transition's child recomputes only its delta.
   CostBreakdown b;
-  std::vector<ViewPtr> view_keys;
-  std::vector<double> bytes_terms;
-  std::vector<double> vmc_terms;
-  view_keys.reserve(views.size());
-  bytes_terms.reserve(views.size());
-  vmc_terms.reserve(views.size());
   for (size_t i = 0; i < views.size(); ++i) {
-    const ViewPtr& vp = views.ptr(i);
     double bytes;
     double vmc;
-    if (reuse && i < cache.view_keys.size() && cache.view_keys[i] == vp) {
-      bytes = cache.bytes_terms[i];
-      vmc = cache.vmc_terms[i];
+    if (model_ok && state.ViewTermValid(i)) {
+      bytes = state.ViewBytesTerm(i);
+      vmc = state.ViewVmcTerm(i);
       ++counters_.view_terms_reused;
     } else {
+      const ViewPtr& vp = views.ptr(i);
       bytes = CachedViewBytes(*vp);
       vmc = std::pow(weights_.f, static_cast<double>(vp->def.len()));
+      state.SetViewTerm(i, bytes, vmc);
       ++counters_.view_terms_computed;
     }
     b.vso += bytes;
     b.vmc += vmc;
-    view_keys.push_back(vp);
-    bytes_terms.push_back(bytes);
-    vmc_terms.push_back(vmc);
   }
 
-  const std::vector<engine::ExprPtr>& rewritings = state.rewritings();
-  std::vector<engine::ExprPtr> rec_keys;
-  std::vector<double> rec_terms;
-  rec_keys.reserve(rewritings.size());
-  rec_terms.reserve(rewritings.size());
+  // The REC slots live in the state's flat block, aligned with the
+  // rewritings; fresh slots carry a null key, which never matches a live
+  // rewriting (the state nulls keys at mutation time, so a recycled Expr
+  // address can never falsely revalidate).
+  State::CostCache::RecEntry* rec_entries = state.rec_entries();
   for (size_t i = 0; i < rewritings.size(); ++i) {
     const engine::ExprPtr& r = rewritings[i];
-    double term;
+    State::CostCache::RecEntry& e = rec_entries[i];
     // Transitions rebuild only the rewritings that scanned a replaced view
-    // (Expr::ReplaceScans returns the identical subtree otherwise), so
-    // pointer equality certifies the parent's cached term is still right.
-    if (reuse && i < cache.rec_keys.size() && cache.rec_keys[i] == r) {
-      term = cache.rec_terms[i];
+    // (Expr::ReplaceScans returns the identical subtree otherwise), and
+    // State::ReplaceScanRewritings nulls the entries of the rewritings it
+    // changed, so pointer equality certifies the cached term is current.
+    if (model_ok && e.key == r.get()) {
+      b.rec += e.term;
       ++counters_.rec_reused;
     } else {
-      term = RecTerm(*r, state, /*cached=*/true);
+      e.term = RecTerm(*r, state, /*cached=*/true);
+      e.key = r.get();
+      b.rec += e.term;
       ++counters_.rec_computed;
     }
-    b.rec += term;
-    rec_keys.push_back(r);
-    rec_terms.push_back(term);
   }
 
   b.total = weights_.cs * b.vso + weights_.cr * b.rec + weights_.cm * b.vmc;
 
   cache.model_key = cache_key_;
-  cache.view_keys = std::move(view_keys);
-  cache.bytes_terms = std::move(bytes_terms);
-  cache.vmc_terms = std::move(vmc_terms);
-  cache.rec_keys = std::move(rec_keys);
-  cache.rec_terms = std::move(rec_terms);
   cache.valid = true;
   cache.vso = b.vso;
   cache.rec = b.rec;

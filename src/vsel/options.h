@@ -101,6 +101,22 @@ struct SearchLimits {
   /// any thread count. The [21] competitor strategies are inherently
   /// sequential (query-by-query combination) and always run serial.
   size_t num_threads = 1;
+  /// DFS only: cap on the VB-stratum recursion depth along a search path.
+  /// Once a path has applied this many view breaks, the VB stratum is
+  /// skipped and the state advances to SC directly — so a 10-atom view's
+  /// exponential VB closure cannot starve the SC/JC/VF strata under a
+  /// finite time budget. Changes which states a truncated DFS reaches, so
+  /// the value participates in the session-cache identity. 0 (default) =
+  /// unlimited, the paper's exact DFS. Serial and parallel DFS apply the
+  /// cap identically: duplicate detection ranks revisits by the remaining
+  /// VB budget (internal::DfsDedupRank), so a capped run that exhausts its
+  /// space admits the same distinct view-set states at every thread
+  /// count. The reported best can still differ across thread counts when
+  /// two arrival paths build different (equally valid) rewriting plans
+  /// for the same view set: states are deduplicated by their view-set
+  /// fingerprint, and the cost of the plan that happened to arrive first
+  /// is the one recorded.
+  size_t max_vb_depth = 0;
   /// Cooperative cancellation: every engine (serial, parallel frontier,
   /// [21] competitors) polls this token wherever it polls the deadline, so
   /// a stop request terminates the search within a bounded number of state

@@ -112,12 +112,12 @@ bool ParallelSearchContext::OutOfBudget() {
 }
 
 std::optional<ParallelSearchContext::Admitted> ParallelSearchContext::Admit(
-    State s, int phase, SearchStats* stats) {
+    State s, int phase, SearchStats* stats, Arena* arena) {
   ++stats->created;
   ++stats->transitions_applied;
   if (heur.avf) {
     size_t steps = 0;
-    s = AvfClosure(s, topts, &steps);
+    s = AvfClosure(s, topts, &steps, arena);
     stats->created += steps;
     stats->discarded += steps;
   }

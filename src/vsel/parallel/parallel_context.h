@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/timer.h"
 #include "vsel/cost_model.h"
 #include "vsel/options.h"
@@ -90,8 +91,11 @@ class ParallelSearchContext {
 
   /// The serial Admit against the shared structures: AVF closure, stop
   /// conditions, concurrent duplicate detection with stratum re-opening,
-  /// and best tracking. Counter traffic goes to the worker-local `stats`.
-  std::optional<Admitted> Admit(State s, int phase, SearchStats* stats);
+  /// and best tracking. Counter traffic goes to the worker-local `stats`;
+  /// `arena` (optional) backs the flat storage of any closure states — pass
+  /// the calling worker's arena, never one shared across workers.
+  std::optional<Admitted> Admit(State s, int phase, SearchStats* stats,
+                                Arena* arena = nullptr);
 
   /// Merges a worker's local counters into the run totals (call once per
   /// worker, as it exits).

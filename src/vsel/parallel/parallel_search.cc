@@ -1,9 +1,11 @@
 #include "vsel/parallel/parallel_search.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/telemetry/metrics.h"
 #include "common/thread_pool.h"
 #include "vsel/parallel/parallel_context.h"
@@ -19,14 +21,26 @@ namespace {
 /// Entries processed per frontier lock acquisition.
 constexpr size_t kExpandBatch = 8;
 
-/// Frontiers are per-run stack objects, so their steal counts are folded
-/// into the process-wide registry when the run retires its frontier.
-void PublishSteals(uint64_t steals) {
-  if (steals == 0) return;
-  static telemetry::Counter* const counter =
+/// Live metric sinks wired into every per-run frontier: steal counts and
+/// the waiting-worker gauge are updated as the events happen, so a mid-run
+/// TelemetrySnapshot() observes them (frontiers used to fold steals into
+/// the registry only at run retirement).
+FrontierMetrics LiveFrontierMetrics() {
+  static telemetry::Counter* const steals =
       telemetry::MetricsRegistry::Default()->GetCounter(
           "vsel_frontier_steals_total");
-  counter->Add(steals);
+  static telemetry::Gauge* const waiting =
+      telemetry::MetricsRegistry::Default()->GetGauge(
+          "vsel_frontier_waiting_workers");
+  return FrontierMetrics{steals, waiting};
+}
+
+/// Subtrees donated by serially-recursing DFS workers to starving peers.
+telemetry::Counter* DonationCounter() {
+  static telemetry::Counter* const counter =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_dfs_donations_total");
+  return counter;
 }
 
 size_t FrontierShards(size_t workers) {
@@ -46,7 +60,7 @@ size_t ShardHint(const StateFingerprint& fp) {
 struct ExEntry {
   State state;
   int phase = 0;
-  std::vector<Transition> transitions;
+  TransitionBuffer transitions;
   bool loaded = false;
   size_t next = 0;
 };
@@ -54,25 +68,28 @@ struct ExEntry {
 /// One round-robin visit: apply transitions until one produces a new state
 /// (pushing it onto the frontier), then requeue the entry if transitions
 /// remain — the serial discipline, executed concurrently per entry.
+/// `arena` is the calling worker's arena; the entry itself may have been
+/// created on another worker's arena (published via the frontier mutex),
+/// but all states produced here land on the caller's.
 void ProcessExEntry(ParallelSearchContext* ctx,
                     ShardedFrontier<ExEntry>* frontier, bool stratified,
-                    ExEntry entry, SearchStats* local) {
+                    ExEntry entry, SearchStats* local, Arena* arena) {
   if (!entry.loaded) {
     entry.loaded = true;
-    int start_kind = stratified ? entry.phase : 0;
-    for (int k = start_kind; k < internal::kNumPhases; ++k) {
-      std::vector<Transition> ts = EnumerateTransitions(
-          entry.state, static_cast<TransitionKind>(k), ctx->topts);
-      entry.transitions.insert(entry.transitions.end(), ts.begin(),
-                               ts.end());
-    }
+    // One batched sweep fills the entry's buffer in kind-major order,
+    // identical to the per-kind concatenation it replaces.
+    TransitionKind start_kind =
+        static_cast<TransitionKind>(stratified ? entry.phase : 0);
+    EnumerateTransitionsBatch(entry.state, start_kind, ctx->topts,
+                              &entry.transitions);
   }
   while (entry.next < entry.transitions.size()) {
     if (ctx->OutOfBudget()) return;  // anytime truncation: drop the entry
     const Transition& t = entry.transitions[entry.next++];
     int phase = stratified ? static_cast<int>(t.kind) : 0;
     auto admitted =
-        ctx->Admit(ApplyTransition(entry.state, t), phase, local);
+        ctx->Admit(ApplyTransition(entry.state, t, arena), phase, local,
+                   arena);
     if (admitted.has_value()) {
       frontier->Push(
           ShardHint(admitted->state.fingerprint()),
@@ -91,7 +108,8 @@ SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
                                    const State& s0, bool stratified,
                                    size_t workers) {
   ctx->Init(s0);
-  ShardedFrontier<ExEntry> frontier(FrontierShards(workers));
+  ShardedFrontier<ExEntry> frontier(FrontierShards(workers),
+                                    LiveFrontierMetrics());
   frontier.Push(ShardHint(ctx->start.fingerprint()),
                 ExEntry{ctx->start, 0, {}, false, 0});
   {
@@ -99,6 +117,7 @@ SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
     for (size_t w = 0; w < workers; ++w) {
       pool.Submit([ctx, &frontier, stratified, w] {
         SearchStats local;
+        Arena arena;  // worker-private; blocks outlive it via refcounts
         std::vector<ExEntry> batch;
         for (;;) {
           batch.clear();
@@ -106,7 +125,8 @@ SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
                                        [ctx] { return ctx->OutOfBudget(); });
           if (n == 0) break;
           for (ExEntry& e : batch) {
-            ProcessExEntry(ctx, &frontier, stratified, std::move(e), &local);
+            ProcessExEntry(ctx, &frontier, stratified, std::move(e), &local,
+                           &arena);
           }
           frontier.TaskDone(n);
         }
@@ -115,46 +135,160 @@ SearchResult RunParallelExhaustive(ParallelSearchContext* ctx,
     }
     pool.WaitIdle();
   }
-  PublishSteals(frontier.steals());
   return ctx->Finish(!ctx->stopped());
 }
 
-// ---- DFS: root-parallel stratified depth-first ---------------------------
+// ---- DFS: depth-first with starvation-aware subtree donation -------------
+
+/// A DFS frontier task: a run of sibling transitions of `base` at stratum
+/// `kind`, plus (when `advance_after`) the obligation to advance `base` to
+/// the next stratum once the siblings are done. A null `base` means the
+/// run's start state. Root seeds are single-transition tasks; donation
+/// (below) creates multi-sibling tasks mid-run.
+struct DfsTask {
+  std::shared_ptr<const State> base;  // null = ctx->start
+  std::vector<Transition> ts;
+  int kind = 0;
+  bool advance_after = false;
+  size_t vb_depth = 0;
+};
 
 /// The serial DfsVisit against the shared context: closure under the
-/// current kind depth-first, then advance the state to the next kind.
-void DfsVisitDeep(ParallelSearchContext* ctx, const State& s, int kind,
+/// current kind depth-first, then advance the state to the next kind —
+/// with one addition: when the frontier reports starving workers and this
+/// node still has unexplored siblings, those siblings (and this node's
+/// stratum advance) are packaged into a DfsTask and donated, and the donor
+/// recurses into just the current child. The explored *set* is unchanged —
+/// the donated task performs exactly the work the donor skips — so the
+/// deterministic (cost, fingerprint) best of a completed run is preserved.
+/// `vb_depth`/`depth` mirror the serial engine: VB-stratum recursion depth
+/// for the max_vb_depth cap, and the per-depth transition-buffer index.
+void DfsVisitDeep(ParallelSearchContext* ctx,
+                  ShardedFrontier<DfsTask>* frontier,
+                  TransitionBufferPool* pool, Arena* arena, const State& s,
+                  int kind, size_t vb_depth, size_t depth,
                   SearchStats* local) {
   if (kind >= internal::kNumPhases) {
     ++local->explored;
     return;
   }
-  for (const Transition& t : EnumerateTransitions(
-           s, static_cast<TransitionKind>(kind), ctx->topts)) {
+  if (kind == static_cast<int>(TransitionKind::kVB) &&
+      ctx->limits.max_vb_depth > 0 &&
+      vb_depth >= ctx->limits.max_vb_depth) {
+    DfsVisitDeep(ctx, frontier, pool, arena, s, kind + 1, vb_depth, depth,
+                 local);
+    return;
+  }
+  TransitionBuffer& buf = pool->At(depth);
+  buf.Clear();
+  EnumerateTransitionsInto(s, static_cast<TransitionKind>(kind), ctx->topts,
+                           &buf);
+  for (size_t i = 0; i < buf.size(); ++i) {
     if (ctx->OutOfBudget()) return;
-    auto admitted = ctx->Admit(ApplyTransition(s, t), kind, local);
-    if (admitted.has_value()) DfsVisitDeep(ctx, admitted->state, kind, local);
+    if (i + 1 < buf.size() && frontier->Starving()) {
+      // Donate the unexplored tail siblings and this node's advance to the
+      // next stratum; keep only buf[i]'s subtree for ourselves. The base
+      // state is copied to worker-independent heap storage (the donee
+      // outlives this worker's arena frames).
+      DfsTask rest;
+      rest.base = std::make_shared<const State>(s);
+      rest.ts.assign(buf.begin() + i + 1, buf.end());
+      rest.kind = kind;
+      rest.advance_after = true;
+      rest.vb_depth = vb_depth;
+      frontier->Push(ShardHint(s.fingerprint()), std::move(rest));
+      DonationCounter()->Add(1);
+      const size_t child_vb =
+          vb_depth + (kind == static_cast<int>(TransitionKind::kVB));
+      auto admitted = ctx->Admit(
+          ApplyTransition(s, buf[i], arena),
+          internal::DfsDedupRank(ctx->limits, kind, child_vb), local, arena);
+      if (admitted.has_value()) {
+        DfsVisitDeep(ctx, frontier, pool, arena, admitted->state, kind,
+                     child_vb, depth + 1, local);
+      }
+      return;  // the donated task owns the rest of this node's work
+    }
+    const size_t child_vb =
+        vb_depth + (kind == static_cast<int>(TransitionKind::kVB));
+    auto admitted = ctx->Admit(
+        ApplyTransition(s, buf[i], arena),
+        internal::DfsDedupRank(ctx->limits, kind, child_vb), local, arena);
+    if (admitted.has_value()) {
+      DfsVisitDeep(ctx, frontier, pool, arena, admitted->state, kind,
+                   child_vb, depth + 1, local);
+    }
   }
   if (ctx->OutOfBudget()) return;
-  DfsVisitDeep(ctx, s, kind + 1, local);
+  DfsVisitDeep(ctx, frontier, pool, arena, s, kind + 1, vb_depth, depth,
+               local);
 }
 
-/// A root task: one transition applicable to the start state; the admitted
-/// child's whole subtree is explored by the claiming worker.
-struct DfsTask {
-  Transition t;
-  int kind = 0;
-};
+/// Processes one claimed task: applies each sibling transition and explores
+/// the admitted child's subtree. Multi-sibling tasks re-split under
+/// starvation exactly like in-recursion nodes do.
+void ProcessDfsTask(ParallelSearchContext* ctx,
+                    ShardedFrontier<DfsTask>* frontier,
+                    TransitionBufferPool* pool, Arena* arena, DfsTask task,
+                    SearchStats* local) {
+  const State& base = task.base ? *task.base : ctx->start;
+  for (size_t i = 0; i < task.ts.size(); ++i) {
+    if (ctx->OutOfBudget()) return;
+    if (i + 1 < task.ts.size() && frontier->Starving()) {
+      DfsTask rest;
+      rest.base = task.base;  // shared; null still means ctx->start
+      rest.ts.assign(task.ts.begin() + i + 1, task.ts.end());
+      rest.kind = task.kind;
+      rest.advance_after = task.advance_after;
+      rest.vb_depth = task.vb_depth;
+      frontier->Push(ShardHint(base.fingerprint()), std::move(rest));
+      DonationCounter()->Add(1);
+      const size_t child_vb =
+          task.vb_depth +
+          (task.kind == static_cast<int>(TransitionKind::kVB));
+      auto admitted = ctx->Admit(
+          ApplyTransition(base, task.ts[i], arena),
+          internal::DfsDedupRank(ctx->limits, task.kind, child_vb), local,
+          arena);
+      if (admitted.has_value()) {
+        DfsVisitDeep(ctx, frontier, pool, arena, admitted->state, task.kind,
+                     child_vb, 0, local);
+      }
+      return;  // the re-split task owns the remaining siblings/advance
+    }
+    const size_t child_vb =
+        task.vb_depth + (task.kind == static_cast<int>(TransitionKind::kVB));
+    auto admitted = ctx->Admit(
+        ApplyTransition(base, task.ts[i], arena),
+        internal::DfsDedupRank(ctx->limits, task.kind, child_vb), local,
+        arena);
+    if (admitted.has_value()) {
+      DfsVisitDeep(ctx, frontier, pool, arena, admitted->state, task.kind,
+                   child_vb, 0, local);
+    }
+  }
+  if (task.advance_after) {
+    if (ctx->OutOfBudget()) return;
+    DfsVisitDeep(ctx, frontier, pool, arena, base, task.kind + 1,
+                 task.vb_depth, 0, local);
+  }
+}
 
 SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
                             size_t workers) {
   ctx->Init(s0);
-  ShardedFrontier<DfsTask> frontier(FrontierShards(workers));
+  ShardedFrontier<DfsTask> frontier(FrontierShards(workers),
+                                    LiveFrontierMetrics());
   size_t seeds = 0;
+  TransitionBuffer seed_buf;
   for (int k = 0; k < internal::kNumPhases; ++k) {
-    for (const Transition& t : EnumerateTransitions(
-             ctx->start, static_cast<TransitionKind>(k), ctx->topts)) {
-      frontier.Push(seeds++, DfsTask{t, k});  // round-robin over shards
+    seed_buf.Clear();
+    EnumerateTransitionsInto(ctx->start, static_cast<TransitionKind>(k),
+                             ctx->topts, &seed_buf);
+    for (const Transition& t : seed_buf) {
+      // Round-robin over shards; single-transition seeds, no advance (the
+      // root's ladder is walked by the seed loop itself).
+      frontier.Push(seeds++, DfsTask{nullptr, {t}, k, false, 0});
     }
   }
   {
@@ -162,6 +296,8 @@ SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
     for (size_t w = 0; w < workers; ++w) {
       pool.Submit([ctx, &frontier, w] {
         SearchStats local;
+        Arena arena;  // worker-private; blocks outlive it via refcounts
+        TransitionBufferPool bufpool;
         std::vector<DfsTask> batch;
         for (;;) {
           batch.clear();
@@ -169,13 +305,10 @@ SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
           size_t n = frontier.PopBatch(w, 1, &batch,
                                        [ctx] { return ctx->OutOfBudget(); });
           if (n == 0) break;
-          for (const DfsTask& task : batch) {
+          for (DfsTask& task : batch) {
             if (ctx->OutOfBudget()) continue;
-            auto admitted = ctx->Admit(ApplyTransition(ctx->start, task.t),
-                                       task.kind, &local);
-            if (admitted.has_value()) {
-              DfsVisitDeep(ctx, admitted->state, task.kind, &local);
-            }
+            ProcessDfsTask(ctx, &frontier, &bufpool, &arena,
+                           std::move(task), &local);
           }
           frontier.TaskDone(n);
         }
@@ -184,7 +317,6 @@ SearchResult RunParallelDfs(ParallelSearchContext* ctx, const State& s0,
     }
     pool.WaitIdle();
   }
-  PublishSteals(frontier.steals());
   // The root itself tops out the kind ladder (the serial engine counts it
   // explored once its last stratum is done).
   SearchStats root;
@@ -206,11 +338,14 @@ SearchResult RunParallelGstr(ParallelSearchContext* ctx, const State& s0,
     std::mutex best_mu;
     State phase_best = current;
     double phase_best_cost = current_cost;
-    ShardedFrontier<State> frontier(FrontierShards(workers));
+    ShardedFrontier<State> frontier(FrontierShards(workers),
+                                    LiveFrontierMetrics());
     frontier.Push(ShardHint(current.fingerprint()), current);
     for (size_t w = 0; w < workers; ++w) {
       pool.Submit([&, w, kind] {
         SearchStats local;
+        Arena arena;  // worker-private; blocks outlive it via refcounts
+        TransitionBuffer buf;
         std::vector<State> batch;
         for (;;) {
           batch.clear();
@@ -218,10 +353,14 @@ SearchResult RunParallelGstr(ParallelSearchContext* ctx, const State& s0,
                                        [&] { return ctx->OutOfBudget(); });
           if (n == 0) break;
           for (State& s : batch) {
-            for (const Transition& t : EnumerateTransitions(
-                     s, static_cast<TransitionKind>(kind), ctx->topts)) {
+            buf.Clear();
+            EnumerateTransitionsInto(s, static_cast<TransitionKind>(kind),
+                                     ctx->topts, &buf);
+            for (const Transition& t : buf) {
               if (ctx->OutOfBudget()) break;
-              auto admitted = ctx->Admit(ApplyTransition(s, t), kind, &local);
+              auto admitted =
+                  ctx->Admit(ApplyTransition(s, t, &arena), kind, &local,
+                             &arena);
               if (!admitted.has_value()) continue;
               {
                 std::lock_guard<std::mutex> lock(best_mu);
@@ -243,7 +382,6 @@ SearchResult RunParallelGstr(ParallelSearchContext* ctx, const State& s0,
       });
     }
     pool.WaitIdle();  // stratum barrier: the closure is complete (or cut)
-    PublishSteals(frontier.steals());
     current = std::move(phase_best);
     current_cost = phase_best_cost;
   }

@@ -24,13 +24,25 @@
 #include <mutex>
 #include <vector>
 
+#include "common/telemetry/metrics.h"
+
 namespace rdfviews::vsel::parallel {
+
+/// Live metric sinks for a frontier. All pointers are optional; when set
+/// they are updated incrementally as events happen (not at run retirement),
+/// so a concurrent TelemetrySnapshot() observes mid-run steal counts and
+/// starvation gauges.
+struct FrontierMetrics {
+  telemetry::Counter* steals = nullptr;          // +1 per stolen batch
+  telemetry::Gauge* waiting_workers = nullptr;   // workers blocked in PopBatch
+};
 
 template <typename T>
 class ShardedFrontier {
  public:
   /// `num_shards` is rounded up to a power of two.
-  explicit ShardedFrontier(size_t num_shards) {
+  explicit ShardedFrontier(size_t num_shards, FrontierMetrics metrics = {})
+      : metrics_(metrics) {
     size_t n = 1;
     while (n < num_shards) n <<= 1;
     mask_ = n - 1;
@@ -43,6 +55,7 @@ class ShardedFrontier {
     // `pending` to zero with work still outstanding and releasing sleeping
     // workers early.
     pending_.fetch_add(1, std::memory_order_acq_rel);
+    queued_.fetch_add(1, std::memory_order_relaxed);
     Shard& sh = shards_[shard_hint & mask_];
     {
       std::lock_guard<std::mutex> lock(sh.mu);
@@ -69,7 +82,11 @@ class ShardedFrontier {
           ++got;
         }
         if (got > 0) {
-          if (i > 0) steals_.fetch_add(1, std::memory_order_relaxed);
+          queued_.fetch_sub(got, std::memory_order_relaxed);
+          if (i > 0) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_.steals != nullptr) metrics_.steals->Add(1);
+          }
           return got;
         }
       }
@@ -78,8 +95,22 @@ class ShardedFrontier {
       // Nothing visible but work is in flight: its processor may push more.
       // Sleep briefly; Push wakes us early, the timeout re-checks
       // cancellation (budget exhaustion is latched by processing workers).
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_.wait_for(lock, std::chrono::milliseconds(1));
+      // While asleep this worker counts as waiting — the signal producers
+      // consult (via Starving()) to decide whether to donate subtrees.
+      const size_t waiting_now =
+          waiting_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (metrics_.waiting_workers != nullptr) {
+        metrics_.waiting_workers->Set(static_cast<int64_t>(waiting_now));
+      }
+      {
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      const size_t waiting_after =
+          waiting_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (metrics_.waiting_workers != nullptr) {
+        metrics_.waiting_workers->Set(static_cast<int64_t>(waiting_after));
+      }
     }
   }
 
@@ -95,6 +126,19 @@ class ShardedFrontier {
   /// Batches served from a non-home shard (work stealing events).
   uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
+  /// True when at least one worker is blocked waiting for work and no
+  /// queued item could feed it. Producers deep in a serial recursion use
+  /// this as the donation trigger: a relaxed heuristic read — it may be
+  /// stale by the time the donor pushes, which only costs one extra (or one
+  /// missed) donation, never correctness.
+  bool Starving() const {
+    return waiting_.load(std::memory_order_relaxed) > 0 &&
+           queued_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Items currently queued in shards (pushed, not yet popped).
+  size_t queued() const { return queued_.load(std::memory_order_relaxed); }
+
  private:
   struct alignas(64) Shard {
     std::mutex mu;
@@ -103,7 +147,10 @@ class ShardedFrontier {
 
   std::unique_ptr<Shard[]> shards_;
   size_t mask_ = 0;
+  FrontierMetrics metrics_;
   std::atomic<size_t> pending_{0};
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> waiting_{0};
   std::atomic<uint64_t> steals_{0};
   std::mutex wake_mu_;
   std::condition_variable wake_;

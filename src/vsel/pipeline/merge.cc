@@ -172,10 +172,10 @@ Result<Recommendation> MergePartitions(
       for (const engine::ExprPtr& e : rewritings) {
         if (e != nullptr) compacted.push_back(e);
       }
-      *merged.mutable_rewritings() = std::move(compacted);
+      merged.SetRewritings(std::move(compacted));
       rec.rewritings = std::move(rewritings);
     } else {
-      *merged.mutable_rewritings() = std::move(rewritings);
+      merged.SetRewritings(std::move(rewritings));
     }
 
     // Did stage 3 run the partitions concurrently? (Mirrors its policy.)
@@ -263,7 +263,8 @@ Result<Recommendation> MergePartitions(
     // Healthy runs: workload-aligned by construction. Degraded runs filled
     // rec.rewritings above (nulls marking the failed partitions' queries);
     // the best state keeps only the compacted surviving ones.
-    rec.rewritings = rec.best_state.rewritings();
+    const RewritingList rl = rec.best_state.rewritings();
+    rec.rewritings.assign(rl.begin(), rl.end());
   }
   return rec;
 }

@@ -1,7 +1,8 @@
 // Pipeline stage 3: budget apportioning and per-partition searches.
 //
 // Every partition searches its own initial state under a slice of the
-// global budget proportional to its query count; slices round *up* (states)
+// global budget proportional to its estimated enumeration cost (sum over
+// its views of 2^atoms — see EnumerationCostWeight); slices round *up* (states)
 // or are floored at a small positive minimum (time) so no partition is
 // starved to zero, and partitions whose search exhausts its space before
 // the slice expires return the unused seconds to a TimeBudgetPool that
@@ -50,6 +51,22 @@ namespace {
 /// Time slices below this are rounded up so every partition can at least
 /// admit a handful of states before stop_time fires.
 constexpr double kMinTimeBudgetSec = 1e-3;
+
+/// Apportionment weight of a partition: the estimated enumeration cost of
+/// its initial state, sum over views of 2^atoms (the VB stratum of a
+/// k-atom view explores its view-break lattice, which grows with 2^k; the
+/// other strata are polynomial and dominated by it). Query *count* — the
+/// old weight — mis-sizes slices badly when partition query shapes differ:
+/// one 6-atom query costs ~64x one 1-atom query, not 1x. The exponent is
+/// clamped so a pathological view cannot overflow, and the weight floored
+/// at 1 so every partition keeps a positive share.
+size_t EnumerationCostWeight(const State& s0) {
+  size_t w = 0;
+  for (const View& v : s0.views()) {
+    w += static_cast<size_t>(1) << std::min<size_t>(v.def.len(), 20);
+  }
+  return std::max<size_t>(w, 1);
+}
 
 /// Builds partition `group`'s initial state (the monolithic S0 restricted
 /// to the group's queries, in workload order) from the ingest stage's
@@ -202,7 +219,7 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
     }
     initial_states[p] = std::move(*s0);
     dirty.push_back(p);
-    weights.push_back(plan.groups[p].size());
+    weights.push_back(EnumerationCostWeight(initial_states[p]));
   }
   if (report != nullptr) {
     report->partitions_searched = dirty.size();

@@ -46,7 +46,7 @@ void SearchContext::Init(const State& s0) {
   start = s0;
   if (heur.avf) {
     size_t steps = 0;
-    State closed = AvfClosure(s0, topts, &steps);
+    State closed = AvfClosure(s0, topts, &steps, &arena);
     if (steps > 0) {
       stats.created += steps;
       stats.discarded += steps - 1;  // intermediates; the fixpoint is kept
@@ -98,7 +98,7 @@ std::optional<SearchContext::Admitted> SearchContext::Admit(State s,
   ++stats.transitions_applied;
   if (heur.avf) {
     size_t steps = 0;
-    s = AvfClosure(s, topts, &steps);
+    s = AvfClosure(s, topts, &steps, &arena);
     stats.created += steps;
     stats.discarded += steps;
   }
@@ -145,7 +145,7 @@ SearchResult RunExhaustive(SearchContext* ctx, const State& s0,
   struct Entry {
     State state;
     int phase;
-    std::vector<Transition> transitions;
+    TransitionBuffer transitions;
     bool loaded = false;
     size_t next = 0;
   };
@@ -159,22 +159,21 @@ SearchResult RunExhaustive(SearchContext* ctx, const State& s0,
     cs.pop_front();
     if (!entry.loaded) {
       entry.loaded = true;
-      int start_kind = stratified ? entry.phase : 0;
-      for (int k = start_kind; k < internal::kNumPhases; ++k) {
-        // Non-stratified EXNAIVE may apply any kind at any time; stratified
-        // EXSTR only kinds >= the arrival stratum.
-        std::vector<Transition> ts = EnumerateTransitions(
-            entry.state, static_cast<TransitionKind>(k), ctx->topts);
-        entry.transitions.insert(entry.transitions.end(), ts.begin(),
-                                 ts.end());
-      }
+      // Non-stratified EXNAIVE may apply any kind at any time; stratified
+      // EXSTR only kinds >= the arrival stratum. One batched sweep fills
+      // the entry's buffer in kind-major order.
+      TransitionKind start_kind =
+          static_cast<TransitionKind>(stratified ? entry.phase : 0);
+      EnumerateTransitionsBatch(entry.state, start_kind, ctx->topts,
+                                &entry.transitions);
     }
     bool produced = false;
     while (entry.next < entry.transitions.size()) {
       if (ctx->OutOfBudget()) return ctx->Finish(false);
       const Transition& t = entry.transitions[entry.next++];
       int phase = stratified ? static_cast<int>(t.kind) : 0;
-      auto admitted = ctx->Admit(ApplyTransition(entry.state, t), phase);
+      auto admitted =
+          ctx->Admit(ApplyTransition(entry.state, t, &ctx->arena), phase);
       if (admitted.has_value()) {
         cs.push_back(Entry{std::move(admitted->state), phase, {}, false, 0});
         produced = true;
@@ -197,25 +196,47 @@ SearchResult RunExhaustive(SearchContext* ctx, const State& s0,
 
 /// Stratified depth-first search (Sec. 5.2). For each state, first the
 /// closure under the current transition kind is explored depth-first, then
-/// the state advances to the next kind.
-void DfsVisit(SearchContext* ctx, const State& s, int kind) {
+/// the state advances to the next kind. `vb_depth` counts the VB-stratum
+/// recursion depth along the current path: once it reaches
+/// limits.max_vb_depth (when set), the VB stratum is skipped and the state
+/// advances to SC directly, so large views cannot trap the DFS inside the
+/// exponential VB closure. `depth` indexes the per-depth transition-buffer
+/// pool — each recursion level reuses its own buffer across visits.
+void DfsVisit(SearchContext* ctx, TransitionBufferPool* pool, const State& s,
+              int kind, size_t vb_depth, size_t depth) {
   if (kind >= internal::kNumPhases) {
     ++ctx->stats.explored;
     return;
   }
-  for (const Transition& t : EnumerateTransitions(
-           s, static_cast<TransitionKind>(kind), ctx->topts)) {
+  if (kind == static_cast<int>(TransitionKind::kVB) &&
+      ctx->limits.max_vb_depth > 0 &&
+      vb_depth >= ctx->limits.max_vb_depth) {
+    DfsVisit(ctx, pool, s, kind + 1, vb_depth, depth);
+    return;
+  }
+  TransitionBuffer& buf = pool->At(depth);
+  buf.Clear();
+  EnumerateTransitionsInto(s, static_cast<TransitionKind>(kind), ctx->topts,
+                           &buf);
+  for (size_t i = 0; i < buf.size(); ++i) {
     if (ctx->OutOfBudget()) return;
-    auto admitted = ctx->Admit(ApplyTransition(s, t), kind);
-    if (admitted.has_value()) DfsVisit(ctx, admitted->state, kind);
+    const size_t child_vb =
+        vb_depth + (kind == static_cast<int>(TransitionKind::kVB));
+    auto admitted = ctx->Admit(ApplyTransition(s, buf[i], &ctx->arena),
+                               internal::DfsDedupRank(ctx->limits, kind,
+                                                      child_vb));
+    if (admitted.has_value()) {
+      DfsVisit(ctx, pool, admitted->state, kind, child_vb, depth + 1);
+    }
   }
   if (ctx->OutOfBudget()) return;
-  DfsVisit(ctx, s, kind + 1);
+  DfsVisit(ctx, pool, s, kind + 1, vb_depth, depth);
 }
 
 SearchResult RunDfs(SearchContext* ctx, const State& s0) {
   ctx->Init(s0);
-  DfsVisit(ctx, ctx->start, 0);
+  TransitionBufferPool pool;
+  DfsVisit(ctx, &pool, ctx->start, 0, 0, 0);
   return ctx->Finish(true);
 }
 
@@ -225,6 +246,7 @@ SearchResult RunGstr(SearchContext* ctx, const State& s0) {
   ctx->Init(s0);
   State current = ctx->start;
   double current_cost = ctx->cost->StateCost(current);
+  TransitionBuffer buf;
   for (int kind = 0; kind < internal::kNumPhases; ++kind) {
     std::deque<State> frontier;
     frontier.push_back(current);
@@ -234,10 +256,12 @@ SearchResult RunGstr(SearchContext* ctx, const State& s0) {
       if (ctx->OutOfBudget()) return ctx->Finish(false);
       State s = std::move(frontier.front());
       frontier.pop_front();
-      for (const Transition& t : EnumerateTransitions(
-               s, static_cast<TransitionKind>(kind), ctx->topts)) {
+      buf.Clear();
+      EnumerateTransitionsInto(s, static_cast<TransitionKind>(kind),
+                               ctx->topts, &buf);
+      for (const Transition& t : buf) {
         if (ctx->OutOfBudget()) return ctx->Finish(false);
-        auto admitted = ctx->Admit(ApplyTransition(s, t), kind);
+        auto admitted = ctx->Admit(ApplyTransition(s, t, &ctx->arena), kind);
         if (!admitted.has_value()) continue;
         if (internal::BetterState(admitted->cost,
                                   admitted->state.fingerprint(),

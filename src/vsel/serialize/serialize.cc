@@ -397,6 +397,9 @@ CacheIdentity ComputeCacheIdentity(const rdf::TripleStore& store,
   combine_double(options.weights.f);
   HashCombine(&seed, static_cast<size_t>(options.entailment));
   HashCombine(&seed, options.auto_calibrate_cm);
+  // max_vb_depth changes which states a truncated DFS reaches, so cached
+  // partition results are only valid under the same cap.
+  HashCombine(&seed, options.limits.max_vb_depth);
   id.config_tag = Mix64(static_cast<uint64_t>(seed));
   return id;
 }
@@ -613,7 +616,7 @@ Result<State> DeserializeState(ByteReader* r) {
     if (!schema.ok()) return schema.status();
     rewritings.push_back(std::move(*e));
   }
-  *s.mutable_rewritings() = std::move(rewritings);
+  s.SetRewritings(std::move(rewritings));
   s.set_next_var(r->U32());
   s.set_next_view_id(r->U32());
   if (r->failed()) return Status::ParseError("truncated state");

@@ -1,41 +1,330 @@
 #include "vsel/state.h"
 
 #include <algorithm>
+#include <memory>
+#include <new>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
 
 namespace rdfviews::vsel {
 
+namespace {
+
+// Allocation-rate instruments for the flat state storage. Heap blocks are
+// the malloc-backed path (plain copies, growth); arena spans are the
+// bump-allocated transition path (no malloc of their own — the arena's
+// 64 KiB blocks are counted by vsel_arena_blocks_total). heap allocations
+// per state = (heap_blocks + arena_blocks) / states_created.
+telemetry::Counter* HeapBlockCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_state_alloc_heap_blocks_total");
+  return c;
+}
+
+telemetry::Counter* ArenaSpanCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_state_alloc_arena_spans_total");
+  return c;
+}
+
+telemetry::Counter* StatesCreatedCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_states_created_total");
+  return c;
+}
+
+}  // namespace
+
+// ---- Flat storage management -------------------------------------------
+
+State::State(const State& o) { CopyFrom(o, /*slack=*/0, /*arena=*/nullptr); }
+
+State State::CloneForTransition(Arena* arena) const {
+  State out;
+  // +2 slack: a transition adds at most one net view (VB adds two and
+  // removes one); the spare slots make AddView in the child allocation-free.
+  out.CopyFrom(*this, /*slack=*/2, arena);
+  return out;
+}
+
+State::State(State&& o) noexcept {
+  base_ = o.base_;
+  origin_ = o.origin_;
+  size_ = o.size_;
+  cap_ = o.cap_;
+  rew_size_ = o.rew_size_;
+  rew_cap_ = o.rew_cap_;
+  fingerprint_ = o.fingerprint_;
+  next_var_ = o.next_var_;
+  next_view_id_ = o.next_view_id_;
+  cost_cache_ = o.cost_cache_;
+  o.base_ = nullptr;
+  o.origin_ = nullptr;
+  o.size_ = 0;
+  o.cap_ = 0;
+  o.rew_size_ = 0;
+  o.rew_cap_ = 0;
+  o.SyncFacade();
+  SyncFacade();
+}
+
+State& State::operator=(const State& o) {
+  if (this != &o) {
+    State tmp(o);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+State& State::operator=(State&& o) noexcept {
+  if (this != &o) {
+    DestroyStorage();
+    base_ = o.base_;
+    origin_ = o.origin_;
+    size_ = o.size_;
+    cap_ = o.cap_;
+    rew_size_ = o.rew_size_;
+    rew_cap_ = o.rew_cap_;
+    fingerprint_ = o.fingerprint_;
+    next_var_ = o.next_var_;
+    next_view_id_ = o.next_view_id_;
+    cost_cache_ = o.cost_cache_;
+    o.base_ = nullptr;
+    o.origin_ = nullptr;
+    o.size_ = 0;
+    o.cap_ = 0;
+    o.rew_size_ = 0;
+    o.rew_cap_ = 0;
+    o.SyncFacade();
+    SyncFacade();
+  }
+  return *this;
+}
+
+State::~State() { DestroyStorage(); }
+
+void State::DestroyStorage() {
+  if (base_ != nullptr) {
+    ViewPtr* slots = Slots();
+    for (size_t i = 0; i < size_; ++i) slots[i].~ViewPtr();
+    engine::ExprPtr* rews = Rewritings();
+    for (size_t i = 0; i < rew_size_; ++i) std::destroy_at(rews + i);
+    if (origin_ != nullptr) {
+      Arena::Release(origin_);
+    } else {
+      ::operator delete(base_);
+    }
+    base_ = nullptr;
+    origin_ = nullptr;
+  }
+  size_ = 0;
+  cap_ = 0;
+  rew_size_ = 0;
+  rew_cap_ = 0;
+  SyncFacade();
+}
+
+void State::CopyFrom(const State& o, size_t slack, Arena* arena) {
+  RDFVIEWS_DCHECK(base_ == nullptr);
+  const size_t cap = o.size_ + slack;
+  const size_t rew_cap = o.rew_size_;  // transitions never add rewritings
+  if (cap > 0 || rew_cap > 0) {
+    const size_t bytes = BlockBytes(cap, rew_cap);
+    if (arena != nullptr) {
+      Arena::Span span = arena->Allocate(bytes);
+      base_ = static_cast<char*>(span.ptr);
+      origin_ = span.block;
+      ArenaSpanCounter()->Add(1);
+    } else {
+      base_ = static_cast<char*>(::operator new(bytes));
+      origin_ = nullptr;
+      HeapBlockCounter()->Add(1);
+    }
+    cap_ = static_cast<uint32_t>(cap);
+    size_ = o.size_;
+    rew_cap_ = static_cast<uint32_t>(rew_cap);
+    rew_size_ = o.rew_size_;
+    const ViewPtr* src = o.Slots();
+    ViewPtr* dst = Slots();
+    for (size_t i = 0; i < size_; ++i) new (dst + i) ViewPtr(src[i]);
+    std::memcpy(BytesTerms(), o.BytesTerms(), size_ * sizeof(double));
+    std::memcpy(VmcTerms(), o.VmcTerms(), size_ * sizeof(double));
+    std::memcpy(Ids(), o.Ids(), size_ * sizeof(uint32_t));
+    std::memcpy(TermKeys(), o.TermKeys(), size_ * sizeof(uint32_t));
+    const engine::ExprPtr* rsrc = o.Rewritings();
+    engine::ExprPtr* rdst = Rewritings();
+    for (size_t i = 0; i < rew_size_; ++i) {
+      new (rdst + i) engine::ExprPtr(rsrc[i]);
+    }
+    std::memcpy(RecEntries(), o.RecEntries(),
+                rew_size_ * sizeof(CostCache::RecEntry));
+  }
+  fingerprint_ = o.fingerprint_;
+  next_var_ = o.next_var_;
+  next_view_id_ = o.next_view_id_;
+  cost_cache_ = o.cost_cache_;
+  StatesCreatedCounter()->Add(1);
+  SyncFacade();
+}
+
+void State::EnsureCapacity(size_t need) {
+  if (need <= cap_) return;
+  size_t ncap = cap_ == 0 ? 4 : static_cast<size_t>(cap_) * 2;
+  if (ncap < need) ncap = need;
+  Reallocate(ncap, rew_cap_);
+}
+
+void State::EnsureRewritingCapacity(size_t need) {
+  if (need <= rew_cap_) return;
+  size_t ncap = rew_cap_ == 0 ? 4 : static_cast<size_t>(rew_cap_) * 2;
+  if (ncap < need) ncap = need;
+  Reallocate(cap_, ncap);
+}
+
+void State::Reallocate(size_t new_cap, size_t new_rew_cap) {
+  // Growth always lands on the heap: it only happens on the cold
+  // state-construction paths (deserialization, competitors, initial
+  // states); arena clones carry enough slack to never grow.
+  char* nbase =
+      static_cast<char*>(::operator new(BlockBytes(new_cap, new_rew_cap)));
+  HeapBlockCounter()->Add(1);
+  char* obase = base_;
+  Arena::Block* oorigin = origin_;
+  const size_t n = size_;
+  const size_t rn = rew_size_;
+  double* nbytes = reinterpret_cast<double*>(nbase + new_cap * sizeof(ViewPtr));
+  double* nvmc = nbytes + new_cap;
+  uint32_t* nids = reinterpret_cast<uint32_t*>(nvmc + new_cap);
+  uint32_t* nkeys = nids + new_cap;
+  engine::ExprPtr* nrews =
+      reinterpret_cast<engine::ExprPtr*>(nbase + new_cap * kBytesPerView);
+  CostCache::RecEntry* nrec =
+      reinterpret_cast<CostCache::RecEntry*>(nrews + new_rew_cap);
+  if (obase != nullptr) {
+    ViewPtr* src = Slots();
+    ViewPtr* dst = reinterpret_cast<ViewPtr*>(nbase);
+    for (size_t i = 0; i < n; ++i) {
+      new (dst + i) ViewPtr(std::move(src[i]));
+      src[i].~ViewPtr();
+    }
+    std::memcpy(nbytes, BytesTerms(), n * sizeof(double));
+    std::memcpy(nvmc, VmcTerms(), n * sizeof(double));
+    std::memcpy(nids, Ids(), n * sizeof(uint32_t));
+    std::memcpy(nkeys, TermKeys(), n * sizeof(uint32_t));
+    engine::ExprPtr* rsrc = Rewritings();
+    for (size_t i = 0; i < rn; ++i) {
+      new (nrews + i) engine::ExprPtr(std::move(rsrc[i]));
+      std::destroy_at(rsrc + i);
+    }
+    std::memcpy(nrec, RecEntries(), rn * sizeof(CostCache::RecEntry));
+  }
+  base_ = nbase;
+  origin_ = nullptr;
+  cap_ = static_cast<uint32_t>(new_cap);
+  rew_cap_ = static_cast<uint32_t>(new_rew_cap);
+  if (obase != nullptr) {
+    if (oorigin != nullptr) {
+      Arena::Release(oorigin);
+    } else {
+      ::operator delete(obase);
+    }
+  }
+  SyncFacade();
+}
+
+// ---- Copy-on-write mutators --------------------------------------------
+
 void State::AddView(ViewPtr v) {
   RDFVIEWS_DCHECK(v != nullptr);
+  RDFVIEWS_DCHECK(v->id != kInvalidTermKey);
+  EnsureCapacity(static_cast<size_t>(size_) + 1);
   fingerprint_ += v->StructuralHash();
-  view_index_.emplace(v->id, static_cast<uint32_t>(views_.items_.size()));
-  views_.items_.push_back(std::move(v));
+  Ids()[size_] = v->id;
+  TermKeys()[size_] = kInvalidTermKey;
+  new (Slots() + size_) ViewPtr(std::move(v));
+  ++size_;
+  cost_cache_.valid = false;
+  SyncFacade();
 }
 
 void State::ReplaceView(size_t idx, ViewPtr v) {
-  RDFVIEWS_DCHECK(idx < views_.items_.size() && v != nullptr);
-  ViewPtr& slot = views_.items_[idx];
+  RDFVIEWS_DCHECK(idx < size_ && v != nullptr);
+  ViewPtr& slot = Slots()[idx];
   fingerprint_ -= slot->StructuralHash();
   fingerprint_ += v->StructuralHash();
-  view_index_.erase(slot->id);
-  view_index_[v->id] = static_cast<uint32_t>(idx);
+  Ids()[idx] = v->id;
+  TermKeys()[idx] = kInvalidTermKey;
   slot = std::move(v);
+  cost_cache_.valid = false;
 }
 
 void State::RemoveView(size_t idx) {
-  RDFVIEWS_DCHECK(idx < views_.items_.size());
-  fingerprint_ -= views_.items_[idx]->StructuralHash();
-  view_index_.erase(views_.items_[idx]->id);
-  views_.items_.erase(views_.items_.begin() +
-                      static_cast<std::ptrdiff_t>(idx));
-  // Slots above the erased one shift down by one.
-  for (size_t i = idx; i < views_.items_.size(); ++i) {
-    view_index_[views_.items_[i]->id] = static_cast<uint32_t>(i);
+  RDFVIEWS_DCHECK(idx < size_);
+  ViewPtr* slots = Slots();
+  fingerprint_ -= slots[idx]->StructuralHash();
+  // Slots above the erased one shift down by one; the (id, term_key)
+  // pairs shift together, so per-slot term validity is preserved.
+  for (size_t i = idx; i + 1 < size_; ++i) slots[i] = std::move(slots[i + 1]);
+  slots[size_ - 1].~ViewPtr();
+  const size_t tail = size_ - idx - 1;
+  std::memmove(Ids() + idx, Ids() + idx + 1, tail * sizeof(uint32_t));
+  std::memmove(TermKeys() + idx, TermKeys() + idx + 1,
+               tail * sizeof(uint32_t));
+  std::memmove(BytesTerms() + idx, BytesTerms() + idx + 1,
+               tail * sizeof(double));
+  std::memmove(VmcTerms() + idx, VmcTerms() + idx + 1,
+               tail * sizeof(double));
+  --size_;
+  cost_cache_.valid = false;
+  SyncFacade();
+}
+
+void State::AddRewriting(engine::ExprPtr e) {
+  EnsureRewritingCapacity(static_cast<size_t>(rew_size_) + 1);
+  new (Rewritings() + rew_size_) engine::ExprPtr(std::move(e));
+  RecEntries()[rew_size_] = CostCache::RecEntry{};  // starts invalidated
+  ++rew_size_;
+  cost_cache_.valid = false;
+}
+
+void State::SetRewritings(std::vector<engine::ExprPtr> rs) {
+  engine::ExprPtr* rews = Rewritings();
+  for (size_t i = 0; i < rew_size_; ++i) std::destroy_at(rews + i);
+  rew_size_ = 0;
+  EnsureRewritingCapacity(rs.size());
+  rews = Rewritings();
+  CostCache::RecEntry* rec = RecEntries();
+  for (size_t i = 0; i < rs.size(); ++i) {
+    new (rews + i) engine::ExprPtr(std::move(rs[i]));
+    rec[i] = CostCache::RecEntry{};
+  }
+  rew_size_ = static_cast<uint32_t>(rs.size());
+  cost_cache_.valid = false;
+}
+
+void State::ReplaceScanRewritings(uint32_t view_id,
+                                  const engine::ExprPtr& replacement) {
+  engine::ExprPtr* rews = Rewritings();
+  CostCache::RecEntry* rec = RecEntries();
+  for (size_t i = 0; i < rew_size_; ++i) {
+    engine::ExprPtr next = engine::Expr::ReplaceScans(
+        rews[i], view_id, [&](const engine::Expr&) {
+          return replacement;
+        });
+    if (next != rews[i]) {
+      rews[i] = std::move(next);
+      rec[i].key = nullptr;
+      cost_cache_.valid = false;
+    }
   }
 }
 
@@ -75,8 +364,9 @@ std::string State::ToString(const rdf::Dictionary* dict) const {
   auto name = [this](uint32_t id) {
     return "v" + std::to_string(id);
   };
-  for (size_t i = 0; i < rewritings_.size(); ++i) {
-    out << "  r" << i << " = " << rewritings_[i]->ToString(name, dict)
+  const engine::ExprPtr* rews = Rewritings();
+  for (size_t i = 0; i < rew_size_; ++i) {
+    out << "  r" << i << " = " << rews[i]->ToString(name, dict)
         << "\n";
   }
   out << "}";
@@ -174,7 +464,7 @@ Result<State> MakeInitialStateFromMinimized(
   State state;
   for (const cq::ConjunctiveQuery& q : minimized) {
     InstalledQuery installed = InstallQueryAsViews(q, &state);
-    state.mutable_rewritings()->push_back(ComposeQueryExpr(installed));
+    state.AddRewriting(ComposeQueryExpr(installed));
   }
   return state;
 }
@@ -262,9 +552,9 @@ Result<State> MakeReformulatedInitialStateFromMinimized(
     }
     RDFVIEWS_CHECK_MSG(!children.empty(),
                        "reformulation produced no disjuncts");
-    state.mutable_rewritings()->push_back(
-        children.size() == 1 ? children[0]
-                             : engine::Expr::Union(std::move(children)));
+    state.AddRewriting(children.size() == 1
+                           ? children[0]
+                           : engine::Expr::Union(std::move(children)));
   }
   return state;
 }

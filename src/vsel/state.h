@@ -3,10 +3,12 @@
 #ifndef RDFVIEWS_VSEL_STATE_H_
 #define RDFVIEWS_VSEL_STATE_H_
 
+#include <cstdint>
+#include <cstring>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "cq/ucq.h"
@@ -21,15 +23,14 @@ namespace rdfviews::vsel {
 /// views they touch instead of re-canonicalizing the whole state.
 using StateFingerprint = Hash128;
 
-/// Read-only facade over the copy-on-write view storage: iteration and
-/// indexing dereference the shared pointers, so the call sites that only
-/// *read* views see plain `const View&`s.
+/// Read-only facade over the flat view storage: iteration and indexing
+/// dereference the shared pointers, so the call sites that only *read*
+/// views see plain `const View&`s.
 class ViewList {
  public:
   class const_iterator {
    public:
-    using inner = std::vector<ViewPtr>::const_iterator;
-    explicit const_iterator(inner it) : it_(it) {}
+    explicit const_iterator(const ViewPtr* it) : it_(it) {}
     const View& operator*() const { return **it_; }
     const View* operator->() const { return it_->get(); }
     const_iterator& operator++() {
@@ -44,47 +45,118 @@ class ViewList {
     }
 
    private:
-    inner it_;
+    const ViewPtr* it_;
   };
 
-  const View& operator[](size_t i) const { return *items_[i]; }
-  const ViewPtr& ptr(size_t i) const { return items_[i]; }
-  size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-  const_iterator begin() const { return const_iterator(items_.begin()); }
-  const_iterator end() const { return const_iterator(items_.end()); }
+  const View& operator[](size_t i) const { return *data_[i]; }
+  const ViewPtr& ptr(size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const_iterator begin() const { return const_iterator(data_); }
+  const_iterator end() const { return const_iterator(data_ + size_); }
 
  private:
   friend class State;
-  std::vector<ViewPtr> items_;
+  const ViewPtr* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Read-only facade over the flat rewriting storage. Returned by value
+/// (two words); iteration yields `const engine::ExprPtr&`.
+class RewritingList {
+ public:
+  const engine::ExprPtr& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const engine::ExprPtr* begin() const { return data_; }
+  const engine::ExprPtr* end() const { return data_ + size_; }
+
+ private:
+  friend class State;
+  const engine::ExprPtr* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 /// A candidate view set <V, R> (Def. 2.3). Views are stored copy-on-write:
 /// a state copy shares every View object with its parent, and transitions
 /// replace only the touched slots through the mutators below, which keep
-/// the incremental fingerprint and the id->index map in sync. Variable ids
-/// and view ids are allocated from per-state counters so they stay globally
-/// unique across views.
+/// the incremental fingerprint in sync.
+///
+/// Flat storage: one 16-aligned block holds, for view capacity C and
+/// rewriting capacity R,
+///
+///   [ViewPtr slots ×C][double bytes_terms ×C][double vmc_terms ×C]
+///   [uint32 ids ×C][uint32 term_keys ×C][ExprPtr rewritings ×R]
+///   [RecEntry rec_terms ×R]
+///
+/// — one allocation per state instead of the previous vector + id→index
+/// hash map + four cost-term vectors + rewritings vector + REC-cache
+/// vector. The block comes from an Arena on the transition hot path
+/// (CloneForTransition) or from the heap otherwise; either way the state
+/// owns exactly one span and releases it in its destructor, so states
+/// freely outlive the arena that allocated them (the arena's blocks are
+/// reference counted).
+///
+/// bytes_terms/vmc_terms memoize the per-view cost terms *in the state
+/// itself*: slot i's terms are valid iff term_keys[i] == ids[i] (mutators
+/// poison term_keys for the slots they touch; copies inherit validity by
+/// memcpy). Variable ids and view ids are allocated from per-state
+/// counters so they stay globally unique across views.
 class State {
  public:
+  State() = default;
+  State(const State& o);
+  State(State&& o) noexcept;
+  State& operator=(const State& o);
+  State& operator=(State&& o) noexcept;
+  ~State();
+
+  /// The transition-hot-path copy: storage is bump-allocated from `arena`
+  /// (heap when null) with two spare slots, so a transition's net view
+  /// change (at most one add) never reallocates the child's block.
+  State CloneForTransition(Arena* arena) const;
+
   const ViewList& views() const { return views_; }
 
-  /// O(1) lookup of a view's slot by its id; -1 when absent.
+  /// Lookup of a view's slot by its id; -1 when absent. A linear scan of
+  /// the contiguous id array — states are small (≲ tens of views), so this
+  /// beats the hash map it replaced on every real workload.
   int ViewIndexById(uint32_t id) const {
-    auto it = view_index_.find(id);
-    return it == view_index_.end() ? -1 : static_cast<int>(it->second);
+    const uint32_t* ids = Ids();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (ids[i] == id) return static_cast<int>(i);
+    }
+    return -1;
   }
 
-  // ---- Copy-on-write mutators (fingerprint- and index-preserving) ----
+  // ---- Copy-on-write mutators (fingerprint-preserving) ----
 
   void AddView(ViewPtr v);
   void ReplaceView(size_t idx, ViewPtr v);
   void RemoveView(size_t idx);
 
-  const std::vector<engine::ExprPtr>& rewritings() const {
-    return rewritings_;
+  RewritingList rewritings() const {
+    RewritingList l;
+    l.data_ = Rewritings();
+    l.size_ = rew_size_;
+    return l;
   }
-  std::vector<engine::ExprPtr>* mutable_rewritings() { return &rewritings_; }
+
+  /// Appends a rewriting (initial-state construction, competitors). The new
+  /// slot's REC cache entry starts invalid.
+  void AddRewriting(engine::ExprPtr e);
+
+  /// Replaces the whole rewriting list (merge, deserialization). Forgets
+  /// every cached REC term; the transition hot path uses
+  /// ReplaceScanRewritings below instead, which keeps the terms of
+  /// untouched rewritings.
+  void SetRewritings(std::vector<engine::ExprPtr> rs);
+
+  /// Replaces every Scan of `view_id` in all rewritings by `replacement`,
+  /// invalidating the cached REC term of exactly the rewritings that
+  /// changed (Expr::ReplaceScans returns the identical subtree otherwise).
+  void ReplaceScanRewritings(uint32_t view_id,
+                             const engine::ExprPtr& replacement);
 
   cq::VarId FreshVar() { return next_var_++; }
   uint32_t FreshViewId() { return next_view_id_++; }
@@ -109,22 +181,46 @@ class State {
 
   std::string ToString(const rdf::Dictionary* dict = nullptr) const;
 
+  // ---- Memoized per-view cost terms (written by CostModel::Breakdown).
+  // The setters are const: the term arrays are cache slots keyed by the
+  // view id they were computed for, and writing them never changes the
+  // state's logical value.
+
+  uint32_t view_id(size_t i) const { return Ids()[i]; }
+  bool ViewTermValid(size_t i) const { return TermKeys()[i] == Ids()[i]; }
+  /// True iff every slot's memoized terms match its current view — one
+  /// memcmp of the two contiguous id arrays.
+  bool AllViewTermsValid() const {
+    return size_ == 0 ||
+           std::memcmp(Ids(), TermKeys(), size_ * sizeof(uint32_t)) == 0;
+  }
+  double ViewBytesTerm(size_t i) const { return BytesTerms()[i]; }
+  double ViewVmcTerm(size_t i) const { return VmcTerms()[i]; }
+  void SetViewTerm(size_t i, double bytes_term, double vmc_term) const {
+    BytesTerms()[i] = bytes_term;
+    VmcTerms()[i] = vmc_term;
+    TermKeys()[i] = Ids()[i];
+  }
+
   /// Per-state cost-model cache, owned by the state but interpreted by
-  /// CostModel::Breakdown: per-view and per-rewriting cost terms tagged
-  /// with the identity (shared pointer) they were computed for. Because a
-  /// state copy shares those objects with its parent, a transition's child
-  /// state reuses every term whose view/rewriting it did not touch.
+  /// CostModel::Breakdown: cached component sums plus per-rewriting REC
+  /// terms tagged with the rewriting identity they were computed for (the
+  /// RecEntry array lives in the flat block, aligned with rewritings()).
+  /// Because a state copy shares rewriting objects with its parent, a
+  /// transition's child reuses every term whose rewriting it did not
+  /// touch. Invalidation happens at mutation time (ReplaceScanRewritings /
+  /// SetRewritings), so a null key never aliases a live rewriting.
   struct CostCache {
     /// Identity of the (model instance, weight configuration) the terms
     /// were computed under: a process-unique id, never reused, so a state
     /// that outlives its model can not falsely revalidate against a new
     /// model allocated at the same address.
     uint64_t model_key = 0;
-    std::vector<ViewPtr> view_keys;
-    std::vector<double> bytes_terms;  // per-view VSO contribution
-    std::vector<double> vmc_terms;    // per-view VMC contribution
-    std::vector<engine::ExprPtr> rec_keys;
-    std::vector<double> rec_terms;  // per-rewriting REC contribution
+    struct RecEntry {
+      const engine::Expr* key = nullptr;  // rewriting the term was computed
+                                          // for; null = invalidated
+      double term = 0;                    // REC contribution
+    };
     bool valid = false;
     double vso = 0;  // cached component sums for the all-terms-valid case
     double rec = 0;
@@ -132,12 +228,59 @@ class State {
     double total = 0;
   };
   CostCache& cost_cache() const { return cost_cache_; }
+  /// The per-rewriting REC cache slots (rewritings().size() entries),
+  /// writable from const for the same reason as SetViewTerm.
+  CostCache::RecEntry* rec_entries() const { return RecEntries(); }
 
  private:
-  ViewList views_;
-  std::unordered_map<uint32_t, uint32_t> view_index_;  // view id -> slot
+  static constexpr uint32_t kInvalidTermKey = 0xFFFFFFFFu;
+  static constexpr size_t kBytesPerView =
+      sizeof(ViewPtr) + 2 * sizeof(double) + 2 * sizeof(uint32_t);
+  static constexpr size_t kBytesPerRewriting =
+      sizeof(engine::ExprPtr) + sizeof(CostCache::RecEntry);
+
+  static constexpr size_t BlockBytes(size_t view_cap, size_t rew_cap) {
+    return view_cap * kBytesPerView + rew_cap * kBytesPerRewriting;
+  }
+
+  // Section pointers into the flat block. They are computed, not stored:
+  // the layout is fixed given base_, cap_ and rew_cap_. The returned
+  // pointers are non-const even from const methods — base_ is a pointer
+  // member, so the pointee stays writable, which is exactly what the const
+  // term-cache setters above rely on.
+  ViewPtr* Slots() const { return reinterpret_cast<ViewPtr*>(base_); }
+  double* BytesTerms() const {
+    return reinterpret_cast<double*>(base_ + cap_ * sizeof(ViewPtr));
+  }
+  double* VmcTerms() const { return BytesTerms() + cap_; }
+  uint32_t* Ids() const { return reinterpret_cast<uint32_t*>(VmcTerms() + cap_); }
+  uint32_t* TermKeys() const { return Ids() + cap_; }
+  engine::ExprPtr* Rewritings() const {
+    return reinterpret_cast<engine::ExprPtr*>(base_ + cap_ * kBytesPerView);
+  }
+  CostCache::RecEntry* RecEntries() const {
+    return reinterpret_cast<CostCache::RecEntry*>(Rewritings() + rew_cap_);
+  }
+
+  void SyncFacade() {
+    views_.data_ = Slots();
+    views_.size_ = size_;
+  }
+
+  void CopyFrom(const State& o, size_t slack, Arena* arena);
+  void EnsureCapacity(size_t need);
+  void EnsureRewritingCapacity(size_t need);
+  void Reallocate(size_t new_cap, size_t new_rew_cap);
+  void DestroyStorage();
+
+  ViewList views_;  // facade over the slots; kept in sync by SyncFacade()
+  char* base_ = nullptr;
+  Arena::Block* origin_ = nullptr;  // null => heap block (operator new)
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+  uint32_t rew_size_ = 0;
+  uint32_t rew_cap_ = 0;
   StateFingerprint fingerprint_;
-  std::vector<engine::ExprPtr> rewritings_;
   cq::VarId next_var_ = 0;
   uint32_t next_view_id_ = 0;
   mutable CostCache cost_cache_;

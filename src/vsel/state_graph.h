@@ -5,6 +5,7 @@
 #define RDFVIEWS_VSEL_STATE_GRAPH_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cq/query.h"
@@ -33,6 +34,17 @@ struct JoinEdge {
 struct ViewGraph {
   std::vector<SelectionEdge> selection_edges;
   std::vector<JoinEdge> join_edges;
+};
+
+/// The View Break transitions of one view as (mask_a, mask_b) atom-subset
+/// pairs (both connected, a < b), precomputed once per distinct view. The
+/// pairs depend only on the view's variable-sharing structure and the two
+/// overlap options recorded here; a consumer with different options must
+/// recompute instead of using the cached list.
+struct VbBreakList {
+  size_t vb_overlap = 0;
+  size_t vb_overlap_max_atoms = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
 };
 
 /// Computes the graph of one view.

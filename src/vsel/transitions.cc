@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
 #include "cq/canonical.h"
 #include "cq/containment.h"
 #include "vsel/view_interner.h"
@@ -47,11 +48,10 @@ bool MaskConnected(const std::vector<cq::Atom>& atoms, uint64_t mask) {
 }
 
 /// Replaces every Scan of `view_id` in all rewritings by `replacement`.
+/// Routed through the state so it invalidates the cached REC terms of
+/// exactly the rewritings that change.
 void SubstituteView(State* state, uint32_t view_id, const ExprPtr& replacement) {
-  for (ExprPtr& r : *state->mutable_rewritings()) {
-    r = Expr::ReplaceScans(
-        r, view_id, [&](const Expr&) { return replacement; });
-  }
+  state->ReplaceScanRewritings(view_id, replacement);
 }
 
 /// Appends Var(v) to the head if not already present.
@@ -90,8 +90,8 @@ cq::ConjunctiveQuery MakeSubView(const cq::ConjunctiveQuery& parent,
   return cq::Minimize(def);
 }
 
-State ApplySc(const State& in, const Transition& t) {
-  State out = in;
+State ApplySc(const State& in, const Transition& t, Arena* arena) {
+  State out = in.CloneForTransition(arena);
   const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
@@ -118,8 +118,8 @@ State ApplySc(const State& in, const Transition& t) {
   return out;
 }
 
-State ApplyJc(const State& in, const Transition& t) {
-  State out = in;
+State ApplyJc(const State& in, const Transition& t, Arena* arena) {
+  State out = in.CloneForTransition(arena);
   const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
@@ -193,8 +193,8 @@ State ApplyJc(const State& in, const Transition& t) {
   return out;
 }
 
-State ApplyVb(const State& in, const Transition& t) {
-  State out = in;
+State ApplyVb(const State& in, const Transition& t, Arena* arena) {
+  State out = in.CloneForTransition(arena);
   const View& v = in.views()[t.view_idx];
   const uint32_t old_id = v.id;
   const std::vector<cq::VarId> old_cols = v.Columns();
@@ -226,8 +226,8 @@ State ApplyVb(const State& in, const Transition& t) {
   return out;
 }
 
-State ApplyVf(const State& in, const Transition& t) {
-  State out = in;
+State ApplyVf(const State& in, const Transition& t, Arena* arena) {
+  State out = in.CloneForTransition(arena);
   const View& v1 = in.views()[t.view_idx];
   const View& v2 = in.views()[t.view_idx2];
 
@@ -295,29 +295,76 @@ class GraphRef {
     }
   }
 
-  const ViewGraph* operator->() const {
+  const ViewGraph* get() const {
     return cached_ != nullptr ? cached_.get() : &local_;
   }
+  const ViewGraph* operator->() const { return get(); }
 
  private:
   std::shared_ptr<const ViewGraph> cached_;
   ViewGraph local_;
 };
 
+/// Enumerates the connected (mask_a, mask_b) break pairs of one atom set —
+/// the per-distinct-view computation behind EnumerateVb, cached in the
+/// interner so the 2^n subset sweep with its connectivity checks runs once
+/// per distinct view instead of once per (state, view) visit.
+VbBreakList ComputeVbBreaks(const std::vector<cq::Atom>& atoms,
+                            const TransitionOptions& options) {
+  VbBreakList breaks;
+  breaks.vb_overlap = options.vb_overlap;
+  breaks.vb_overlap_max_atoms = options.vb_overlap_max_atoms;
+  const size_t n = atoms.size();
+  const uint64_t full = (n == 64) ? ~0ull : ((1ull << n) - 1);
+
+  // Partition-style breaks.
+  for (uint64_t a = 1; a < full; ++a) {
+    uint64_t b = full ^ a;
+    if (a >= b) continue;  // unordered pair
+    if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
+    breaks.pairs.emplace_back(a, b);
+  }
+
+  // Overlapping covers sharing `vb_overlap` nodes (we support 1).
+  if (options.vb_overlap >= 1 && n <= options.vb_overlap_max_atoms) {
+    for (size_t pivot = 0; pivot < n; ++pivot) {
+      const uint64_t pbit = 1ull << pivot;
+      const uint64_t rest = full ^ pbit;
+      // Enumerate subsets of `rest` as side A's exclusive part.
+      for (uint64_t ax = rest; ax != 0; ax = (ax - 1) & rest) {
+        uint64_t bx = rest ^ ax;
+        if (bx == 0) continue;  // B would be a subset of A
+        uint64_t a = ax | pbit;
+        uint64_t b = bx | pbit;
+        if (a >= b) continue;
+        if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
+        breaks.pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return breaks;
+}
+
 void EnumerateVb(const State& state, const TransitionOptions& options,
                  std::vector<Transition>* out) {
   for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-    const std::vector<cq::Atom>& atoms = state.views()[vi].def.atoms();
+    const View& view = state.views()[vi];
+    const std::vector<cq::Atom>& atoms = view.def.atoms();
     const size_t n = atoms.size();
     // Def. 3.2 requires |Nv| > 2; the upper cap bounds the 2^n enumeration.
     if (n < 3 || n > options.vb_max_atoms) continue;
-    const uint64_t full = (n == 64) ? ~0ull : ((1ull << n) - 1);
 
-    // Partition-style breaks.
-    for (uint64_t a = 1; a < full; ++a) {
-      uint64_t b = full ^ a;
-      if (a >= b) continue;  // unordered pair
-      if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
+    std::shared_ptr<const VbBreakList> cached;
+    VbBreakList local;
+    if (options.graph_cache != nullptr) {
+      cached = options.graph_cache->VbBreaks(
+          view, options.vb_overlap, options.vb_overlap_max_atoms,
+          [&] { return ComputeVbBreaks(atoms, options); });
+    }
+    if (cached == nullptr) local = ComputeVbBreaks(atoms, options);
+    const VbBreakList& breaks = cached != nullptr ? *cached : local;
+
+    for (const auto& [a, b] : breaks.pairs) {
       Transition t;
       t.kind = TransitionKind::kVB;
       t.view_idx = vi;
@@ -325,30 +372,70 @@ void EnumerateVb(const State& state, const TransitionOptions& options,
       t.vb_mask_b = b;
       out->push_back(t);
     }
+  }
+}
 
-    // Overlapping covers sharing `vb_overlap` nodes (we support 1).
-    if (options.vb_overlap >= 1 && n <= options.vb_overlap_max_atoms) {
-      for (size_t pivot = 0; pivot < n; ++pivot) {
-        const uint64_t pbit = 1ull << pivot;
-        const uint64_t rest = full ^ pbit;
-        // Enumerate subsets of `rest` as side A's exclusive part.
-        for (uint64_t ax = rest; ax != 0; ax = (ax - 1) & rest) {
-          uint64_t bx = rest ^ ax;
-          if (bx == 0) continue;  // B would be a subset of A
-          uint64_t a = ax | pbit;
-          uint64_t b = bx | pbit;
-          if (a >= b) continue;
-          if (!MaskConnected(atoms, a) || !MaskConnected(atoms, b)) continue;
-          Transition t;
-          t.kind = TransitionKind::kVB;
-          t.view_idx = vi;
-          t.vb_mask_a = a;
-          t.vb_mask_b = b;
-          out->push_back(t);
-        }
-      }
+/// Appends the SC transitions of view `vi` given its resolved graph.
+void AppendScEdges(uint32_t vi, const ViewGraph& g,
+                   std::vector<Transition>* out) {
+  for (const SelectionEdge& e : g.selection_edges) {
+    Transition t;
+    t.kind = TransitionKind::kSC;
+    t.view_idx = vi;
+    t.sc_occurrence = e.occurrence;
+    out->push_back(t);
+  }
+}
+
+/// Appends the JC transitions of view `vi` given its resolved graph.
+void AppendJcEdges(uint32_t vi, const ViewGraph& g,
+                   const TransitionOptions& options,
+                   std::vector<Transition>* out) {
+  for (const JoinEdge& e : g.join_edges) {
+    // Cutting ni.ai=nj.aj renames the ni.ai occurrence; both
+    // orientations are distinct transitions (Def. 3.4).
+    Transition t;
+    t.kind = TransitionKind::kJC;
+    t.view_idx = vi;
+    t.jc_replace = e.a;
+    t.jc_other = e.b;
+    out->push_back(t);
+    if (options.jc_both_orientations) {
+      std::swap(t.jc_replace, t.jc_other);
+      out->push_back(t);
     }
   }
+}
+
+void EnumerateSc(const State& state, const TransitionOptions& options,
+                 std::vector<Transition>* out) {
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    GraphRef g(state.views()[vi], options);
+    AppendScEdges(vi, *g.get(), out);
+  }
+}
+
+void EnumerateJc(const State& state, const TransitionOptions& options,
+                 std::vector<Transition>* out) {
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    GraphRef g(state.views()[vi], options);
+    AppendJcEdges(vi, *g.get(), options, out);
+  }
+}
+
+/// One pass over the view stripe resolving each view's graph exactly once:
+/// SC edges go straight to `out`, JC edges stage in `jc_scratch` and are
+/// spliced after, preserving the kind-major order of the per-kind API.
+void EnumerateScJcStriped(const State& state, const TransitionOptions& options,
+                          std::vector<Transition>* out,
+                          std::vector<Transition>* jc_scratch) {
+  jc_scratch->clear();
+  for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
+    GraphRef g(state.views()[vi], options);
+    AppendScEdges(vi, *g.get(), out);
+    AppendJcEdges(vi, *g.get(), options, jc_scratch);
+  }
+  out->insert(out->end(), jc_scratch->begin(), jc_scratch->end());
 }
 
 void EnumerateVf(const State& state, std::vector<Transition>* out) {
@@ -407,61 +494,97 @@ std::string Transition::ToString() const {
   return out.str();
 }
 
+namespace {
+
+/// Per-kind enumeration into a plain vector: the single implementation
+/// behind both the legacy vector API and the buffered APIs.
+void EnumerateKindInto(const State& state, TransitionKind kind,
+                       const TransitionOptions& options,
+                       std::vector<Transition>* out) {
+  switch (kind) {
+    case TransitionKind::kSC:
+      EnumerateSc(state, options, out);
+      break;
+    case TransitionKind::kJC:
+      EnumerateJc(state, options, out);
+      break;
+    case TransitionKind::kVB:
+      EnumerateVb(state, options, out);
+      break;
+    case TransitionKind::kVF:
+      EnumerateVf(state, out);
+      break;
+  }
+}
+
+telemetry::Histogram* BatchSizeHistogram() {
+  static telemetry::Histogram* const h =
+      telemetry::MetricsRegistry::Default()->GetHistogram(
+          "vsel_transitions_batch_size");
+  return h;
+}
+
+telemetry::Counter* EnumeratedCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_transitions_enumerated_total");
+  return c;
+}
+
+}  // namespace
+
 std::vector<Transition> EnumerateTransitions(
     const State& state, TransitionKind kind,
     const TransitionOptions& options) {
   std::vector<Transition> out;
-  switch (kind) {
-    case TransitionKind::kSC: {
-      for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-        GraphRef g(state.views()[vi], options);
-        for (const SelectionEdge& e : g->selection_edges) {
-          Transition t;
-          t.kind = TransitionKind::kSC;
-          t.view_idx = vi;
-          t.sc_occurrence = e.occurrence;
-          out.push_back(t);
-        }
-      }
-      break;
-    }
-    case TransitionKind::kJC: {
-      for (uint32_t vi = 0; vi < state.views().size(); ++vi) {
-        GraphRef g(state.views()[vi], options);
-        for (const JoinEdge& e : g->join_edges) {
-          // Cutting ni.ai=nj.aj renames the ni.ai occurrence; both
-          // orientations are distinct transitions (Def. 3.4).
-          Transition t;
-          t.kind = TransitionKind::kJC;
-          t.view_idx = vi;
-          t.jc_replace = e.a;
-          t.jc_other = e.b;
-          out.push_back(t);
-          if (options.jc_both_orientations) {
-            std::swap(t.jc_replace, t.jc_other);
-            out.push_back(t);
-          }
-        }
-      }
-      break;
-    }
-    case TransitionKind::kVB:
-      EnumerateVb(state, options, &out);
-      break;
-    case TransitionKind::kVF:
-      EnumerateVf(state, &out);
-      break;
-  }
+  EnumerateKindInto(state, kind, options, &out);
   return out;
 }
 
-State ApplyTransition(const State& state, const Transition& t) {
+size_t EnumerateTransitionsInto(const State& state, TransitionKind kind,
+                                const TransitionOptions& options,
+                                TransitionBuffer* buf) {
+  const size_t before = buf->items_.size();
+  EnumerateKindInto(state, kind, options, &buf->items_);
+  const size_t n = buf->items_.size() - before;
+  BatchSizeHistogram()->Observe(static_cast<double>(n));
+  EnumeratedCounter()->Add(n);
+  return n;
+}
+
+size_t EnumerateTransitionsBatch(const State& state, TransitionKind from_kind,
+                                 const TransitionOptions& options,
+                                 TransitionBuffer* buf) {
+  const size_t before = buf->items_.size();
+  const int from = static_cast<int>(from_kind);
+  if (from <= static_cast<int>(TransitionKind::kVB)) {
+    EnumerateVb(state, options, &buf->items_);
+  }
+  const bool want_sc = from <= static_cast<int>(TransitionKind::kSC);
+  const bool want_jc = from <= static_cast<int>(TransitionKind::kJC);
+  if (want_sc && want_jc) {
+    EnumerateScJcStriped(state, options, &buf->items_, &buf->jc_scratch_);
+  } else if (want_sc) {
+    EnumerateSc(state, options, &buf->items_);
+  } else if (want_jc) {
+    EnumerateJc(state, options, &buf->items_);
+  }
+  if (from <= static_cast<int>(TransitionKind::kVF)) {
+    EnumerateVf(state, &buf->items_);
+  }
+  const size_t n = buf->items_.size() - before;
+  BatchSizeHistogram()->Observe(static_cast<double>(n));
+  EnumeratedCounter()->Add(n);
+  return n;
+}
+
+State ApplyTransition(const State& state, const Transition& t, Arena* arena) {
   auto apply = [&]() -> State {
     switch (t.kind) {
-      case TransitionKind::kSC: return ApplySc(state, t);
-      case TransitionKind::kJC: return ApplyJc(state, t);
-      case TransitionKind::kVB: return ApplyVb(state, t);
-      case TransitionKind::kVF: return ApplyVf(state, t);
+      case TransitionKind::kSC: return ApplySc(state, t, arena);
+      case TransitionKind::kJC: return ApplyJc(state, t, arena);
+      case TransitionKind::kVB: return ApplyVb(state, t, arena);
+      case TransitionKind::kVF: return ApplyVf(state, t, arena);
     }
     RDFVIEWS_CHECK_MSG(false, "unreachable");
     return state;
@@ -474,13 +597,16 @@ State ApplyTransition(const State& state, const Transition& t) {
 }
 
 State AvfClosure(const State& state, const TransitionOptions& options,
-                 size_t* steps) {
+                 size_t* steps, Arena* arena) {
   State current = state;
+  TransitionBuffer fusions;
   while (true) {
-    std::vector<Transition> fusions =
-        EnumerateTransitions(current, TransitionKind::kVF, options);
-    if (fusions.empty()) return current;
-    current = ApplyTransition(current, fusions.front());
+    fusions.Clear();
+    if (EnumerateTransitionsInto(current, TransitionKind::kVF, options,
+                                 &fusions) == 0) {
+      return current;
+    }
+    current = ApplyTransition(current, fusions[0], arena);
     if (steps != nullptr) ++*steps;
   }
 }

@@ -11,6 +11,7 @@
 #ifndef RDFVIEWS_VSEL_TRANSITIONS_H_
 #define RDFVIEWS_VSEL_TRANSITIONS_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,19 +77,82 @@ struct TransitionOptions {
   }
 };
 
+class TransitionBuffer;
+
 /// Enumerates all applicable transitions of `kind` on `state`.
 std::vector<Transition> EnumerateTransitions(const State& state,
                                              TransitionKind kind,
                                              const TransitionOptions& options);
 
+/// Appends all applicable transitions of `kind` on `state` to `buf`
+/// (which the caller owns and reuses across calls — the batch API's whole
+/// point is that the enumeration hot path performs no per-call vector
+/// allocation once the buffer has warmed up). Returns the number appended.
+/// The transitions appear in exactly the order EnumerateTransitions
+/// produces them.
+size_t EnumerateTransitionsInto(const State& state, TransitionKind kind,
+                                const TransitionOptions& options,
+                                TransitionBuffer* buf);
+
+/// Appends the transitions of every kind in [from_kind .. kVF] to `buf`,
+/// in kind-major order (all VB, then all SC, then all JC, then all VF —
+/// byte-identical to concatenating EnumerateTransitions per kind). SC and
+/// JC are enumerated per view-graph stripe: one graph resolution per view
+/// feeds both edge lists, instead of one resolution per (view, kind).
+/// Returns the number appended.
+size_t EnumerateTransitionsBatch(const State& state, TransitionKind from_kind,
+                                 const TransitionOptions& options,
+                                 TransitionBuffer* buf);
+
+/// Reusable caller-owned output buffer for the batch enumeration API.
+class TransitionBuffer {
+ public:
+  void Clear() { items_.clear(); }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const Transition& operator[](size_t i) const { return items_[i]; }
+  const Transition* begin() const { return items_.data(); }
+  const Transition* end() const { return items_.data() + items_.size(); }
+
+ private:
+  friend size_t EnumerateTransitionsInto(const State&, TransitionKind,
+                                         const TransitionOptions&,
+                                         TransitionBuffer*);
+  friend size_t EnumerateTransitionsBatch(const State&, TransitionKind,
+                                          const TransitionOptions&,
+                                          TransitionBuffer*);
+  std::vector<Transition> items_;
+  std::vector<Transition> jc_scratch_;  // JC staging for the striped sweep
+};
+
+/// Depth-indexed buffer pool for recursive users (DFS): each recursion
+/// depth reuses its own TransitionBuffer across visits, so a whole DFS
+/// run allocates O(max depth) buffers total. Buffers are heap-boxed so
+/// references stay valid while deeper levels grow the pool.
+class TransitionBufferPool {
+ public:
+  TransitionBuffer& At(size_t depth) {
+    while (buffers_.size() <= depth) {
+      buffers_.push_back(std::make_unique<TransitionBuffer>());
+    }
+    return *buffers_[depth];
+  }
+
+ private:
+  std::vector<std::unique_ptr<TransitionBuffer>> buffers_;
+};
+
 /// Applies a transition, producing the successor state. Fails only on
-/// malformed descriptors.
-State ApplyTransition(const State& state, const Transition& t);
+/// malformed descriptors. The successor's flat storage is bump-allocated
+/// from `arena` when one is given (heap otherwise); see
+/// State::CloneForTransition for the lifetime rules.
+State ApplyTransition(const State& state, const Transition& t,
+                      Arena* arena = nullptr);
 
 /// Applies VF to fixpoint (the AVF optimization, Sec. 5.2): returns the
 /// fully-fused state and counts the intermediate states in `steps`.
 State AvfClosure(const State& state, const TransitionOptions& options,
-                 size_t* steps);
+                 size_t* steps, Arena* arena = nullptr);
 
 }  // namespace rdfviews::vsel
 

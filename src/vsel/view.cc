@@ -1,0 +1,141 @@
+// View canonical-identity computation, backed by a process-wide cache.
+//
+// Canonicalizing a conjunctive query (iterative refinement + string
+// rendering, twice per view: head-inclusive and body-only) dominates the
+// cost of creating a view. The search re-derives the same few distinct
+// views enormous numbers of times — a fused pair of shared parent views
+// produces byte-identical defs along every path — so the canonical strings
+// and hashes are cached under the dense-renamed structural key: two defs
+// with equal keys are identical up to a variable bijection, and canonical
+// forms are invariant under renaming, so sharing the cached identity is
+// exact, never approximate.
+#include "vsel/view.h"
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/telemetry/metrics.h"
+
+namespace rdfviews::vsel {
+
+namespace {
+
+/// One cached canonical identity. Immutable once published; hits copy the
+/// strings into the requesting View.
+struct Identity {
+  std::string canon;
+  std::string body_canon;
+  Hash128 hash;
+};
+
+struct IdentityShard {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const Identity>> map;
+};
+
+constexpr size_t kIdentityShards = 16;
+
+/// Leaked intentionally: Views may be canonicalized during static
+/// destruction of test fixtures; a leaked cache has no destruction order.
+std::array<IdentityShard, kIdentityShards>& Shards() {
+  static auto* shards = new std::array<IdentityShard, kIdentityShards>();
+  return *shards;
+}
+
+telemetry::Counter* HitCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_view_identity_cache_hits_total");
+  return c;
+}
+
+telemetry::Counter* MissCounter() {
+  static telemetry::Counter* const c =
+      telemetry::MetricsRegistry::Default()->GetCounter(
+          "vsel_view_identity_cache_misses_total");
+  return c;
+}
+
+}  // namespace
+
+std::string View::StructuralKey(size_t* body_len) const {
+  std::string key;
+  key.reserve(def.atoms().size() * 15 + def.head().size() * 5 + 1);
+  std::unordered_map<cq::VarId, uint32_t> index;
+  auto append_term = [&key, &index](const cq::Term& t) {
+    if (t.is_const()) {
+      key.push_back('c');
+      uint64_t c = t.constant();
+      key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+    } else {
+      key.push_back('v');
+      uint32_t idx = static_cast<uint32_t>(
+          index.try_emplace(t.var(), index.size()).first->second);
+      key.append(reinterpret_cast<const char*>(&idx), sizeof(idx));
+    }
+  };
+  for (const cq::Atom& a : def.atoms()) {
+    append_term(a.s);
+    append_term(a.p);
+    append_term(a.o);
+  }
+  if (body_len != nullptr) *body_len = key.size();
+  key.push_back('|');
+  for (const cq::Term& t : def.head()) append_term(t);
+  return key;
+}
+
+void View::ComputeCostHashes() const {
+  size_t body_len = 0;
+  std::string key = StructuralKey(&body_len);
+  cost_body_hash_ = HashBytes128(key.data(), body_len);
+  cost_hash_ = HashBytes128(key.data(), key.size());
+  cost_hash_ready_ = true;
+}
+
+void View::FillIdentityCached() const {
+  size_t body_len = 0;
+  std::string key = StructuralKey(&body_len);
+  if (!cost_hash_ready_) {
+    cost_body_hash_ = HashBytes128(key.data(), body_len);
+    cost_hash_ = HashBytes128(key.data(), key.size());
+    cost_hash_ready_ = true;
+  }
+  if (canonical_ready_ && body_ready_ && hash_ready_) return;
+  IdentityShard& shard =
+      Shards()[static_cast<size_t>(cost_hash_.lo) % kIdentityShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      const Identity& id = *it->second;
+      canon_ = id.canon;
+      body_canon_ = id.body_canon;
+      hash_ = id.hash;
+      canonical_ready_ = true;
+      body_ready_ = true;
+      hash_ready_ = true;
+      HitCounter()->Add(1);
+      return;
+    }
+  }
+  // Miss: canonicalize outside the lock (the expensive part). A racing
+  // equal-key miss computes the same immutable identity; last insert wins.
+  auto id = std::make_shared<Identity>();
+  id->canon = cq::CanonicalString(def, /*include_head=*/true);
+  id->body_canon = cq::CanonicalString(def, /*include_head=*/false);
+  id->hash = HashBytes128(id->canon.data(), id->canon.size());
+  canon_ = id->canon;
+  body_canon_ = id->body_canon;
+  hash_ = id->hash;
+  canonical_ready_ = true;
+  body_ready_ = true;
+  hash_ready_ = true;
+  MissCounter()->Add(1);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(std::move(key), std::move(id));
+}
+
+}  // namespace rdfviews::vsel

@@ -84,34 +84,24 @@ struct View {
     return cost_hash_;
   }
 
+  /// Fills every memoized identity key at once, consulting a process-wide
+  /// cache keyed by the dense-renamed structural bytes (StructuralKey):
+  /// equal keys imply defs identical up to variable renaming, hence equal
+  /// canonical strings and hashes. Search transitions re-derive the same
+  /// few distinct views tens of thousands of times, so the expensive
+  /// canonicalizations run only on the first derivation; every later
+  /// MakeView of an equal def copies the cached identity.
+  void FillIdentityCached() const;
+
  private:
-  void ComputeCostHashes() const {
-    std::string key;
-    key.reserve(def.atoms().size() * 15 + def.head().size() * 5 + 1);
-    std::unordered_map<cq::VarId, uint32_t> index;
-    auto append_term = [&key, &index](const cq::Term& t) {
-      if (t.is_const()) {
-        key.push_back('c');
-        uint64_t c = t.constant();
-        key.append(reinterpret_cast<const char*>(&c), sizeof(c));
-      } else {
-        key.push_back('v');
-        uint32_t idx = static_cast<uint32_t>(
-            index.try_emplace(t.var(), index.size()).first->second);
-        key.append(reinterpret_cast<const char*>(&idx), sizeof(idx));
-      }
-    };
-    for (const cq::Atom& a : def.atoms()) {
-      append_term(a.s);
-      append_term(a.p);
-      append_term(a.o);
-    }
-    cost_body_hash_ = HashBytes128(key.data(), key.size());
-    key.push_back('|');
-    for (const cq::Term& t : def.head()) append_term(t);
-    cost_hash_ = HashBytes128(key.data(), key.size());
-    cost_hash_ready_ = true;
-  }
+  /// The dense-renamed structural byte key: atoms in literal order with
+  /// variables renamed to first-occurrence indices, then '|', then the
+  /// head terms under the same renaming. Atom-order-sensitive and
+  /// renaming-insensitive. `body_len` receives the length of the
+  /// atoms-only prefix (the CostBodyHash input).
+  std::string StructuralKey(size_t* body_len) const;
+
+  void ComputeCostHashes() const;
 
   // Memoized canonical identity. MakeView fills every key eagerly before
   // the View is wrapped into a shared ViewPtr, so a published View is deeply
@@ -136,9 +126,7 @@ using ViewPtr = std::shared_ptr<const View>;
 /// the lazily-filled mutable fields are never written after publication
 /// (the prerequisite for sharing ViewPtrs across search workers).
 inline ViewPtr MakeView(View v) {
-  v.StructuralHash();  // fills CanonicalKey() + the 128-bit hash
-  v.BodyKey();
-  v.CostHash();  // fills CostBodyHash() too
+  v.FillIdentityCached();  // fills every key, via the identity cache
   return std::make_shared<const View>(std::move(v));
 }
 

@@ -133,6 +133,35 @@ class ViewInterner {
     return sh.graphs.try_emplace(key, std::move(graph)).first->second;
   }
 
+  /// Memoized View Break mask pairs of the view. Valid for every view with
+  /// the same cost hash (identical variable-sharing structure ⇒ identical
+  /// connected subset pairs). Returns nullptr when a list cached under
+  /// *different* overlap options is found — the caller must then compute
+  /// locally without caching (options are fixed within one run, so this
+  /// only happens across runs sharing a cost model).
+  template <typename Fn>
+  std::shared_ptr<const VbBreakList> VbBreaks(const View& view,
+                                              size_t vb_overlap,
+                                              size_t vb_overlap_max_atoms,
+                                              Fn&& compute) {
+    const Hash128& key = view.CostHash();
+    Shard& sh = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.vb_breaks.find(key);
+      if (it != sh.vb_breaks.end()) {
+        if (it->second->vb_overlap == vb_overlap &&
+            it->second->vb_overlap_max_atoms == vb_overlap_max_atoms) {
+          return it->second;
+        }
+        return nullptr;  // cached under different options
+      }
+    }
+    auto breaks = std::make_shared<const VbBreakList>(compute());
+    std::lock_guard<std::mutex> lock(sh.mu);
+    return sh.vb_breaks.try_emplace(key, std::move(breaks)).first->second;
+  }
+
   const Counters& counters() const { return counters_; }
   void ResetCounters() { counters_ = Counters{}; }
 
@@ -144,6 +173,7 @@ class ViewInterner {
       sh.cards.clear();
       sh.bytes.clear();
       sh.graphs.clear();
+      sh.vb_breaks.clear();
     }
   }
 
@@ -157,6 +187,9 @@ class ViewInterner {
     std::unordered_map<Hash128, std::shared_ptr<const ViewGraph>,
                        Hash128Hasher>
         graphs;
+    std::unordered_map<Hash128, std::shared_ptr<const VbBreakList>,
+                       Hash128Hasher>
+        vb_breaks;
   };
 
   Shard& ShardFor(const Hash128& key) {

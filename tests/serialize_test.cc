@@ -349,8 +349,7 @@ TEST(SerializeStateTest, UnionArrangeRewritingsRoundTrip) {
   engine::ExprPtr arranged = engine::Expr::Arrange(
       scan, {engine::ArrangeCol{false, a, 0, a},
              engine::ArrangeCol{true, 0, 42, b}});
-  s.mutable_rewritings()->push_back(
-      engine::Expr::Union({arranged, arranged}));
+  s.AddRewriting(engine::Expr::Union({arranged, arranged}));
 
   ByteWriter w;
   SerializeState(s, &w);
