@@ -56,12 +56,22 @@ inline constexpr const char kPartitionSearch[] = "search.partition.run";
 // ThreadPool workers (common/thread_pool.h): a task that dies must not
 // take the process (or its pool) down with it.
 inline constexpr const char kPoolTask[] = "pool.task.run";
+// vseld daemon (src/vseld/): a failed accept must not kill the accept
+// loop, a torn / failed frame read or write must surface as a counted,
+// contained connection error (never a hung worker), and a failure at the
+// head of a session update must come back as a Status response with the
+// session still usable.
+inline constexpr const char kDaemonAccept[] = "vseld.accept";
+inline constexpr const char kDaemonFrameRead[] = "vseld.frame.read";
+inline constexpr const char kDaemonFrameWrite[] = "vseld.frame.write";
+inline constexpr const char kDaemonSessionRun[] = "vseld.session.run";
 
 /// Every registered site, for chaos tests that sweep the full surface.
 inline constexpr const char* kAll[] = {
     kDirCacheGetOpen,  kDirCacheGetRead, kDirCachePutWrite,
     kDirCachePutRename, kSnapshotLoad,   kPartitionSearch,
-    kPoolTask,
+    kPoolTask,          kDaemonAccept,   kDaemonFrameRead,
+    kDaemonFrameWrite,  kDaemonSessionRun,
 };
 }  // namespace sites
 

@@ -123,6 +123,10 @@ void RetryingCacheBackend::Trim(size_t max_entries) {
   delegate_->Trim(max_entries);
 }
 
+void RetryingCacheBackend::Invalidate(const std::string& key) {
+  delegate_->Invalidate(key);
+}
+
 void RetryingCacheBackend::NoteRehydrationRejected() {
   delegate_->NoteRehydrationRejected();
 }

@@ -65,6 +65,7 @@ class RetryingCacheBackend : public serialize::PartitionCacheBackend {
   void Clear() override;
   size_t Size() const override;
   void Trim(size_t max_entries) override;
+  void Invalidate(const std::string& key) override;
   void NoteRehydrationRejected() override;
   /// The delegate's counters plus this decorator's `retries` and
   /// `breaker_skips` (and with breaker-skipped Gets folded into `misses`,

@@ -312,6 +312,10 @@ bool DirCacheBackend::Put(const std::string& key,
   return ok;
 }
 
+void DirCacheBackend::Invalidate(const std::string& key) {
+  std::remove(PathForKey(key).c_str());
+}
+
 void DirCacheBackend::Clear() {
   std::error_code ec;
   for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {

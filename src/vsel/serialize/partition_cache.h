@@ -96,6 +96,15 @@ class PartitionCacheBackend {
   virtual bool Put(const std::string& key,
                    const pipeline::PartitionSearchResult& result) = 0;
 
+  /// Drops any cached copy of `key` alone (best-effort). The base
+  /// implementation is a no-op: the plain backends re-validate entries on
+  /// every Get, so a poisoned entry already degrades to a miss there. A
+  /// *caching decorator tier* (TieredCacheBackend's in-memory front) must
+  /// honor it — the session calls Invalidate when an entry it was served
+  /// fails rehydration (identity / cost drift), and without the drop the
+  /// front would keep serving the same poisoned bytes on every update.
+  virtual void Invalidate(const std::string& key) { (void)key; }
+
   /// Drops every entry this backend can reach.
   virtual void Clear() = 0;
 
@@ -175,6 +184,9 @@ class DirCacheBackend : public PartitionCacheBackend {
                              bool* io_failed = nullptr) override;
   bool Put(const std::string& key,
            const pipeline::PartitionSearchResult& result) override;
+  /// Removes `key`'s entry file (this identity's), so a poisoned entry is
+  /// a one-time miss instead of a rehydration-rejection on every session.
+  void Invalidate(const std::string& key) override;
   void NoteRehydrationRejected() override;
   /// Removes every cache entry file under the root — all identities, plus
   /// any crash-orphaned temp files (the caller owns the directory).

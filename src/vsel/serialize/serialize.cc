@@ -864,4 +864,86 @@ Result<Recommendation> DeserializeRecommendation(
   return rec;
 }
 
+std::string SerializeRecommendationCanonical(const Recommendation& rec,
+                                             const CacheIdentity& identity) {
+  // Cheap shallow copy: states, views and rewritings are shared pointers.
+  Recommendation canonical = rec;
+  canonical.stats.elapsed_sec = 0;
+  canonical.stats.best_trace.clear();
+  return SerializeRecommendation(canonical, identity);
+}
+
+void SerializeOptions(const SelectorOptions& o, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(o.strategy));
+  w->U8(o.heuristics.avf ? 1 : 0);
+  w->U8(o.heuristics.stop_var ? 1 : 0);
+  w->U8(o.heuristics.stop_tt ? 1 : 0);
+  w->U32(static_cast<uint32_t>(o.heuristics.vb_overlap));
+  w->U64(o.heuristics.vb_overlap_max_atoms);
+  w->F64(o.limits.time_budget_sec);
+  w->U64(o.limits.max_states);
+  w->U64(o.limits.num_threads);
+  w->U64(o.limits.max_vb_depth);
+  w->F64(o.weights.cs);
+  w->F64(o.weights.cr);
+  w->F64(o.weights.cm);
+  w->F64(o.weights.c1);
+  w->F64(o.weights.c2);
+  w->F64(o.weights.f);
+  w->U8(o.auto_calibrate_cm ? 1 : 0);
+  w->U8(static_cast<uint8_t>(o.entailment));
+  w->U8(o.partition.enabled ? 1 : 0);
+  w->U64(o.partition.max_partitions);
+  w->U8(o.partition.parallel_partitions ? 1 : 0);
+  w->U64(o.robust.retry.max_attempts);
+  w->F64(o.robust.retry.initial_backoff_sec);
+  w->F64(o.robust.retry.backoff_multiplier);
+  w->F64(o.robust.retry.max_backoff_sec);
+  w->U64(o.robust.retry.jitter_seed);
+  w->F64(o.robust.partition_deadline_sec);
+  w->U8(o.telemetry.trace ? 1 : 0);
+}
+
+Result<SelectorOptions> DeserializeOptions(ByteReader* r) {
+  SelectorOptions o;
+  uint8_t strategy = r->U8();
+  if (strategy > static_cast<uint8_t>(StrategyKind::kHeuristic21)) {
+    return Status::ParseError("options hold an unknown strategy kind");
+  }
+  o.strategy = static_cast<StrategyKind>(strategy);
+  o.heuristics.avf = r->U8() != 0;
+  o.heuristics.stop_var = r->U8() != 0;
+  o.heuristics.stop_tt = r->U8() != 0;
+  o.heuristics.vb_overlap = static_cast<int>(r->U32());
+  o.heuristics.vb_overlap_max_atoms = r->U64();
+  o.limits.time_budget_sec = r->F64();
+  o.limits.max_states = r->U64();
+  o.limits.num_threads = r->U64();
+  o.limits.max_vb_depth = r->U64();
+  o.weights.cs = r->F64();
+  o.weights.cr = r->F64();
+  o.weights.cm = r->F64();
+  o.weights.c1 = r->F64();
+  o.weights.c2 = r->F64();
+  o.weights.f = r->F64();
+  o.auto_calibrate_cm = r->U8() != 0;
+  uint8_t entailment = r->U8();
+  if (entailment > static_cast<uint8_t>(EntailmentMode::kPostReformulate)) {
+    return Status::ParseError("options hold an unknown entailment mode");
+  }
+  o.entailment = static_cast<EntailmentMode>(entailment);
+  o.partition.enabled = r->U8() != 0;
+  o.partition.max_partitions = r->U64();
+  o.partition.parallel_partitions = r->U8() != 0;
+  o.robust.retry.max_attempts = r->U64();
+  o.robust.retry.initial_backoff_sec = r->F64();
+  o.robust.retry.backoff_multiplier = r->F64();
+  o.robust.retry.max_backoff_sec = r->F64();
+  o.robust.retry.jitter_seed = r->U64();
+  o.robust.partition_deadline_sec = r->F64();
+  o.telemetry.trace = r->U8() != 0;
+  if (r->failed()) return Status::ParseError("truncated options");
+  return o;
+}
+
 }  // namespace rdfviews::vsel::serialize

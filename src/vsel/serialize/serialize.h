@@ -111,6 +111,18 @@ Result<State> DeserializeState(ByteReader* r);
 void SerializeStats(const SearchStats& stats, ByteWriter* w);
 Result<SearchStats> DeserializeStats(ByteReader* r);
 
+/// The wire-transportable subset of SelectorOptions: every deterministic
+/// scalar knob that shapes a search outcome (strategy, heuristics, limits,
+/// weights, calibration, entailment, partitioning, robustness, tracing).
+/// Process-local fields deliberately do NOT travel: the stop token and
+/// progress callback (live objects), and the SessionCacheOptions block (a
+/// remote client must not dictate the server's storage paths or backend
+/// policy — the owner of the session picks those). Deserialization
+/// validates enum ranges, so a hostile frame cannot smuggle an
+/// out-of-range strategy or entailment mode into a switch.
+void SerializeOptions(const SelectorOptions& options, ByteWriter* w);
+Result<SelectorOptions> DeserializeOptions(ByteReader* r);
+
 // ---- Top-level blobs -------------------------------------------------------
 
 /// One completed partition search, tagged with its canonical workload key.
@@ -146,6 +158,14 @@ std::string SerializeRecommendation(const Recommendation& rec,
 Result<Recommendation> DeserializeRecommendation(
     std::string_view bytes, const CacheIdentity& identity,
     std::shared_ptr<const rdf::TripleStore> materialization_store = nullptr);
+
+/// SerializeRecommendation with the wall-clock-dependent stats fields
+/// (elapsed_sec, the timestamped best_trace) normalized away: two runs
+/// that found the same best state produce byte-identical canonical blobs.
+/// The vseld end-to-end parity gate compares a daemon-served
+/// recommendation against an in-process one through this form.
+std::string SerializeRecommendationCanonical(const Recommendation& rec,
+                                             const CacheIdentity& identity);
 
 }  // namespace rdfviews::vsel::serialize
 

@@ -1,0 +1,154 @@
+#include "vsel/serialize/tiered_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace rdfviews::vsel::serialize {
+
+TieredCacheBackend::TieredCacheBackend(
+    std::shared_ptr<PartitionCacheBackend> back, size_t front_capacity)
+    : back_(std::move(back)), front_capacity_(front_capacity) {
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        AppendCacheCounterSamples(counters(), "tiered", out);
+        telemetry::MetricSample hits;
+        hits.name = "vsel_tiered_front_hits_total";
+        hits.value = FrontHits();
+        out->push_back(std::move(hits));
+        telemetry::MetricSample promos;
+        promos.name = "vsel_tiered_back_promotions_total";
+        promos.value = BackPromotions();
+        out->push_back(std::move(promos));
+        telemetry::MetricSample entries;
+        entries.name = "vsel_tiered_front_entries";
+        entries.kind = telemetry::MetricKind::kGauge;
+        entries.gauge_value = static_cast<int64_t>(FrontSize());
+        out->push_back(std::move(entries));
+      });
+}
+
+std::optional<PartitionCacheBackend::Fetched> TieredCacheBackend::Get(
+    const std::string& key, bool* io_failed) {
+  if (io_failed != nullptr) *io_failed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = front_.find(key);
+    if (it != front_.end()) {
+      it->second.last_used = ++use_counter_;
+      ++counters_.hits;
+      ++front_hits_;
+      // Cheap copy: shared COW views / rewritings, like the in-memory
+      // backend. needs_rehydration travels as cached (see the header).
+      return it->second.fetched;
+    }
+  }
+  // Back I/O outside the lock: a slow directory or network tier must not
+  // serialize every front hit behind it.
+  bool back_io_failed = false;
+  std::optional<Fetched> fetched = back_->Get(key, &back_io_failed);
+  if (io_failed != nullptr) *io_failed = back_io_failed;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fetched.has_value()) {
+    ++counters_.misses;
+    if (back_io_failed) ++counters_.io_failures;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  if (front_capacity_ > 0) {
+    ++back_promotions_;
+    FrontEntry& e = front_[key];
+    e.fetched = *fetched;
+    e.last_used = ++use_counter_;
+    EvictToCapacityLocked(front_capacity_);
+  }
+  return fetched;
+}
+
+bool TieredCacheBackend::Put(const std::string& key,
+                             const pipeline::PartitionSearchResult& result) {
+  bool back_ok = back_->Put(key, result);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (front_capacity_ > 0) {
+    // The live entry needs no rehydration — it never left the process.
+    FrontEntry& e = front_[key];
+    e.fetched.result = result;
+    e.fetched.needs_rehydration = false;
+    e.last_used = ++use_counter_;
+    EvictToCapacityLocked(front_capacity_);
+  }
+  if (back_ok) {
+    ++counters_.stored;
+  } else {
+    // The front still serves the entry this process's lifetime; the
+    // failure only cost durability.
+    ++counters_.store_failures;
+  }
+  return back_ok;
+}
+
+void TieredCacheBackend::Invalidate(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    front_.erase(key);
+  }
+  back_->Invalidate(key);
+}
+
+void TieredCacheBackend::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    front_.clear();
+  }
+  back_->Clear();
+}
+
+size_t TieredCacheBackend::Size() const { return back_->Size(); }
+
+void TieredCacheBackend::Trim(size_t max_entries) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EvictToCapacityLocked(std::min(front_capacity_, max_entries));
+  }
+  back_->Trim(max_entries);
+}
+
+void TieredCacheBackend::NoteRehydrationRejected() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rehydration_rejected;
+  }
+  back_->NoteRehydrationRejected();
+}
+
+PartitionCacheBackend::Counters TieredCacheBackend::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t TieredCacheBackend::FrontSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_.size();
+}
+
+uint64_t TieredCacheBackend::FrontHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_hits_;
+}
+
+uint64_t TieredCacheBackend::BackPromotions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return back_promotions_;
+}
+
+void TieredCacheBackend::EvictToCapacityLocked(size_t capacity) {
+  while (front_.size() > capacity) {
+    auto lru = front_.begin();
+    for (auto it = std::next(front_.begin()); it != front_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    front_.erase(lru);
+  }
+}
+
+}  // namespace rdfviews::vsel::serialize

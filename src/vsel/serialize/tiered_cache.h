@@ -1,0 +1,97 @@
+// Two-tier partition-result cache: an in-memory LRU front over a slower
+// back backend (DirCacheBackend on a shared directory, a network backend,
+// or any decorated stack of them), write-through on Put.
+//
+// The daemon serves many sessions whose updates revisit the same canonical
+// workload keys; with a bare DirCacheBackend every revisit re-reads and
+// re-decodes the entry file. The front keeps the *decoded* Fetched entry
+// (live shared COW objects) in process memory, so a repeat Get costs one
+// map lookup — the back is only consulted on a front miss, and a back hit
+// is promoted into the front for the next caller.
+//
+// Coherence rules:
+//   - Put writes through: the live entry lands in the front (served
+//     without rehydration, like InMemoryCacheBackend) and the bytes go to
+//     the back. A failed back Put is counted but does not evict the front
+//     entry — the entry is correct, it just will not survive the process.
+//   - A front entry promoted from the back keeps needs_rehydration = true:
+//     it crossed a process boundary once, so every session that fetches it
+//     must re-intern and re-cost it (the front saves the read + decode,
+//     not the validation).
+//   - Invalidate(key) — called by the session when a served entry fails
+//     rehydration (identity or cost drift the tags missed) — evicts the
+//     front copy and forwards to the back, so the poisoned entry degrades
+//     to a back-tier re-validation instead of being served forever.
+//   - Clear() clears both tiers; Trim(n) trims the front to
+//     min(n, front_capacity) and forwards n to the back.
+//
+// Thread-safe like every backend (sessions of one daemon share one
+// instance per cache identity). Counters describe the *tiered* view — a
+// front hit is a hit — with the front/back split exposed through the
+// registry series labeled backend="tiered".
+#ifndef RDFVIEWS_VSEL_SERIALIZE_TIERED_CACHE_H_
+#define RDFVIEWS_VSEL_SERIALIZE_TIERED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/telemetry/metrics.h"
+#include "vsel/serialize/partition_cache.h"
+
+namespace rdfviews::vsel::serialize {
+
+class TieredCacheBackend : public PartitionCacheBackend {
+ public:
+  /// `back` is the authoritative slow tier (owned). `front_capacity` caps
+  /// the in-memory front; 0 disables the front entirely (every call passes
+  /// straight through — useful for A/B measurement).
+  explicit TieredCacheBackend(std::shared_ptr<PartitionCacheBackend> back,
+                              size_t front_capacity = 256);
+
+  std::optional<Fetched> Get(const std::string& key,
+                             bool* io_failed = nullptr) override;
+  bool Put(const std::string& key,
+           const pipeline::PartitionSearchResult& result) override;
+  void Invalidate(const std::string& key) override;
+  void Clear() override;
+  /// The back tier's entry count (the authoritative, durable population;
+  /// the front is a subset plus at most the entries whose back Put failed).
+  size_t Size() const override;
+  void Trim(size_t max_entries) override;
+  void NoteRehydrationRejected() override;
+  Counters counters() const override;
+
+  /// Front-tier observability: current entries and lifetime hit counts.
+  size_t FrontSize() const;
+  uint64_t FrontHits() const;
+  uint64_t BackPromotions() const;
+
+  PartitionCacheBackend* back() const { return back_.get(); }
+
+ private:
+  struct FrontEntry {
+    Fetched fetched;
+    uint64_t last_used = 0;
+  };
+
+  void EvictToCapacityLocked(size_t capacity);
+
+  std::shared_ptr<PartitionCacheBackend> back_;
+  const size_t front_capacity_;
+  mutable std::mutex mu_;  // guards front_, use_counter_, counters_
+  std::unordered_map<std::string, FrontEntry> front_;
+  uint64_t use_counter_ = 0;
+  Counters counters_;
+  uint64_t front_hits_ = 0;
+  uint64_t back_promotions_ = 0;
+  // Last member: unregisters before the state it reads dies.
+  telemetry::CollectorHandle metrics_;
+};
+
+}  // namespace rdfviews::vsel::serialize
+
+#endif  // RDFVIEWS_VSEL_SERIALIZE_TIERED_CACHE_H_

@@ -306,6 +306,9 @@ Result<Recommendation> TuningSession::DoUpdate(
     if ((hit->needs_rehydration || options_.auto_calibrate_cm) &&
         !RehydrateOutcome(&hit->result, plan.groups[p].size(),
                           *cost_model_)) {
+      // Drop any decorator-tier copy of the poisoned entry first, so a
+      // caching front (TieredCacheBackend) cannot keep serving it.
+      cache_backend_->Invalidate(cache_key_prefix_ + plan.group_keys[p]);
       cache_backend_->NoteRehydrationRejected();
       continue;
     }

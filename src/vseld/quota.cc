@@ -1,0 +1,95 @@
+#include "vseld/quota.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "vsel/pipeline/pipeline.h"
+
+namespace rdfviews::vseld {
+
+Status AdmissionController::Admit(const std::string& client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_sessions > 0 && live_ >= options_.max_sessions) {
+    return Status::ResourceExhausted(
+        "max sessions (" + std::to_string(options_.max_sessions) +
+        ") reached");
+  }
+  size_t& client_live = per_client_[client_id];
+  if (options_.max_sessions_per_client > 0 &&
+      client_live >= options_.max_sessions_per_client) {
+    return Status::ResourceExhausted(
+        "client session quota (" +
+        std::to_string(options_.max_sessions_per_client) + ") reached for " +
+        client_id);
+  }
+  ++live_;
+  ++client_live;
+  return Status::OK();
+}
+
+void AdmissionController::Release(const std::string& client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_ > 0) --live_;
+  auto it = per_client_.find(client_id);
+  if (it != per_client_.end()) {
+    if (it->second > 0) --it->second;
+    if (it->second == 0) per_client_.erase(it);
+  }
+}
+
+vsel::SearchLimits AdmissionController::ClampLimits(
+    const vsel::SearchLimits& requested) const {
+  size_t population;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    population = std::max<size_t>(1, live_);
+  }
+  if (options_.aggregate_max_states == 0 &&
+      options_.aggregate_time_budget_sec <= 0) {
+    return requested;
+  }
+  // Reuse the pipeline's proportional apportioner with equal weights: the
+  // per-session slice then obeys the same rounding and positive-floor
+  // rules as per-partition budgets inside a session, so the daemon's
+  // budget arithmetic never undercuts what the search stage would grant.
+  vsel::SearchLimits aggregate;
+  aggregate.max_states = options_.aggregate_max_states;
+  aggregate.time_budget_sec = options_.aggregate_time_budget_sec;
+  std::vector<vsel::SearchLimits> slices = vsel::pipeline::
+      ApportionSearchLimits(aggregate, std::vector<size_t>(population, 1));
+  const vsel::SearchLimits& slice = slices.front();
+
+  vsel::SearchLimits clamped = requested;
+  if (options_.aggregate_max_states > 0) {
+    clamped.max_states = requested.max_states == 0
+                             ? slice.max_states
+                             : std::min(requested.max_states,
+                                        slice.max_states);
+  }
+  if (options_.aggregate_time_budget_sec > 0) {
+    clamped.time_budget_sec =
+        requested.time_budget_sec <= 0
+            ? slice.time_budget_sec
+            : std::min(requested.time_budget_sec, slice.time_budget_sec);
+  }
+  return clamped;
+}
+
+Status AdmissionController::CheckUpdateSize(size_t add_count,
+                                            size_t remove_count) const {
+  if (options_.max_queries_per_update > 0 &&
+      add_count + remove_count > options_.max_queries_per_update) {
+    return Status::ResourceExhausted(
+        "update touches " + std::to_string(add_count + remove_count) +
+        " queries, quota is " +
+        std::to_string(options_.max_queries_per_update));
+  }
+  return Status::OK();
+}
+
+size_t AdmissionController::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+}  // namespace rdfviews::vseld

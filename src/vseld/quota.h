@@ -1,0 +1,85 @@
+// Admission control for the vseld daemon: per-client and aggregate quotas
+// deciding whether a new session gets in, and how large a slice of the
+// daemon's global search budget an admitted session's limits are clamped
+// to.
+//
+// The model: the operator configures an *aggregate* budget (total
+// max_states across all live sessions, total time budget per update) and
+// per-client concurrency caps. Admission splits the aggregate budget over
+// the hypothetical post-admission session population with the same
+// proportional apportioner the pipeline uses across partitions
+// (pipeline::ApportionSearchLimits, equal weights) — so the daemon's
+// budget arithmetic matches the search stage's own, floors included. A
+// session's requested limits are then clamped to its slice: a tenant may
+// ask for less than its share, never more.
+//
+// Rejections are Status values the server maps onto a response frame
+// (ResourceExhausted) and a per-reason counter
+// (vseld_rejected_total{reason}); admission never blocks.
+#ifndef RDFVIEWS_VSELD_QUOTA_H_
+#define RDFVIEWS_VSELD_QUOTA_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "vsel/options.h"
+
+namespace rdfviews::vseld {
+
+struct QuotaOptions {
+  /// Live sessions across all clients. 0 = unlimited.
+  size_t max_sessions = 64;
+  /// Live sessions per client_id. 0 = unlimited.
+  size_t max_sessions_per_client = 8;
+  /// Queries per single update request (add + remove). 0 = unlimited.
+  size_t max_queries_per_update = 256;
+  /// Aggregate max_states budget split equally across live sessions;
+  /// 0 = unlimited (sessions keep their requested max_states).
+  size_t aggregate_max_states = 0;
+  /// Aggregate per-update time budget split the same way; 0 = unlimited.
+  double aggregate_time_budget_sec = 0;
+};
+
+/// Tracks the live session population and applies QuotaOptions.
+/// Thread-safe; every mutation is a short critical section.
+class AdmissionController {
+ public:
+  explicit AdmissionController(QuotaOptions options)
+      : options_(options) {}
+
+  /// Decides admission for one new session of `client_id`. On success the
+  /// session is counted immediately (call Release exactly once when it
+  /// closes). Failures name the quota hit:
+  ///   ResourceExhausted("max sessions")        — aggregate cap
+  ///   ResourceExhausted("client session quota") — per-client cap
+  Status Admit(const std::string& client_id);
+
+  /// Releases one admitted session of `client_id`.
+  void Release(const std::string& client_id);
+
+  /// Clamps `limits` to the per-session slice of the aggregate budget at
+  /// the current population (sessions admitted so far, including the
+  /// caller's). A requested budget of 0 (unlimited) is replaced by the
+  /// slice; a finite request is min'ed with it. No-op for budgets the
+  /// operator left unlimited.
+  vsel::SearchLimits ClampLimits(const vsel::SearchLimits& requested) const;
+
+  /// Per-update workload-delta size check.
+  Status CheckUpdateSize(size_t add_count, size_t remove_count) const;
+
+  size_t live_sessions() const;
+  const QuotaOptions& options() const { return options_; }
+
+ private:
+  const QuotaOptions options_;
+  mutable std::mutex mu_;
+  size_t live_ = 0;
+  std::map<std::string, size_t> per_client_;
+};
+
+}  // namespace rdfviews::vseld
+
+#endif  // RDFVIEWS_VSELD_QUOTA_H_
