@@ -77,7 +77,7 @@ class Statistics {
     return store_->column_stats(col).distinct;
   }
 
-  double AvgWidth(Column col) const {
+  virtual double AvgWidth(Column col) const {
     return store_->column_stats(col).avg_width;
   }
 

@@ -5,13 +5,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/stop_token.h"
 
 namespace rdfviews::vsel {
+
+namespace pipeline {
+class PartitionExecutor;  // vsel/pipeline/executor.h
+}  // namespace pipeline
 
 /// Search strategies: ours (Sec. 5) and the competitors of [21] (Sec. 6.1).
 enum class StrategyKind {
@@ -256,6 +262,64 @@ struct CostWeights {
   double c2 = 0.05;  // REC: cpu weight
   double f = 2.0;    // VMC: per-join fan-out factor
 };
+
+/// How implicit triples are reflected in the recommendation (Sec. 4.3).
+enum class EntailmentMode {
+  kNone,             // plain RDF, no implicit triples
+  kSaturate,         // search and materialize over the saturated store
+  kPreReformulate,   // reformulate the workload, search over the union
+  kPostReformulate,  // search with saturated statistics, reformulate the
+                     // winning views before materializing
+};
+
+const char* EntailmentModeName(EntailmentMode mode);
+
+/// The one configuration surface of the tuning stack: everything a
+/// recommendation run needs — strategy, heuristics, limits, cost weights,
+/// entailment handling, partitioning, session cache storage, failure
+/// containment, and observability — in a single validated aggregate. The
+/// same struct configures ViewSelector::Recommend, TuningSession, the
+/// pipeline stages, and (through serialize::SerializeTuningConfig, one wire
+/// form) both the vseld open-session and dispatch-partition verbs.
+/// `SelectorOptions` remains as a back-compat alias.
+struct TuningConfig {
+  StrategyKind strategy = StrategyKind::kDfs;
+  HeuristicOptions heuristics{.avf = true, .stop_var = true};
+  SearchLimits limits;
+  CostWeights weights;
+  /// Recalibrate cm from S0 as in Sec. 6 ("Weights of cost components").
+  bool auto_calibrate_cm = true;
+  EntailmentMode entailment = EntailmentMode::kNone;
+  /// Workload partitioning (the pipeline's stage 2); see PartitionOptions.
+  PartitionOptions partition;
+  /// Session partition-result cache storage; see SessionCacheOptions.
+  SessionCacheOptions cache;
+  /// Failure containment of the pipeline's stage 3 (retry policy, watchdog
+  /// deadline); see RobustnessOptions.
+  RobustnessOptions robust;
+  /// Observability: per-run span recording; see TelemetryOptions.
+  TelemetryOptions telemetry;
+  /// Where stage 3 runs each dirty partition's search attempts: null (the
+  /// default) keeps the in-process pipeline::LocalExecutor; a
+  /// vseld::FleetExecutor dispatches attempts to registered remote workers.
+  /// Process-local like `limits.stop` / `limits.on_progress` — never
+  /// serialized, never part of the cache identity.
+  std::shared_ptr<pipeline::PartitionExecutor> executor;
+
+  /// Rejects configurations no layer could honor, naming the offending
+  /// field: negative budgets and backoffs, zero floors (retry attempts,
+  /// LRU capacities — max_states stays 0 = unlimited), and conflicting
+  /// cache / partition knob combinations. Every entry point that accepts a
+  /// TuningConfig (TuningSession, pipeline::Run, ViewSelector::Recommend,
+  /// and the vseld open-session / dispatch-partition verbs) validates
+  /// before doing any work, so a bad config fails fast with the same
+  /// diagnostic everywhere instead of misbehaving mid-run.
+  Status Validate() const;
+};
+
+/// Back-compat alias: nine PRs of call sites name the aggregate
+/// SelectorOptions; they migrate mechanically.
+using SelectorOptions = TuningConfig;
 
 /// Counters exposed by every strategy (the quantities of Figure 5).
 struct SearchStats {

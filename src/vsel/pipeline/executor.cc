@@ -1,0 +1,32 @@
+#include "vsel/pipeline/executor.h"
+
+#include <cmath>
+
+#include "common/fault.h"
+
+namespace rdfviews::vsel::pipeline {
+
+Result<SearchResult> LocalExecutor::ExecuteAttempt(
+    const PartitionWorkUnit& unit, const TuningConfig& config,
+    const SearchLimits& limits, CostModel* cost_model) {
+  (void)unit;
+  Status injected = fault::MaybeThrow(fault::sites::kPartitionSearch);
+  if (!injected.ok()) return injected;
+  return RunSearch(config.strategy, *unit.initial_state, *cost_model,
+                   config.heuristics, limits);
+}
+
+bool RehydratePartitionOutcome(PartitionSearchResult* outcome,
+                               size_t group_size, const CostModel& model,
+                               bool require_completed) {
+  // Only completed searches are ever cached; an in-flight flag combination
+  // in a cache file means it was not written by us.
+  if (require_completed && !outcome->search.stats.completed) return false;
+  // The merge stage requires exactly one rewriting per member query.
+  if (outcome->search.best.rewritings().size() != group_size) return false;
+  const double persisted = outcome->search.stats.best_cost;
+  const double live = model.StateCost(outcome->search.best);
+  return std::abs(live - persisted) <= 1e-9 * (1.0 + std::abs(persisted));
+}
+
+}  // namespace rdfviews::vsel::pipeline

@@ -1,0 +1,93 @@
+// Where a partition's search attempt physically runs.
+//
+// Pipeline stage 3 owns the *policy* around an attempt — budget slices,
+// retry/backoff, the watchdog deadline, failure containment — and
+// delegates the attempt itself to a PartitionExecutor. The default
+// LocalExecutor runs the search on the calling thread (the pre-fleet
+// behavior, bit for bit); the vseld fleet layer provides a FleetExecutor
+// that ships the attempt to a remote worker process over the daemon
+// protocol. Because the interface is per-*attempt*, everything stage 3
+// already does for a failed local attempt — retry with backoff, re-queue
+// under the remaining slice, abandon into a degraded merge — applies
+// unchanged when the failure is a remote worker dying mid-partition.
+#ifndef RDFVIEWS_VSEL_PIPELINE_EXECUTOR_H_
+#define RDFVIEWS_VSEL_PIPELINE_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "vsel/cost_model.h"
+#include "vsel/pipeline/pipeline.h"
+#include "vsel/search.h"
+
+namespace rdfviews::vsel::pipeline {
+
+/// One partition's attempt-scoped work order.
+struct PartitionWorkUnit {
+  /// Index of the partition in the plan.
+  size_t partition = 0;
+  /// 1-based attempt number (stage 3's retry loop).
+  size_t attempt = 1;
+  /// The partition's canonical workload key (PartitionPlan::group_keys):
+  /// the renaming-insensitive identity a shipped outcome is tagged with.
+  std::string key;
+  /// The partition's initial state. Owned by stage 3; valid for the
+  /// duration of the call.
+  const State* initial_state = nullptr;
+  /// Member queries of the partition (the merge stage requires exactly one
+  /// rewriting per member, which result validation checks against this).
+  size_t group_size = 0;
+};
+
+/// Executes one search attempt for one partition. Implementations report
+/// failures as a Status — stage 3 wraps every call in its exception ->
+/// Status containment boundary, runs it under the watchdog's combined stop
+/// token (via `limits.stop`), and owns all retry decisions.
+class PartitionExecutor {
+ public:
+  virtual ~PartitionExecutor() = default;
+
+  /// Runs the attempt under `limits` (the attempt's budget slice, with the
+  /// combined user + watchdog stop token). `config` carries the effective
+  /// strategy/heuristics; `cost_model` is the run's shared model (with the
+  /// calibrated weights). An anytime truncation is a *success* (the search
+  /// returns its best-so-far); only an attempt that produced no usable
+  /// result returns non-OK.
+  virtual Result<SearchResult> ExecuteAttempt(const PartitionWorkUnit& unit,
+                                              const TuningConfig& config,
+                                              const SearchLimits& limits,
+                                              CostModel* cost_model) = 0;
+
+  /// Short label for traces and health records.
+  virtual const char* name() const = 0;
+};
+
+/// The in-process path: RunSearch on the calling thread. Stateless;
+/// evaluates the search.partition.run fault site per attempt (so chaos
+/// plans keep firing inside the containment boundary).
+class LocalExecutor final : public PartitionExecutor {
+ public:
+  Result<SearchResult> ExecuteAttempt(const PartitionWorkUnit& unit,
+                                      const TuningConfig& config,
+                                      const SearchLimits& limits,
+                                      CostModel* cost_model) override;
+  const char* name() const override { return "local"; }
+};
+
+/// Validates and re-costs a partition outcome that crossed a process
+/// boundary (a cache file, or a remote worker's result frame). The bytes
+/// were structurally validated by the deserializer; this asserts the
+/// *semantics*: the rewriting count matches the partition's member count,
+/// and re-costing the best state through the live model reproduces the
+/// persisted cost (registering every view in the run's interner along the
+/// way). `require_completed` is the cache contract — only completed
+/// searches are ever cached — while a remote attempt may legitimately
+/// return a budget-truncated anytime best, so the fleet path passes false.
+/// Returns true when the outcome is safe to splice into this run.
+bool RehydratePartitionOutcome(PartitionSearchResult* outcome,
+                               size_t group_size, const CostModel& model,
+                               bool require_completed = true);
+
+}  // namespace rdfviews::vsel::pipeline
+
+#endif  // RDFVIEWS_VSEL_PIPELINE_EXECUTOR_H_

@@ -15,6 +15,7 @@ Result<Recommendation> Run(const rdf::TripleStore* store,
                            const std::vector<cq::ConjunctiveQuery>& workload,
                            const SelectorOptions& options,
                            rdf::Statistics* external_stats) {
+  RDFVIEWS_RETURN_IF_ERROR(options.Validate());
   // One tracer per run; armed through the thread-local context so every
   // stage, partition attempt, and cache/serialize operation below lands in
   // one tree rooted at pipeline.run.

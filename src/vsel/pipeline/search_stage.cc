@@ -39,6 +39,7 @@
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
+#include "vsel/pipeline/executor.h"
 #include "vsel/pipeline/pipeline.h"
 #include "vsel/robust/retry.h"
 #include "vsel/robust/watchdog.h"
@@ -306,6 +307,16 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
   const double deadline_sec = options.robust.partition_deadline_sec;
   robust::Watchdog watchdog;
 
+  // Where attempts physically run: the configured executor (the fleet
+  // path) or the in-process default. All retry/backoff/watchdog policy
+  // below is executor-agnostic — a remote worker dying mid-partition looks
+  // exactly like a failed local attempt and is re-queued the same way.
+  LocalExecutor local_executor;
+  PartitionExecutor* executor = options.executor != nullptr
+                                    ? options.executor.get()
+                                    : static_cast<PartitionExecutor*>(
+                                          &local_executor);
+
   TimeBudgetPool spare;
   std::atomic<double> regranted{0};
   // Captured on the submitting thread so pool tasks parent their spans
@@ -381,11 +392,15 @@ Result<std::vector<PartitionOutcome>> SearchPartitions(
       Result<SearchResult> r =
           Status::Internal("partition search attempt did not run");
       try {
-        Status injected = fault::MaybeThrow(fault::sites::kPartitionSearch);
-        r = injected.ok()
-                ? RunSearch(options.strategy, initial_states[p], *cost_model,
-                            options.heuristics, l)
-                : Result<SearchResult>(injected);
+        PartitionWorkUnit unit;
+        unit.partition = p;
+        unit.attempt = attempt;
+        // Tolerate hand-built plans without keys (key-less units are only
+        // a problem for executors that ship them, which reject them).
+        if (p < plan.group_keys.size()) unit.key = plan.group_keys[p];
+        unit.initial_state = &initial_states[p];
+        unit.group_size = plan.groups[p].size();
+        r = executor->ExecuteAttempt(unit, options, l, cost_model);
       } catch (const std::bad_alloc&) {
         r = Status::ResourceExhausted("partition search ran out of memory");
       } catch (const std::exception& e) {

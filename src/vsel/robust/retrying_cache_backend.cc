@@ -56,27 +56,25 @@ void RetryingCacheBackend::RegisterMetrics() {
       });
 }
 
-std::optional<serialize::PartitionCacheBackend::Fetched>
-RetryingCacheBackend::Get(const std::string& key, bool* io_failed) {
-  if (io_failed != nullptr) *io_failed = false;
+Status RetryingCacheBackend::Get(const std::string& key, Fetched* out) {
   if (!breaker_.Allow()) {
     skipped_gets_.fetch_add(1, std::memory_order_relaxed);
     telemetry::TraceEvent("cache.breaker.skip", {{"op", "get"}});
-    return std::nullopt;  // a skipped lookup is just a miss
+    // A skipped lookup is just a miss to the session; the message keeps the
+    // skip distinguishable from genuine absence for anyone who looks.
+    return Status::NotFound("cache lookup skipped: circuit breaker open");
   }
   const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
   for (size_t attempt = 1;; ++attempt) {
-    bool io = false;
-    std::optional<Fetched> fetched = delegate_->Get(key, &io);
-    if (fetched.has_value() || !io) {
+    Status s = delegate_->Get(key, out);
+    if (s.ok() || s.code() == StatusCode::kNotFound) {
       // A genuine miss is backend health too: the storage answered.
       breaker_.RecordSuccess();
-      return fetched;
+      return s;
     }
     if (attempt >= max_attempts_) {
       breaker_.RecordFailure();
-      if (io_failed != nullptr) *io_failed = true;
-      return std::nullopt;
+      return s;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -88,22 +86,24 @@ RetryingCacheBackend::Get(const std::string& key, bool* io_failed) {
   }
 }
 
-bool RetryingCacheBackend::Put(const std::string& key,
-                               const pipeline::PartitionSearchResult& result) {
+Status RetryingCacheBackend::Put(const std::string& key,
+                                 const pipeline::PartitionSearchResult& result) {
   if (!breaker_.Allow()) {
     skipped_puts_.fetch_add(1, std::memory_order_relaxed);
     telemetry::TraceEvent("cache.breaker.skip", {{"op", "put"}});
-    return false;  // a skipped store is a future miss
+    // A skipped store is a future miss.
+    return Status::Internal("cache store skipped: circuit breaker open");
   }
   const uint64_t stream = op_counter_.fetch_add(1, std::memory_order_relaxed);
   for (size_t attempt = 1;; ++attempt) {
-    if (delegate_->Put(key, result)) {
+    Status s = delegate_->Put(key, result);
+    if (s.ok()) {
       breaker_.RecordSuccess();
-      return true;
+      return s;
     }
     if (attempt >= max_attempts_) {
       breaker_.RecordFailure();
-      return false;
+      return s;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -123,8 +123,8 @@ void RetryingCacheBackend::Trim(size_t max_entries) {
   delegate_->Trim(max_entries);
 }
 
-void RetryingCacheBackend::Invalidate(const std::string& key) {
-  delegate_->Invalidate(key);
+Status RetryingCacheBackend::Invalidate(const std::string& key) {
+  return delegate_->Invalidate(key);
 }
 
 void RetryingCacheBackend::NoteRehydrationRejected() {

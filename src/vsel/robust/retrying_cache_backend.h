@@ -4,15 +4,16 @@
 //
 // Semantics layered on the delegate:
 //
-//   - Get: a storage-layer failure (the delegate's `io_failed` signal — an
-//     existing entry it could not open/read) is retried up to
+//   - Get: a storage-layer failure (any non-OK, non-NotFound Status — an
+//     existing entry the delegate could not open/read) is retried up to
 //     `max_attempts` times with deterministic jittered backoff; a genuine
-//     miss (entry absent) is returned immediately and counts as backend
-//     health. Put: retried on a false return the same way.
+//     miss (NotFound) is returned immediately and counts as backend
+//     health. Put: retried on any non-OK Status the same way.
 //   - A run of `breaker.failure_threshold` consecutive exhausted
 //     operations opens the breaker: for `breaker.open_sec` every operation
-//     is skipped outright (a skipped Get is a miss, a skipped Put reports
-//     false), each skip counted, so a wedged shared filesystem costs one
+//     is skipped outright (a skipped Get reports NotFound, a skipped Put
+//     Unavailable-style Internal),
+//     each skip counted, so a wedged shared filesystem costs one
 //     failure window, not one timeout per partition per update. After the
 //     window one half-open probe operation is let through; its outcome
 //     closes or re-opens the breaker.
@@ -58,14 +59,13 @@ class RetryingCacheBackend : public serialize::PartitionCacheBackend {
       std::shared_ptr<serialize::PartitionCacheBackend> owned,
       Options options);
 
-  std::optional<Fetched> Get(const std::string& key,
-                             bool* io_failed = nullptr) override;
-  bool Put(const std::string& key,
-           const pipeline::PartitionSearchResult& result) override;
+  Status Get(const std::string& key, Fetched* out) override;
+  Status Put(const std::string& key,
+             const pipeline::PartitionSearchResult& result) override;
   void Clear() override;
   size_t Size() const override;
   void Trim(size_t max_entries) override;
-  void Invalidate(const std::string& key) override;
+  Status Invalidate(const std::string& key) override;
   void NoteRehydrationRejected() override;
   /// The delegate's counters plus this decorator's `retries` and
   /// `breaker_skips` (and with breaker-skipped Gets folded into `misses`,

@@ -21,35 +21,8 @@
 
 namespace rdfviews::vsel {
 
-/// How implicit triples are reflected in the recommendation (Sec. 4.3).
-enum class EntailmentMode {
-  kNone,             // plain RDF, no implicit triples
-  kSaturate,         // search and materialize over the saturated store
-  kPreReformulate,   // reformulate the workload, search over the union
-  kPostReformulate,  // search with saturated statistics, reformulate the
-                     // winning views before materializing
-};
-
-const char* EntailmentModeName(EntailmentMode mode);
-
-struct SelectorOptions {
-  StrategyKind strategy = StrategyKind::kDfs;
-  HeuristicOptions heuristics{.avf = true, .stop_var = true};
-  SearchLimits limits;
-  CostWeights weights;
-  /// Recalibrate cm from S0 as in Sec. 6 ("Weights of cost components").
-  bool auto_calibrate_cm = true;
-  EntailmentMode entailment = EntailmentMode::kNone;
-  /// Workload partitioning (the pipeline's stage 2); see PartitionOptions.
-  PartitionOptions partition;
-  /// Session partition-result cache storage; see SessionCacheOptions.
-  SessionCacheOptions cache;
-  /// Failure containment of the pipeline's stage 3 (retry policy, watchdog
-  /// deadline); see RobustnessOptions.
-  RobustnessOptions robust;
-  /// Observability: per-run span recording; see TelemetryOptions.
-  TelemetryOptions telemetry;
-};
+// EntailmentMode and the unified TuningConfig aggregate (with its
+// back-compat alias SelectorOptions) live in vsel/options.h.
 
 /// Per-partition health record of one pipeline run: how many attempts the
 /// partition took, what the last failure was, and whether it ended

@@ -106,27 +106,26 @@ InMemoryCacheBackend::InMemoryCacheBackend() {
       });
 }
 
-std::optional<PartitionCacheBackend::Fetched> InMemoryCacheBackend::Get(
-    const std::string& key, bool* io_failed) {
-  if (io_failed != nullptr) *io_failed = false;  // memory never I/O-fails
+Status InMemoryCacheBackend::Get(const std::string& key, Fetched* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++counters_.misses;
-    return std::nullopt;
+    return Status::NotFound("no cached outcome");  // memory never I/O-fails
   }
   it->second.last_used = ++use_counter_;
   ++counters_.hits;
   // Cheap copy: the result's views / rewritings are shared COW pointers.
-  return Fetched{it->second.result, /*needs_rehydration=*/false};
+  *out = Fetched{it->second.result, /*needs_rehydration=*/false};
+  return Status::OK();
 }
 
-bool InMemoryCacheBackend::Put(const std::string& key,
-                               const pipeline::PartitionSearchResult& result) {
+Status InMemoryCacheBackend::Put(const std::string& key,
+                                 const pipeline::PartitionSearchResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = Entry{result, ++use_counter_};
   ++counters_.stored;
-  return true;
+  return Status::OK();
 }
 
 void InMemoryCacheBackend::Clear() {
@@ -224,16 +223,17 @@ std::string DirCacheBackend::PathForKey(const std::string& key) const {
   return root_ + "/" + name + kEntrySuffix;
 }
 
-std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
-    const std::string& key, bool* io_failed) {
+Status DirCacheBackend::Get(const std::string& key, Fetched* out) {
   bool io_error = false;
   std::optional<std::string> bytes = ReadFileBytes(PathForKey(key), &io_error);
-  if (io_failed != nullptr) *io_failed = io_error;
   if (!bytes.has_value()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.misses;
-    if (io_error) ++counters_.io_failures;
-    return std::nullopt;
+    if (io_error) {
+      ++counters_.io_failures;
+      return Status::Internal("partition cache read failed under " + root_);
+    }
+    return Status::NotFound("no cached outcome");
   }
   Result<pipeline::PartitionSearchResult> outcome = [&] {
     telemetry::TraceSpan span("serialize.decode");
@@ -251,17 +251,19 @@ std::optional<PartitionCacheBackend::Fetched> DirCacheBackend::Get(
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.misses;
     ++counters_.rejected;
-    return std::nullopt;
+    return Status::NotFound("cached entry unusable: " +
+                            outcome.status().message());
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.hits;
   }
-  return Fetched{std::move(*outcome), /*needs_rehydration=*/true};
+  *out = Fetched{std::move(*outcome), /*needs_rehydration=*/true};
+  return Status::OK();
 }
 
-bool DirCacheBackend::Put(const std::string& key,
-                          const pipeline::PartitionSearchResult& result) {
+Status DirCacheBackend::Put(const std::string& key,
+                            const pipeline::PartitionSearchResult& result) {
   const std::string path = PathForKey(key);
   // Private temp name (pid + process-wide counter — per-backend counters
   // would collide across two backend instances in one process writing the
@@ -306,14 +308,18 @@ bool DirCacheBackend::Put(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   if (ok) {
     ++counters_.stored;
-  } else {
-    ++counters_.store_failures;
+    return Status::OK();
   }
-  return ok;
+  ++counters_.store_failures;
+  return Status::Internal("partition cache write failed under " + root_);
 }
 
-void DirCacheBackend::Invalidate(const std::string& key) {
-  std::remove(PathForKey(key).c_str());
+Status DirCacheBackend::Invalidate(const std::string& key) {
+  const std::string path = PathForKey(key);
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal("partition cache entry not removable: " + path);
+  }
+  return Status::OK();
 }
 
 void DirCacheBackend::Clear() {

@@ -83,27 +83,34 @@ class PartitionCacheBackend {
 
   virtual ~PartitionCacheBackend() = default;
 
-  /// Looks up `key`; nullopt on miss (including any storage failure).
-  /// `io_failed` (optional) is set true when the miss was a storage-layer
-  /// failure rather than genuine absence — the signal a retrying decorator
-  /// keys on; callers that only care hit-vs-miss pass nothing.
-  virtual std::optional<Fetched> Get(const std::string& key,
-                                     bool* io_failed = nullptr) = 0;
+  /// Looks up `key`. The Status *is* the contract: OK means hit (`*out` is
+  /// filled), NotFound means the entry genuinely is not there, and any
+  /// other code means the storage layer misbehaved (open/read failure on
+  /// an existing entry, a wedged filesystem, a severed transport) — the
+  /// distinction a retrying decorator keys on, formerly an ad-hoc
+  /// `io_failed` out-parameter side channel. Corrupt or foreign-identity
+  /// entries are NotFound (the partition is simply re-searched), never an
+  /// error. Callers that only care hit-vs-miss test `.ok()`.
+  virtual Status Get(const std::string& key, Fetched* out) = 0;
 
   /// Stores a completed outcome under `key` (best-effort; replaces any
-  /// previous entry). Returns false when the store failed — callers may
-  /// ignore it (a failed Put is a future miss), decorators retry on it.
-  virtual bool Put(const std::string& key,
-                   const pipeline::PartitionSearchResult& result) = 0;
+  /// previous entry). Non-OK means the store failed — callers may ignore
+  /// it (a failed Put is a future miss), decorators retry on it.
+  virtual Status Put(const std::string& key,
+                     const pipeline::PartitionSearchResult& result) = 0;
 
-  /// Drops any cached copy of `key` alone (best-effort). The base
+  /// Drops any cached copy of `key` alone (best-effort; non-OK when the
+  /// storage layer failed to drop an existing entry). The base
   /// implementation is a no-op: the plain backends re-validate entries on
   /// every Get, so a poisoned entry already degrades to a miss there. A
   /// *caching decorator tier* (TieredCacheBackend's in-memory front) must
   /// honor it — the session calls Invalidate when an entry it was served
   /// fails rehydration (identity / cost drift), and without the drop the
   /// front would keep serving the same poisoned bytes on every update.
-  virtual void Invalidate(const std::string& key) { (void)key; }
+  virtual Status Invalidate(const std::string& key) {
+    (void)key;
+    return Status::OK();
+  }
 
   /// Drops every entry this backend can reach.
   virtual void Clear() = 0;
@@ -140,10 +147,9 @@ class InMemoryCacheBackend : public PartitionCacheBackend {
  public:
   InMemoryCacheBackend();
 
-  std::optional<Fetched> Get(const std::string& key,
-                             bool* io_failed = nullptr) override;
-  bool Put(const std::string& key,
-           const pipeline::PartitionSearchResult& result) override;
+  Status Get(const std::string& key, Fetched* out) override;
+  Status Put(const std::string& key,
+             const pipeline::PartitionSearchResult& result) override;
   void Clear() override;
   size_t Size() const override;
   void Trim(size_t max_entries) override;
@@ -180,13 +186,12 @@ class DirCacheBackend : public PartitionCacheBackend {
   DirCacheBackend(std::string root, const CacheIdentity& identity,
                   double reap_temp_older_than_sec = 3600.0);
 
-  std::optional<Fetched> Get(const std::string& key,
-                             bool* io_failed = nullptr) override;
-  bool Put(const std::string& key,
-           const pipeline::PartitionSearchResult& result) override;
+  Status Get(const std::string& key, Fetched* out) override;
+  Status Put(const std::string& key,
+             const pipeline::PartitionSearchResult& result) override;
   /// Removes `key`'s entry file (this identity's), so a poisoned entry is
   /// a one-time miss instead of a rehydration-rejection on every session.
-  void Invalidate(const std::string& key) override;
+  Status Invalidate(const std::string& key) override;
   void NoteRehydrationRejected() override;
   /// Removes every cache entry file under the root — all identities, plus
   /// any crash-orphaned temp files (the caller owns the directory).

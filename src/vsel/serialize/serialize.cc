@@ -873,7 +873,7 @@ std::string SerializeRecommendationCanonical(const Recommendation& rec,
   return SerializeRecommendation(canonical, identity);
 }
 
-void SerializeOptions(const SelectorOptions& o, ByteWriter* w) {
+void SerializeTuningConfig(const TuningConfig& o, ByteWriter* w) {
   w->U8(static_cast<uint8_t>(o.strategy));
   w->U8(o.heuristics.avf ? 1 : 0);
   w->U8(o.heuristics.stop_var ? 1 : 0);
@@ -904,8 +904,8 @@ void SerializeOptions(const SelectorOptions& o, ByteWriter* w) {
   w->U8(o.telemetry.trace ? 1 : 0);
 }
 
-Result<SelectorOptions> DeserializeOptions(ByteReader* r) {
-  SelectorOptions o;
+Result<TuningConfig> DeserializeTuningConfig(ByteReader* r) {
+  TuningConfig o;
   uint8_t strategy = r->U8();
   if (strategy > static_cast<uint8_t>(StrategyKind::kHeuristic21)) {
     return Status::ParseError("options hold an unknown strategy kind");

@@ -111,17 +111,27 @@ Result<State> DeserializeState(ByteReader* r);
 void SerializeStats(const SearchStats& stats, ByteWriter* w);
 Result<SearchStats> DeserializeStats(ByteReader* r);
 
-/// The wire-transportable subset of SelectorOptions: every deterministic
+/// The wire-transportable subset of TuningConfig: every deterministic
 /// scalar knob that shapes a search outcome (strategy, heuristics, limits,
 /// weights, calibration, entailment, partitioning, robustness, tracing).
-/// Process-local fields deliberately do NOT travel: the stop token and
-/// progress callback (live objects), and the SessionCacheOptions block (a
-/// remote client must not dictate the server's storage paths or backend
-/// policy — the owner of the session picks those). Deserialization
+/// Process-local fields deliberately do NOT travel: the stop token, the
+/// progress callback and the partition executor (live objects), and the
+/// SessionCacheOptions block (a remote client must not dictate the
+/// server's storage paths or backend policy — the owner of the session
+/// picks those). This single wire form is what both the vseld open-session
+/// verb and the fleet dispatch-partition verb carry. Deserialization
 /// validates enum ranges, so a hostile frame cannot smuggle an
 /// out-of-range strategy or entailment mode into a switch.
-void SerializeOptions(const SelectorOptions& options, ByteWriter* w);
-Result<SelectorOptions> DeserializeOptions(ByteReader* r);
+void SerializeTuningConfig(const TuningConfig& config, ByteWriter* w);
+Result<TuningConfig> DeserializeTuningConfig(ByteReader* r);
+
+/// Back-compat aliases from before the TuningConfig consolidation.
+inline void SerializeOptions(const SelectorOptions& options, ByteWriter* w) {
+  SerializeTuningConfig(options, w);
+}
+inline Result<SelectorOptions> DeserializeOptions(ByteReader* r) {
+  return DeserializeTuningConfig(r);
+}
 
 // ---- Top-level blobs -------------------------------------------------------
 

@@ -28,9 +28,7 @@ TieredCacheBackend::TieredCacheBackend(
       });
 }
 
-std::optional<PartitionCacheBackend::Fetched> TieredCacheBackend::Get(
-    const std::string& key, bool* io_failed) {
-  if (io_failed != nullptr) *io_failed = false;
+Status TieredCacheBackend::Get(const std::string& key, Fetched* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = front_.find(key);
@@ -40,34 +38,35 @@ std::optional<PartitionCacheBackend::Fetched> TieredCacheBackend::Get(
       ++front_hits_;
       // Cheap copy: shared COW views / rewritings, like the in-memory
       // backend. needs_rehydration travels as cached (see the header).
-      return it->second.fetched;
+      *out = it->second.fetched;
+      return Status::OK();
     }
   }
   // Back I/O outside the lock: a slow directory or network tier must not
   // serialize every front hit behind it.
-  bool back_io_failed = false;
-  std::optional<Fetched> fetched = back_->Get(key, &back_io_failed);
-  if (io_failed != nullptr) *io_failed = back_io_failed;
+  Fetched fetched;
+  Status back_status = back_->Get(key, &fetched);
   std::lock_guard<std::mutex> lock(mu_);
-  if (!fetched.has_value()) {
+  if (!back_status.ok()) {
     ++counters_.misses;
-    if (back_io_failed) ++counters_.io_failures;
-    return std::nullopt;
+    if (back_status.code() != StatusCode::kNotFound) ++counters_.io_failures;
+    return back_status;
   }
   ++counters_.hits;
   if (front_capacity_ > 0) {
     ++back_promotions_;
     FrontEntry& e = front_[key];
-    e.fetched = *fetched;
+    e.fetched = fetched;
     e.last_used = ++use_counter_;
     EvictToCapacityLocked(front_capacity_);
   }
-  return fetched;
+  *out = std::move(fetched);
+  return Status::OK();
 }
 
-bool TieredCacheBackend::Put(const std::string& key,
-                             const pipeline::PartitionSearchResult& result) {
-  bool back_ok = back_->Put(key, result);
+Status TieredCacheBackend::Put(const std::string& key,
+                               const pipeline::PartitionSearchResult& result) {
+  Status back_status = back_->Put(key, result);
   std::lock_guard<std::mutex> lock(mu_);
   if (front_capacity_ > 0) {
     // The live entry needs no rehydration — it never left the process.
@@ -77,22 +76,22 @@ bool TieredCacheBackend::Put(const std::string& key,
     e.last_used = ++use_counter_;
     EvictToCapacityLocked(front_capacity_);
   }
-  if (back_ok) {
+  if (back_status.ok()) {
     ++counters_.stored;
   } else {
     // The front still serves the entry this process's lifetime; the
     // failure only cost durability.
     ++counters_.store_failures;
   }
-  return back_ok;
+  return back_status;
 }
 
-void TieredCacheBackend::Invalidate(const std::string& key) {
+Status TieredCacheBackend::Invalidate(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     front_.erase(key);
   }
-  back_->Invalidate(key);
+  return back_->Invalidate(key);
 }
 
 void TieredCacheBackend::Clear() {

@@ -52,11 +52,10 @@ class TieredCacheBackend : public PartitionCacheBackend {
   explicit TieredCacheBackend(std::shared_ptr<PartitionCacheBackend> back,
                               size_t front_capacity = 256);
 
-  std::optional<Fetched> Get(const std::string& key,
-                             bool* io_failed = nullptr) override;
-  bool Put(const std::string& key,
-           const pipeline::PartitionSearchResult& result) override;
-  void Invalidate(const std::string& key) override;
+  Status Get(const std::string& key, Fetched* out) override;
+  Status Put(const std::string& key,
+             const pipeline::PartitionSearchResult& result) override;
+  Status Invalidate(const std::string& key) override;
   void Clear() override;
   /// The back tier's entry count (the authoritative, durable population;
   /// the front is a subset plus at most the entries whose back Put failed).

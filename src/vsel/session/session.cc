@@ -11,34 +11,10 @@
 #include "common/logging.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
+#include "vsel/pipeline/executor.h"
 #include "vsel/robust/retrying_cache_backend.h"
 
 namespace rdfviews::vsel {
-
-namespace {
-
-/// Validates and re-costs a backend entry that crossed a process boundary.
-/// The entry is structurally sound (the deserializer proved that), but its
-/// *costs* were computed by another process against its own statistics and
-/// weights: re-costing through the live model both registers every view in
-/// the session's ViewInterner (so later searches reuse the estimates) and
-/// asserts the persisted cost still holds — a drifted store or weight
-/// configuration that slipped past the identity tag fails here and the
-/// entry is discarded, leaving the partition dirty. Returns true when the
-/// outcome is safe to splice into this session's pipeline.
-bool RehydrateOutcome(pipeline::PartitionSearchResult* outcome,
-                      size_t group_size, const CostModel& model) {
-  // Only completed searches are ever cached; an in-flight flag combination
-  // in a file means it was not written by us.
-  if (!outcome->search.stats.completed) return false;
-  // The merge stage requires exactly one rewriting per member query.
-  if (outcome->search.best.rewritings().size() != group_size) return false;
-  const double persisted = outcome->search.stats.best_cost;
-  const double live = model.StateCost(outcome->search.best);
-  return std::abs(live - persisted) <= 1e-9 * (1.0 + std::abs(persisted));
-}
-
-}  // namespace
 
 // ---- TuningHandle ----------------------------------------------------------
 
@@ -84,6 +60,7 @@ TuningSession::TuningSession(
       options_(options),
       cache_backend_(std::move(cache_backend)) {
   RDFVIEWS_CHECK(store_ != nullptr && store_->built());
+  config_status_ = options_.Validate();
   const serialize::CacheIdentity identity =
       serialize::ComputeCacheIdentity(*store_, options_);
   if (cache_backend_ == nullptr) {
@@ -189,6 +166,7 @@ Result<Recommendation> TuningSession::DoUpdate(
     const std::vector<cq::ConjunctiveQuery>& add_queries,
     const std::vector<std::string>& remove_queries,
     const StopToken* stop_override, const ProgressFn& progress_override) {
+  if (!config_status_.ok()) return config_status_;
   // One tracer per update, armed through the thread-local context so every
   // stage below — and every cache access, serialize round-trip, partition
   // attempt, and backoff sleep inside them — lands in one tree rooted at
@@ -278,12 +256,17 @@ Result<Recommendation> TuningSession::DoUpdate(
   // very first update.
   const bool accept_cached = calibrated_ || !options_.auto_calibrate_cm;
   for (size_t p = 0; accept_cached && p < plan.groups.size(); ++p) {
-    std::optional<serialize::PartitionCacheBackend::Fetched> hit = [&] {
+    serialize::PartitionCacheBackend::Fetched hit;
+    const bool have_hit = [&] {
       telemetry::TraceSpan span("cache.get");
       span.Annotate("partition", static_cast<uint64_t>(p));
       const auto t0 = std::chrono::steady_clock::now();
-      auto fetched = cache_backend_->Get(cache_key_prefix_ +
-                                         plan.group_keys[p]);
+      // Any non-OK — genuine absence or a storage failure the backend
+      // stack could not absorb — leaves the partition dirty; the session
+      // can always fall back to searching.
+      Status fetched = cache_backend_->Get(cache_key_prefix_ +
+                                               plan.group_keys[p],
+                                           &hit);
       static telemetry::Histogram* const latency =
           telemetry::MetricsRegistry::Default()->GetHistogram(
               "vsel_cache_op_ns", "op=\"get\"");
@@ -291,10 +274,10 @@ Result<Recommendation> TuningSession::DoUpdate(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count()));
-      span.Annotate("hit", fetched.has_value() ? "1" : "0");
-      return fetched;
+      span.Annotate("hit", fetched.ok() ? "1" : "0");
+      return fetched.ok();
     }();
-    if (!hit.has_value()) continue;
+    if (!have_hit) continue;
     // The re-cost check always runs for entries that crossed a process
     // boundary, and also for in-memory entries when the session's
     // *configured* calibration is on (opts carries the frozen effective
@@ -303,18 +286,20 @@ Result<Recommendation> TuningSession::DoUpdate(
     // identical identity salt, different first workload — which only the
     // cost assertion can tell apart. (For this session's own entries the
     // check is nearly free: the state's memoized cost cache is valid.)
-    if ((hit->needs_rehydration || options_.auto_calibrate_cm) &&
-        !RehydrateOutcome(&hit->result, plan.groups[p].size(),
-                          *cost_model_)) {
+    if ((hit.needs_rehydration || options_.auto_calibrate_cm) &&
+        !pipeline::RehydratePartitionOutcome(&hit.result,
+                                             plan.groups[p].size(),
+                                             *cost_model_)) {
       // Drop any decorator-tier copy of the poisoned entry first, so a
       // caching front (TieredCacheBackend) cannot keep serving it.
-      cache_backend_->Invalidate(cache_key_prefix_ + plan.group_keys[p]);
+      (void)cache_backend_->Invalidate(cache_key_prefix_ +
+                                       plan.group_keys[p]);
       cache_backend_->NoteRehydrationRejected();
       continue;
     }
     fetched[p] = std::make_unique<pipeline::PartitionSearchResult>(
-        std::move(hit->result));
-    preseeded[p] = {fetched[p].get(), hit->needs_rehydration};
+        std::move(hit.result));
+    preseeded[p] = {fetched[p].get(), hit.needs_rehydration};
   }
 
   // 5. Search the dirty partitions (cache hits are copied through). A
@@ -365,7 +350,8 @@ Result<Recommendation> TuningSession::DoUpdate(
   for (const auto& [key, result] : cacheable) {
     telemetry::TraceSpan span("cache.put");
     const auto t0 = std::chrono::steady_clock::now();
-    cache_backend_->Put(key, result);
+    // A failed Put is a future miss, never an update failure.
+    (void)cache_backend_->Put(key, result);
     static telemetry::Histogram* const latency =
         telemetry::MetricsRegistry::Default()->GetHistogram(
             "vsel_cache_op_ns", "op=\"put\"");

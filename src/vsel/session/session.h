@@ -253,6 +253,10 @@ class TuningSession {
   const rdf::Dictionary* dict_;
   const rdf::Schema* schema_;
   SelectorOptions options_;
+  /// TuningConfig::Validate() verdict captured at construction; a rejected
+  /// config fails every Update with the field-naming diagnostic (the
+  /// constructor itself cannot return a Status).
+  Status config_status_;
   std::vector<cq::ConjunctiveQuery> workload_;
   pipeline::SessionCaches caches_;
   std::unique_ptr<CostModel> cost_model_;

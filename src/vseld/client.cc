@@ -38,6 +38,39 @@ Result<Response> Client::RoundTrip(const Request& request) {
 Status Client::Ping() {
   Result<Response> resp = RoundTrip(NewRequest(Verb::kPing, 0));
   if (!resp.ok()) return resp.status();
+  RDFVIEWS_RETURN_IF_ERROR(resp->ToStatus());
+  // Version negotiation: an old daemon would otherwise surface as a
+  // confusing ParseError on the first real verb.
+  if (resp->protocol_version != kProtocolVersion) {
+    return Status::Unsupported(
+        "vseld protocol version mismatch: daemon speaks v" +
+        std::to_string(resp->protocol_version) + ", this client speaks v" +
+        std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::CacheGet(
+    const std::string& key, const vsel::serialize::CacheIdentity& identity) {
+  Request req = NewRequest(Verb::kCacheGet, 0);
+  req.cache_key = key;
+  req.identity_store_tag = identity.store_tag;
+  req.identity_config_tag = identity.config_tag;
+  Result<Response> resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (!resp->ok()) return resp->ToStatus();
+  return std::move(resp->blob);
+}
+
+Status Client::CachePut(const std::string& key, std::string blob,
+                        const vsel::serialize::CacheIdentity& identity) {
+  Request req = NewRequest(Verb::kCachePut, 0);
+  req.cache_key = key;
+  req.blob = std::move(blob);
+  req.identity_store_tag = identity.store_tag;
+  req.identity_config_tag = identity.config_tag;
+  Result<Response> resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
   return resp->ToStatus();
 }
 

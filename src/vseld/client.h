@@ -29,7 +29,19 @@ class Client {
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
+  /// Liveness plus protocol negotiation: the daemon answers with its
+  /// protocol version and a mismatch fails here with Unsupported instead
+  /// of surfacing later as a ParseError on a real verb.
   Status Ping();
+
+  /// Remote partition cache verbs (what RemoteCacheBackend speaks): the
+  /// daemon's shared per-identity cache, addressed by salted key. CacheGet
+  /// returns the sealed partition-outcome bytes or NotFound; CachePut
+  /// stores sealed bytes the daemon re-validates under `identity`.
+  Result<std::string> CacheGet(const std::string& key,
+                               const vsel::serialize::CacheIdentity& identity);
+  Status CachePut(const std::string& key, std::string blob,
+                  const vsel::serialize::CacheIdentity& identity);
 
   /// Opens a session over the daemon's store tagged `store_tag`; only the
   /// wire subset of `options` travels (see serialize::SerializeOptions),

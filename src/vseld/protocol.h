@@ -48,7 +48,13 @@
 namespace rdfviews::vseld {
 
 inline constexpr uint32_t kFrameMagic = 0x444C5356;  // "VSLD"
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Version 2 added the fleet verbs (register-worker, dispatch-partition,
+/// partition-result, worker-heartbeat), the remote cache verbs, and the
+/// ping response's protocol_version echo. Both sides reject other
+/// versions, and `ping` negotiates explicitly: the server answers with its
+/// version and Client::Ping fails fast on a mismatch instead of letting a
+/// later verb die with a confusing ParseError.
+inline constexpr uint32_t kProtocolVersion = 2;
 /// Hard cap on one frame's payload; a length header beyond it is rejected
 /// before any allocation.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
@@ -67,6 +73,18 @@ enum class Verb : uint8_t {
   kTelemetrySnapshot = 8,
   kCloseSession = 9,
   kShutdown = 10,
+  // Fleet verbs. A worker registers with kRegisterWorker; after the ack
+  // the same connection inverts into a dispatch stream: the daemon writes
+  // kDispatchPartition frames (encoded as Requests) and the worker answers
+  // with kPartitionResult / kWorkerHeartbeat frames.
+  kRegisterWorker = 11,
+  kDispatchPartition = 12,
+  kPartitionResult = 13,
+  kWorkerHeartbeat = 14,
+  // Remote partition cache: a worker reads/writes the daemon's shared
+  // per-identity cache through these instead of a local directory.
+  kCacheGet = 15,
+  kCachePut = 16,
   // Server → client:
   kResponse = 32,
   kProgressEvent = 33,
@@ -108,6 +126,24 @@ struct Request {
 
   // kTelemetrySnapshot:
   TelemetryFormat telemetry_format = TelemetryFormat::kJson;
+
+  // Fleet verbs. kDispatchPartition: `unit_id` names the work unit and
+  // `blob` carries the fleet work-unit encoding (canonical key, wire
+  // TuningConfig, start state, statistics snapshot, identity).
+  // kPartitionResult: the unit echoed back with either a serialized
+  // partition outcome in `blob` (result_code == kOk) or the worker-side
+  // failure in (result_code, result_message). kWorkerHeartbeat: liveness
+  // for the in-flight `unit_id`.
+  uint64_t unit_id = 0;
+  StatusCode result_code = StatusCode::kOk;
+  std::string result_message;
+
+  // kCacheGet / kCachePut: the salted cache key, the sealed entry bytes
+  // (put), and the identity the entry must decode under.
+  std::string cache_key;
+  std::string blob;
+  uint64_t identity_store_tag = 0;
+  uint64_t identity_config_tag = 0;
 };
 
 /// One decoded server frame: either the response to a request (kind
@@ -137,6 +173,10 @@ struct Response {
   vsel::ProgressEvent event;
   /// Events the session's bounded queue dropped before this one.
   uint64_t events_dropped = 0;
+
+  /// kPing: the server's kProtocolVersion, echoed so the client can reject
+  /// a mismatched daemon with a clear Status up front.
+  uint32_t protocol_version = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const;

@@ -1,0 +1,86 @@
+#include "vseld/remote_cache.h"
+
+#include <utility>
+
+namespace rdfviews::vseld {
+
+Result<std::unique_ptr<RemoteCacheBackend>> RemoteCacheBackend::Connect(
+    const std::string& socket_path, std::string client_id,
+    const vsel::serialize::CacheIdentity& identity) {
+  auto client = Client::Connect(socket_path, std::move(client_id));
+  if (!client.ok()) return client.status();
+  Status ping = client->Ping();
+  if (!ping.ok()) return ping;
+  return std::unique_ptr<RemoteCacheBackend>(
+      new RemoteCacheBackend(std::move(*client), identity));
+}
+
+RemoteCacheBackend::RemoteCacheBackend(Client client,
+                                       vsel::serialize::CacheIdentity identity)
+    : client_(std::move(client)), identity_(identity) {
+  metrics_ = telemetry::MetricsRegistry::Default()->RegisterCollector(
+      [this](std::vector<telemetry::MetricSample>* out) {
+        vsel::serialize::AppendCacheCounterSamples(counters(), "remote", out);
+      });
+}
+
+Status RemoteCacheBackend::Get(const std::string& key, Fetched* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto blob = client_.CacheGet(key, identity_);
+  if (!blob.ok()) {
+    if (blob.status().code() == StatusCode::kNotFound) {
+      ++counters_.misses;
+      return blob.status();
+    }
+    // Transport or daemon-side storage failure: the retryable kind.
+    ++counters_.misses;
+    ++counters_.io_failures;
+    return blob.status();
+  }
+  auto outcome =
+      vsel::serialize::DeserializePartitionOutcome(*blob, key, identity_);
+  if (!outcome.ok()) {
+    // The daemon served bytes this identity cannot decode: unusable entry,
+    // by contract a counted miss, never an error.
+    ++counters_.misses;
+    ++counters_.rejected;
+    return Status::NotFound("remote cache entry unusable: " +
+                            outcome.status().message());
+  }
+  out->result = std::move(*outcome);
+  out->needs_rehydration = true;
+  ++counters_.hits;
+  return Status::OK();
+}
+
+Status RemoteCacheBackend::Put(
+    const std::string& key,
+    const vsel::pipeline::PartitionSearchResult& result) {
+  std::string blob =
+      vsel::serialize::SerializePartitionOutcome(key, result, identity_);
+  std::unique_lock<std::mutex> lock(mu_);
+  Status st = client_.CachePut(key, std::move(blob), identity_);
+  if (!st.ok()) {
+    ++counters_.store_failures;
+    return st;
+  }
+  ++counters_.stored;
+  return Status::OK();
+}
+
+Status RemoteCacheBackend::Invalidate(const std::string& key) {
+  (void)key;
+  return Status::Unsupported("remote cache has no invalidate verb");
+}
+
+void RemoteCacheBackend::NoteRehydrationRejected() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++counters_.rehydration_rejected;
+}
+
+RemoteCacheBackend::Counters RemoteCacheBackend::counters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace rdfviews::vseld

@@ -1,0 +1,60 @@
+// A PartitionCacheBackend that lives on the other end of a vseld
+// connection: Get/Put speak the kCacheGet / kCachePut verbs against the
+// daemon's shared per-identity cache, so a fleet of tuning nodes (or
+// remote workers) reuse each other's completed searches without mounting
+// a shared directory.
+//
+// Keys are opaque to the wire — the session hands this backend the same
+// identity-salted keys it hands DirCacheBackend, and the daemon stores
+// them in its own backend unchanged, so remote and daemon-local sessions
+// address one key space. All failure handling follows the backend
+// contract: a miss (or an entry the daemon's cache rejected) is NotFound,
+// a severed or latched connection is a storage failure a
+// RetryingCacheBackend decorator may retry, and every served entry is
+// marked needs_rehydration (it crossed a process boundary twice).
+#ifndef RDFVIEWS_VSELD_REMOTE_CACHE_H_
+#define RDFVIEWS_VSELD_REMOTE_CACHE_H_
+
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "vsel/serialize/partition_cache.h"
+#include "vseld/client.h"
+
+namespace rdfviews::vseld {
+
+class RemoteCacheBackend : public vsel::serialize::PartitionCacheBackend {
+ public:
+  /// Connects (and pings — protocol negotiation) a dedicated client
+  /// connection for cache traffic.
+  static Result<std::unique_ptr<RemoteCacheBackend>> Connect(
+      const std::string& socket_path, std::string client_id,
+      const vsel::serialize::CacheIdentity& identity);
+
+  Status Get(const std::string& key, Fetched* out) override;
+  Status Put(const std::string& key,
+             const vsel::pipeline::PartitionSearchResult& result) override;
+  /// The wire has no invalidate verb; a poisoned entry degrades to a
+  /// rehydration rejection per session until the daemon's own backend
+  /// drops it. Reported as unsupported so callers don't assume the drop.
+  Status Invalidate(const std::string& key) override;
+  void Clear() override {}  // remote capacity is the daemon's concern
+  size_t Size() const override { return 0; }
+  void NoteRehydrationRejected() override;
+  Counters counters() const override;
+
+ private:
+  RemoteCacheBackend(Client client, vsel::serialize::CacheIdentity identity);
+
+  mutable std::mutex mu_;  // Client is single-exchange; serialise callers
+  Client client_;
+  vsel::serialize::CacheIdentity identity_;
+  Counters counters_;
+  // Last member: unregisters before counters_/mu_ die.
+  telemetry::CollectorHandle metrics_;
+};
+
+}  // namespace rdfviews::vseld
+
+#endif  // RDFVIEWS_VSELD_REMOTE_CACHE_H_

@@ -371,37 +371,33 @@ TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAndProbeOutcomeDecides) {
 // ---- RetryingCacheBackend over a scripted delegate -------------------------
 
 /// A delegate whose next N Gets / Puts fail on demand: Get failures are
-/// storage failures (io_failed), so the decorator's retry logic engages;
-/// a genuine miss (no scripted failure, no entry) is io-clean.
+/// storage failures (non-NotFound Status), so the decorator's retry logic
+/// engages; a genuine miss (no scripted failure, no entry) is NotFound.
 class FlakyBackend : public serialize::PartitionCacheBackend {
  public:
-  std::optional<Fetched> Get(const std::string& key,
-                             bool* io_failed = nullptr) override {
+  Status Get(const std::string& key, Fetched* out) override {
     (void)key;
     ++get_calls;
-    if (io_failed != nullptr) *io_failed = false;
     if (get_failures_remaining > 0) {
       --get_failures_remaining;
-      if (io_failed != nullptr) *io_failed = true;
-      return std::nullopt;
+      return Status::Internal("scripted storage failure");
     }
-    if (!has_entry) return std::nullopt;
-    Fetched fetched;
-    fetched.needs_rehydration = false;
-    return fetched;
+    if (!has_entry) return Status::NotFound("no entry");
+    out->needs_rehydration = false;
+    return Status::OK();
   }
 
-  bool Put(const std::string& key,
-           const pipeline::PartitionSearchResult& result) override {
+  Status Put(const std::string& key,
+             const pipeline::PartitionSearchResult& result) override {
     (void)key;
     (void)result;
     ++put_calls;
     if (put_failures_remaining > 0) {
       --put_failures_remaining;
-      return false;
+      return Status::Internal("scripted storage failure");
     }
     has_entry = true;
-    return true;
+    return Status::OK();
   }
 
   void Clear() override { has_entry = false; }
@@ -433,7 +429,8 @@ TEST(RetryingCacheBackendTest, TransientGetFailureIsRetriedToSuccess) {
   flaky.has_entry = true;
   flaky.get_failures_remaining = 2;
   RetryingCacheBackend robust(&flaky, FastRetryOptions(3));
-  EXPECT_TRUE(robust.Get("k").has_value());
+  serialize::PartitionCacheBackend::Fetched fetched;
+  EXPECT_TRUE(robust.Get("k", &fetched).ok());
   EXPECT_EQ(flaky.get_calls, 3u);
   EXPECT_EQ(robust.counters().retries, 2u);
   EXPECT_EQ(robust.breaker().state(), CircuitBreaker::State::kClosed);
@@ -442,18 +439,30 @@ TEST(RetryingCacheBackendTest, TransientGetFailureIsRetriedToSuccess) {
 TEST(RetryingCacheBackendTest, GenuineMissIsNotRetried) {
   FlakyBackend flaky;
   RetryingCacheBackend robust(&flaky, FastRetryOptions(3));
-  bool io_failed = true;
-  EXPECT_FALSE(robust.Get("k", &io_failed).has_value());
-  EXPECT_FALSE(io_failed);
+  serialize::PartitionCacheBackend::Fetched fetched;
+  // NotFound — not a storage-failure code — comes straight back.
+  EXPECT_EQ(robust.Get("k", &fetched).code(), StatusCode::kNotFound);
   EXPECT_EQ(flaky.get_calls, 1u);
   EXPECT_EQ(robust.counters().retries, 0u);
+}
+
+TEST(RetryingCacheBackendTest, ExhaustedGetReportsTheStorageFailure) {
+  FlakyBackend flaky;
+  flaky.has_entry = true;
+  flaky.get_failures_remaining = 1000;
+  RetryingCacheBackend robust(&flaky, FastRetryOptions(2));
+  serialize::PartitionCacheBackend::Fetched fetched;
+  Status s = robust.Get("k", &fetched);
+  // The delegate's storage-failure Status surfaces, not a NotFound mask.
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(flaky.get_calls, 2u);
 }
 
 TEST(RetryingCacheBackendTest, TransientPutFailureIsRetriedToSuccess) {
   FlakyBackend flaky;
   flaky.put_failures_remaining = 1;
   RetryingCacheBackend robust(&flaky, FastRetryOptions(3));
-  EXPECT_TRUE(robust.Put("k", pipeline::PartitionSearchResult{}));
+  EXPECT_TRUE(robust.Put("k", pipeline::PartitionSearchResult{}).ok());
   EXPECT_EQ(flaky.put_calls, 2u);
   EXPECT_EQ(robust.counters().retries, 1u);
   EXPECT_TRUE(flaky.has_entry);
@@ -469,15 +478,17 @@ TEST(RetryingCacheBackendTest, ExhaustedOperationsOpenTheBreaker) {
   RetryingCacheBackend robust(&flaky, options);
 
   // Two exhausted Gets (2 attempts each) trip the breaker...
-  EXPECT_FALSE(robust.Get("a").has_value());
-  EXPECT_FALSE(robust.Get("b").has_value());
+  serialize::PartitionCacheBackend::Fetched fetched;
+  EXPECT_FALSE(robust.Get("a", &fetched).ok());
+  EXPECT_FALSE(robust.Get("b", &fetched).ok());
   EXPECT_EQ(flaky.get_calls, 4u);
   EXPECT_EQ(robust.breaker().state(), CircuitBreaker::State::kOpen);
 
   // ...after which operations are skipped outright: the delegate is not
-  // even called, and a skipped Get is just a counted miss.
-  EXPECT_FALSE(robust.Get("c").has_value());
-  EXPECT_FALSE(robust.Put("c", pipeline::PartitionSearchResult{}));
+  // even called, and a skipped Get reports NotFound — to the session, just
+  // a counted miss.
+  EXPECT_EQ(robust.Get("c", &fetched).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(robust.Put("c", pipeline::PartitionSearchResult{}).ok());
   EXPECT_EQ(flaky.get_calls, 4u);
   EXPECT_EQ(flaky.put_calls, 0u);
   EXPECT_GE(robust.counters().breaker_skips, 2u);
@@ -492,7 +503,8 @@ TEST(RetryingCacheBackendTest, MaintenanceCallsBypassTheBreaker) {
   options.breaker.open_sec = 60.0;
   RetryingCacheBackend robust(&flaky, options);
   flaky.get_failures_remaining = 1;
-  EXPECT_FALSE(robust.Get("a").has_value());
+  serialize::PartitionCacheBackend::Fetched fetched;
+  EXPECT_FALSE(robust.Get("a", &fetched).ok());
   ASSERT_EQ(robust.breaker().state(), CircuitBreaker::State::kOpen);
 
   // Clear / Size / NoteRehydrationRejected must still reach the delegate.
@@ -511,19 +523,16 @@ TEST_F(DirCacheFaultTest, GetDistinguishesIoFailureFromGenuineMiss) {
   const std::string dir = TempCacheDir("robust_io_signal");
   serialize::DirCacheBackend backend(dir, serialize::CacheIdentity{1, 2});
 
-  // Absent entry, healthy storage: a plain miss, io-clean.
-  bool io_failed = true;
-  EXPECT_FALSE(backend.Get("absent", &io_failed).has_value());
-  EXPECT_FALSE(io_failed);
+  // Absent entry, healthy storage: a plain NotFound miss.
+  serialize::PartitionCacheBackend::Fetched fetched;
+  EXPECT_EQ(backend.Get("absent", &fetched).code(), StatusCode::kNotFound);
   EXPECT_EQ(backend.counters().io_failures, 0u);
 
-  // An injected open failure is a miss too — but flagged as the storage
-  // layer's fault, which is exactly what a retrying decorator keys on.
+  // An injected open failure surfaces as a storage-layer Status code —
+  // exactly what a retrying decorator keys on.
   fault::SiteSpec spec;
   fault::Arm(7, {{fault::sites::kDirCacheGetOpen, spec}});
-  io_failed = false;
-  EXPECT_FALSE(backend.Get("absent", &io_failed).has_value());
-  EXPECT_TRUE(io_failed);
+  EXPECT_EQ(backend.Get("absent", &fetched).code(), StatusCode::kInternal);
   EXPECT_EQ(backend.counters().io_failures, 1u);
 }
 
@@ -532,11 +541,11 @@ TEST_F(DirCacheFaultTest, PutFailuresAreReportedNotThrown) {
   serialize::DirCacheBackend backend(dir, serialize::CacheIdentity{1, 2});
   fault::SiteSpec spec;
   fault::Arm(7, {{fault::sites::kDirCachePutWrite, spec}});
-  EXPECT_FALSE(backend.Put("k", pipeline::PartitionSearchResult{}));
+  EXPECT_FALSE(backend.Put("k", pipeline::PartitionSearchResult{}).ok());
   EXPECT_GE(backend.counters().store_failures, 1u);
 
   fault::Arm(7, {{fault::sites::kDirCachePutRename, spec}});
-  EXPECT_FALSE(backend.Put("k", pipeline::PartitionSearchResult{}));
+  EXPECT_FALSE(backend.Put("k", pipeline::PartitionSearchResult{}).ok());
   // A failed rename must not leak its temp file.
   for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
     EXPECT_NE(e.path().extension(), ".tmp") << e.path();

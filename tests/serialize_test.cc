@@ -586,13 +586,14 @@ TEST(InMemoryCacheBackendTest, LruTrimEvictsOldestFirst) {
   backend.Put("b", sample);
   backend.Put("c", sample);
   EXPECT_EQ(backend.Size(), 3u);
+  PartitionCacheBackend::Fetched fetched;
   // Touch "a" so "b" becomes the least recently used.
-  EXPECT_TRUE(backend.Get("a").has_value());
+  EXPECT_TRUE(backend.Get("a", &fetched).ok());
   backend.Trim(2);
   EXPECT_EQ(backend.Size(), 2u);
-  EXPECT_TRUE(backend.Get("a").has_value());
-  EXPECT_FALSE(backend.Get("b").has_value());
-  EXPECT_TRUE(backend.Get("c").has_value());
+  EXPECT_TRUE(backend.Get("a", &fetched).ok());
+  EXPECT_EQ(backend.Get("b", &fetched).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(backend.Get("c", &fetched).ok());
   backend.Clear();
   EXPECT_EQ(backend.Size(), 0u);
 }
@@ -607,13 +608,13 @@ TEST(DirCacheBackendTest, PutGetRoundTripAndBestEffortMisses) {
   DirCacheBackend backend(dir, identity);
 
   const std::string& key = searched.plan.group_keys[0];
-  EXPECT_FALSE(backend.Get(key).has_value());
-  backend.Put(key, searched.results[0]);
+  PartitionCacheBackend::Fetched hit;
+  EXPECT_EQ(backend.Get(key, &hit).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(backend.Put(key, searched.results[0]).ok());
   EXPECT_EQ(backend.Size(), 1u);
-  std::optional<PartitionCacheBackend::Fetched> hit = backend.Get(key);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_TRUE(hit->needs_rehydration);
-  EXPECT_EQ(hit->result.search.best.Signature(),
+  ASSERT_TRUE(backend.Get(key, &hit).ok());
+  EXPECT_TRUE(hit.needs_rehydration);
+  EXPECT_EQ(hit.result.search.best.Signature(),
             searched.results[0].search.best.Signature());
 
   // A foreign-identity backend on the same directory sees only misses —
@@ -622,7 +623,7 @@ TEST(DirCacheBackendTest, PutGetRoundTripAndBestEffortMisses) {
   CacheIdentity other = identity;
   other.config_tag ^= 99;
   DirCacheBackend foreign(dir, other);
-  EXPECT_FALSE(foreign.Get(key).has_value());
+  EXPECT_EQ(foreign.Get(key, &hit).code(), StatusCode::kNotFound);
   EXPECT_EQ(foreign.counters().rejected, 0u);
 
   // Corrupting the entry file degrades it to a miss, not an error.
@@ -638,7 +639,8 @@ TEST(DirCacheBackendTest, PutGetRoundTripAndBestEffortMisses) {
     std::fputc(0x7f, f);
     std::fclose(f);
   }
-  EXPECT_FALSE(backend.Get(key).has_value());
+  // Corrupt entries report NotFound (re-searchable), never a storage error.
+  EXPECT_EQ(backend.Get(key, &hit).code(), StatusCode::kNotFound);
   EXPECT_GE(backend.counters().rejected, 1u);
 
   // Differently configured jobs coexist in one root: the foreign Put
@@ -646,8 +648,8 @@ TEST(DirCacheBackendTest, PutGetRoundTripAndBestEffortMisses) {
   backend.Put(key, searched.results[0]);
   foreign.Put(key, searched.results[0]);
   EXPECT_EQ(backend.Size(), 2u);
-  ASSERT_TRUE(backend.Get(key).has_value());
-  ASSERT_TRUE(foreign.Get(key).has_value());
+  ASSERT_TRUE(backend.Get(key, &hit).ok());
+  ASSERT_TRUE(foreign.Get(key, &hit).ok());
 
   // Clear removes the entry files (all identities).
   backend.Clear();
@@ -903,11 +905,11 @@ TEST(SerializeParallelTest, ConcurrentPutGetOnOneBackend) {
         size_t p = static_cast<size_t>((t + round) % 2);
         const std::string& key = searched.plan.group_keys[p];
         backend.Put(key, searched.results[p]);
-        std::optional<PartitionCacheBackend::Fetched> hit = backend.Get(key);
+        PartitionCacheBackend::Fetched hit;
         // A racing rename may momentarily hide the file; what is never
         // allowed is serving bytes that decode to the wrong outcome.
-        if (hit.has_value() &&
-            hit->result.search.best.Signature() !=
+        if (backend.Get(key, &hit).ok() &&
+            hit.result.search.best.Signature() !=
                 searched.results[p].search.best.Signature()) {
           bad.fetch_add(1);
         }

@@ -31,6 +31,11 @@ std::string TempCacheDir(const std::string& name) {
   return dir.string();
 }
 
+bool Has(PartitionCacheBackend& backend, const std::string& key) {
+  PartitionCacheBackend::Fetched fetched;
+  return backend.Get(key, &fetched).ok();
+}
+
 /// Three constant-disjoint query families and the searched partition
 /// results to feed the cache with.
 struct Fixture {
@@ -75,19 +80,19 @@ TEST(TieredCacheBackendTest, PutServesFromFrontWithoutRehydration) {
   TieredCacheBackend tiered(dir_backend, 8);
 
   const std::string& key = fx.plan.group_keys[0];
-  EXPECT_FALSE(tiered.Get(key).has_value());
-  EXPECT_TRUE(tiered.Put(key, fx.results[0]));
+  EXPECT_FALSE(Has(tiered, key));
+  EXPECT_TRUE(tiered.Put(key, fx.results[0]).ok());
   // Write-through: the back holds the durable copy...
   EXPECT_EQ(back->Size(), 1u);
   // ...and the front serves the live object, no rehydration required.
-  std::optional<PartitionCacheBackend::Fetched> hit = tiered.Get(key);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_FALSE(hit->needs_rehydration);
-  EXPECT_EQ(hit->result.search.best.Signature(),
+  PartitionCacheBackend::Fetched hit;
+  ASSERT_TRUE(tiered.Get(key, &hit).ok());
+  EXPECT_FALSE(hit.needs_rehydration);
+  EXPECT_EQ(hit.result.search.best.Signature(),
             fx.results[0].search.best.Signature());
   EXPECT_EQ(tiered.FrontHits(), 1u);
   const uint64_t back_hits_before = back->counters().hits;
-  EXPECT_TRUE(tiered.Get(key).has_value());
+  EXPECT_TRUE(Has(tiered, key));
   EXPECT_EQ(back->counters().hits, back_hits_before);  // never reached
 }
 
@@ -96,19 +101,19 @@ TEST(TieredCacheBackendTest, BackHitIsPromotedButKeepsRehydrationFlag) {
   const std::string dir = TempCacheDir("tiered_promote");
   const std::string& key = fx.plan.group_keys[0];
   // Seed the back tier out of band, as a previous process would have.
-  DirCacheBackend(dir, fx.identity).Put(key, fx.results[0]);
+  EXPECT_TRUE(DirCacheBackend(dir, fx.identity).Put(key, fx.results[0]).ok());
 
   TieredCacheBackend tiered(
       std::make_shared<DirCacheBackend>(dir, fx.identity), 8);
-  std::optional<PartitionCacheBackend::Fetched> first = tiered.Get(key);
-  ASSERT_TRUE(first.has_value());
+  PartitionCacheBackend::Fetched first;
+  ASSERT_TRUE(tiered.Get(key, &first).ok());
   // Crossed a process boundary: the session must still re-validate it.
-  EXPECT_TRUE(first->needs_rehydration);
+  EXPECT_TRUE(first.needs_rehydration);
   EXPECT_EQ(tiered.BackPromotions(), 1u);
   // The promoted copy serves repeats from memory — and stays flagged.
-  std::optional<PartitionCacheBackend::Fetched> second = tiered.Get(key);
-  ASSERT_TRUE(second.has_value());
-  EXPECT_TRUE(second->needs_rehydration);
+  PartitionCacheBackend::Fetched second;
+  ASSERT_TRUE(tiered.Get(key, &second).ok());
+  EXPECT_TRUE(second.needs_rehydration);
   EXPECT_EQ(tiered.FrontHits(), 1u);
 }
 
@@ -120,13 +125,13 @@ TEST(TieredCacheBackendTest, InvalidateEvictsFrontAndForwardsToBack) {
   TieredCacheBackend tiered(dir_backend, 8);
 
   const std::string& key = fx.plan.group_keys[0];
-  tiered.Put(key, fx.results[0]);
-  ASSERT_TRUE(tiered.Get(key).has_value());
-  tiered.Invalidate(key);
+  EXPECT_TRUE(tiered.Put(key, fx.results[0]).ok());
+  ASSERT_TRUE(Has(tiered, key));
+  EXPECT_TRUE(tiered.Invalidate(key).ok());
   EXPECT_EQ(tiered.FrontSize(), 0u);
   // Forwarded: the poisoned entry is gone from the durable tier too.
-  EXPECT_FALSE(back->Get(key).has_value());
-  EXPECT_FALSE(tiered.Get(key).has_value());
+  EXPECT_FALSE(Has(*back, key));
+  EXPECT_FALSE(Has(tiered, key));
 }
 
 TEST(TieredCacheBackendTest, LruFrontEvictsOldestAtCapacity) {
@@ -135,12 +140,12 @@ TEST(TieredCacheBackendTest, LruFrontEvictsOldestAtCapacity) {
   TieredCacheBackend tiered(back, 2);
   tiered.Put("a", fx.results[0]);
   tiered.Put("b", fx.results[0]);
-  ASSERT_TRUE(tiered.Get("a").has_value());  // "b" is now LRU
-  tiered.Put("c", fx.results[0]);            // evicts "b" from the front
+  ASSERT_TRUE(Has(tiered, "a"));   // "b" is now LRU
+  tiered.Put("c", fx.results[0]);  // evicts "b" from the front
   EXPECT_EQ(tiered.FrontSize(), 2u);
   // "b" still *hits* — through the back tier, with a promotion.
   const uint64_t promotions = tiered.BackPromotions();
-  ASSERT_TRUE(tiered.Get("b").has_value());
+  ASSERT_TRUE(Has(tiered, "b"));
   EXPECT_EQ(tiered.BackPromotions(), promotions + 1);
   EXPECT_EQ(back->Size(), 3u);  // the authoritative population
   EXPECT_EQ(tiered.Size(), 3u);
@@ -170,7 +175,7 @@ TEST(TieredCacheBackendTest, ZeroCapacityFrontIsPassthrough) {
   tiered.Put(key, fx.results[0]);
   EXPECT_EQ(tiered.FrontSize(), 0u);
   EXPECT_EQ(back->Size(), 1u);
-  ASSERT_TRUE(tiered.Get(key).has_value());
+  ASSERT_TRUE(Has(tiered, key));
   EXPECT_EQ(tiered.FrontHits(), 0u);
 }
 

@@ -1,0 +1,37 @@
+// vsel_worker: a fleet partition worker executable.
+//
+// Connects to a fleet-enabled vseld daemon, registers, and serves
+// dispatched partition-search work units until the daemon drains (clean
+// exit) or the connection fails. Run any number of these against one
+// daemon; the coordinator work-steals across them and survives any of
+// them dying mid-partition.
+//
+//   vsel_worker --socket=/tmp/vseld.sock [--name=worker-1]
+//               [--heartbeat-sec=0.2]
+//               [--die-in-unit=0]   # chaos: sever mid-unit N (testing)
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "vseld/fleet.h"
+
+int main(int argc, char** argv) {
+  using namespace rdfviews;
+  bench::Flags flags(argc, argv);
+
+  vseld::WorkerOptions options;
+  options.socket_path = flags.GetString("socket", "/tmp/vseld.sock");
+  options.name = flags.GetString("name", "worker");
+  options.heartbeat_interval_sec = flags.GetDouble("heartbeat-sec", 0.2);
+  options.die_in_unit = static_cast<size_t>(flags.GetInt("die-in-unit", 0));
+
+  std::fprintf(stderr, "vsel_worker: '%s' connecting to %s\n",
+               options.name.c_str(), options.socket_path.c_str());
+  Status st = vseld::RunWorker(options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "vsel_worker: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "vsel_worker: daemon drained; bye\n");
+  return 0;
+}
